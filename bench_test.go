@@ -1,0 +1,218 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (§5-§7), one per experiment, at reduced sweep sizes (Options.Quick). The
+// full sweeps run via `go run ./cmd/borealis-sim all`; EXPERIMENTS.md
+// records the paper-vs-measured comparison.
+//
+// Each benchmark reports the experiment's headline metric with
+// b.ReportMetric, so `go test -bench . -benchmem` doubles as a smoke-check
+// that the reproduced shapes still hold.
+package borealis_test
+
+import (
+	"testing"
+
+	"borealis/internal/experiment"
+)
+
+var quick = experiment.Options{Quick: true}
+
+// BenchmarkFig11a regenerates Fig. 11(a): eventual consistency under two
+// overlapping failures on the Fig. 10 SUnion tree.
+func BenchmarkFig11a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiment.Fig11(true)
+		if !r.ConsistencyOK || r.Reconciliations != 1 {
+			b.Fatalf("fig11a shape broken: %+v", r)
+		}
+		b.ReportMetric(float64(r.Tentative), "tentative")
+	}
+}
+
+// BenchmarkFig11b regenerates Fig. 11(b): a failure striking during
+// recovery, yielding two correction sequences.
+func BenchmarkFig11b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiment.Fig11(false)
+		if !r.ConsistencyOK || r.Reconciliations != 2 {
+			b.Fatalf("fig11b shape broken: %+v", r)
+		}
+		b.ReportMetric(float64(r.RecDones), "rec_dones")
+	}
+}
+
+// BenchmarkTable3 regenerates Table III: Procnew constant ≈ 0.9·D + normal
+// processing, independent of failure duration, below the 3 s bound.
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiment.Table3(quick)
+		last := r.Procnew[len(r.Procnew)-1]
+		if last > 3.0 {
+			b.Fatalf("Table III availability bound broken: %.2fs", last)
+		}
+		for _, ok := range r.ConsistencyOK {
+			if !ok {
+				b.Fatal("Table III consistency audit failed")
+			}
+		}
+		b.ReportMetric(last, "procnew_s")
+	}
+}
+
+// BenchmarkFig13 regenerates Fig. 13: the six §6.1 delay-policy variants.
+func BenchmarkFig13(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiment.Fig13(quick)
+		// Delay & Delay (index 3) must produce fewer tentative tuples
+		// than Process & Process (index 0) on the longest failure.
+		last := len(r.Durations) - 1
+		if r.Ntentative[3][last] >= r.Ntentative[0][last] {
+			b.Fatalf("fig13 shape broken: D&D %d ≥ P&P %d",
+				r.Ntentative[3][last], r.Ntentative[0][last])
+		}
+		b.ReportMetric(float64(r.Ntentative[0][last]-r.Ntentative[3][last]), "dd_savings_tuples")
+	}
+}
+
+// BenchmarkFig15 regenerates Fig. 15: Procnew vs chain depth.
+func BenchmarkFig15(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiment.Fig15(quick)
+		n := len(r.Depths) - 1
+		// Delay & Delay grows with depth; Process & Process stays near
+		// one node's delay.
+		if r.DelayDelay[n] <= r.ProcProc[n] {
+			b.Fatalf("fig15 shape broken: D&D %.2f ≤ P&P %.2f", r.DelayDelay[n], r.ProcProc[n])
+		}
+		b.ReportMetric(r.ProcProc[n], "pp_procnew_s")
+	}
+}
+
+// BenchmarkFig16 regenerates Fig. 16: Ntentative vs depth, short failures.
+func BenchmarkFig16(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiment.Fig16(quick, 5)
+		p := r.Panels[0]
+		n := len(p.Depths) - 1
+		// Short failures: delaying reduces inconsistency with depth.
+		if p.DelayDelay[n] >= p.ProcProc[n] {
+			b.Fatalf("fig16 shape broken: D&D %.0f ≥ P&P %.0f", p.DelayDelay[n], p.ProcProc[n])
+		}
+		b.ReportMetric(p.ProcProc[n]-p.DelayDelay[n], "dd_savings_tuples")
+	}
+}
+
+// BenchmarkFig18 regenerates Fig. 18: by 60 s failures the delaying gains
+// have shrunk to a small fraction.
+func BenchmarkFig18(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiment.Fig18(quick)
+		p := r.Panels[0]
+		n := len(p.Depths) - 1
+		rel := (p.ProcProc[n] - p.DelayDelay[n]) / p.ProcProc[n]
+		if rel > 0.25 {
+			b.Fatalf("fig18 shape broken: gains should fade for long failures, got %.0f%%", rel*100)
+		}
+		b.ReportMetric(rel*100, "dd_gain_pct")
+	}
+}
+
+// BenchmarkFig19 regenerates Figs. 19-20: whole-delay assignment masks the
+// 5 s failure entirely while meeting X = 8 s.
+func BenchmarkFig19(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiment.Fig19(quick)
+		if r.TentWholePP[0] != 0 {
+			b.Fatalf("fig20 shape broken: whole-delay should mask the 5s failure, got %d tentative", r.TentWholePP[0])
+		}
+		if r.TentUniformPP[0] == 0 {
+			b.Fatal("fig20 shape broken: uniform Process&Process should NOT mask the 5s failure")
+		}
+		for _, p := range r.ProcWholePP {
+			if p > 8.0 {
+				b.Fatalf("fig19 bound broken: %.2fs > X=8s", p)
+			}
+		}
+		b.ReportMetric(r.ProcWholePP[len(r.ProcWholePP)-1], "whole_procnew_s")
+	}
+}
+
+// BenchmarkFig20 is Fig. 19's sweep viewed through Ntentative.
+func BenchmarkFig20(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiment.Fig19(quick)
+		last := len(r.FailureSecs) - 1
+		// For longer failures whole-delay performs like uniform P&P.
+		diff := float64(r.TentWholePP[last]) - float64(r.TentUniformPP[last])
+		if diff < 0 {
+			diff = -diff
+		}
+		if r.TentUniformPP[last] > 0 && diff/float64(r.TentUniformPP[last]) > 0.25 {
+			b.Fatalf("fig20 shape broken: whole %d vs uniform %d", r.TentWholePP[last], r.TentUniformPP[last])
+		}
+		b.ReportMetric(float64(r.TentWholePP[last]), "whole_tentative")
+	}
+}
+
+// BenchmarkTable4 regenerates Table IV: serialization latency grows
+// linearly with bucket size.
+func BenchmarkTable4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiment.Table4(quick)
+		first, last := r.Rows[1], r.Rows[len(r.Rows)-1]
+		if last.Avg <= first.Avg {
+			b.Fatalf("table4 shape broken: avg should grow with bucket size (%.1f vs %.1f)", first.Avg, last.Avg)
+		}
+		b.ReportMetric(last.Avg, "avg_latency_ms")
+	}
+}
+
+// BenchmarkTable5 regenerates Table V: serialization latency grows
+// linearly with the boundary interval.
+func BenchmarkTable5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiment.Table5(quick)
+		first, last := r.Rows[1], r.Rows[len(r.Rows)-1]
+		if last.Avg <= first.Avg {
+			b.Fatalf("table5 shape broken: avg should grow with boundary interval (%.1f vs %.1f)", first.Avg, last.Avg)
+		}
+		b.ReportMetric(last.Avg, "avg_latency_ms")
+	}
+}
+
+// BenchmarkSwitchover regenerates the §5.1 crash-switchover measurement.
+func BenchmarkSwitchover(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiment.Switchover()
+		if r.Tentative != 0 || !r.ConsistencyOK {
+			b.Fatalf("switchover must mask the crash: %+v", r)
+		}
+		b.ReportMetric(r.GapMs, "gap_ms")
+	}
+}
+
+// BenchmarkAblateTentativeBoundaries regenerates the footnote-5 ablation:
+// with tentative boundaries, chain latency stops growing per node.
+func BenchmarkAblateTentativeBoundaries(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiment.AblateTentativeBoundaries(quick)
+		n := len(r.Depths) - 1
+		if r.With[n] >= r.Without[n] {
+			b.Fatalf("tentative boundaries should cut deep-chain latency: %.2f ≥ %.2f", r.With[n], r.Without[n])
+		}
+		b.ReportMetric(r.Without[n]-r.With[n], "latency_saved_s")
+	}
+}
+
+// BenchmarkAblateBuffers regenerates the §8.1 buffer-management comparison.
+func BenchmarkAblateBuffers(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiment.AblateBuffers(quick)
+		if r.Rows[2].NewDuringFailure != 0 {
+			b.Fatal("block-on-full must sacrifice availability")
+		}
+		if r.Rows[1].NewDuringFailure == 0 {
+			b.Fatal("slide-on-full must preserve availability")
+		}
+		b.ReportMetric(float64(r.Rows[1].Truncated), "slide_truncated")
+	}
+}

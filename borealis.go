@@ -1,0 +1,220 @@
+// Package borealis is a from-scratch Go implementation of DPC (Delay,
+// Process, and Correct), the fault-tolerance protocol of the Borealis
+// distributed stream processing engine (Balazinska, Balakrishnan, Madden,
+// Stonebraker — "Fault-Tolerance in the Borealis Distributed Stream
+// Processing System", SIGMOD 2005 / TODS).
+//
+// The library contains a complete single-node stream processing engine
+// (Filter, Map, Aggregate, SJoin, Union operators over timestamped tuple
+// streams), the DPC extensions (SUnion serialization with boundary tuples,
+// SOutput stream stabilization, tentative/undo/rec-done tuple semantics,
+// checkpoint/redo reconciliation), and a distributed layer (replicated
+// processing nodes, consistency managers with keep-alive monitoring and
+// Table II upstream switching, the inter-replica stagger protocol, DPC
+// data sources and client proxies) — all running on a deterministic
+// virtual-time simulator with a failure-injecting network.
+//
+// # Quick start
+//
+//	dep, err := borealis.BuildChain(borealis.ChainSpec{
+//		Depth:    1,
+//		Replicas: 2,
+//		Sources:  3,
+//		Rate:     500,
+//		Delay:    2 * borealis.Second, // availability bound D
+//	})
+//	if err != nil { ... }
+//	dep.DisconnectSource(1, 10*borealis.Second, 5*borealis.Second)
+//	dep.Start()
+//	dep.RunFor(60 * borealis.Second)
+//	fmt.Printf("%+v\n", dep.Client.Stats())
+//
+// Custom query diagrams are assembled with NewDiagramBuilder and executed
+// on processing nodes via NewNode; see examples/ for complete programs.
+package borealis
+
+import (
+	"borealis/internal/client"
+	"borealis/internal/deploy"
+	"borealis/internal/diagram"
+	"borealis/internal/netsim"
+	"borealis/internal/node"
+	"borealis/internal/operator"
+	"borealis/internal/source"
+	"borealis/internal/tuple"
+	"borealis/internal/vtime"
+)
+
+// Time units, in microseconds of virtual time.
+const (
+	Microsecond = vtime.Microsecond
+	Millisecond = vtime.Millisecond
+	Second      = vtime.Second
+)
+
+// Virtual time and network fabric.
+type (
+	// Sim is the deterministic discrete-event simulator driving every
+	// component.
+	Sim = vtime.Sim
+	// Net is the simulated network: reliable in-order links with
+	// partitions and crash failures.
+	Net = netsim.Net
+)
+
+// NewSim returns a fresh simulator.
+func NewSim() *Sim { return vtime.New() }
+
+// NewNet returns a network fabric on the simulator.
+func NewNet(sim *Sim) *Net { return netsim.New(sim) }
+
+// Data model (§4.1 of the paper).
+type (
+	// Tuple is a stream element: INSERTION, TENTATIVE, BOUNDARY, UNDO
+	// or REC_DONE.
+	Tuple = tuple.Tuple
+	// TupleType is the tuple_type header field.
+	TupleType = tuple.Type
+)
+
+// Tuple types.
+const (
+	Insertion = tuple.Insertion
+	Tentative = tuple.Tentative
+	Boundary  = tuple.Boundary
+	Undo      = tuple.Undo
+	RecDone   = tuple.RecDone
+)
+
+// Operators.
+type (
+	// Operator is a query-diagram node.
+	Operator = operator.Operator
+	// SUnion is the DPC data-serializing operator (§4.2).
+	SUnion = operator.SUnion
+	// SUnionConfig parameterizes an SUnion.
+	SUnionConfig = operator.SUnionConfig
+	// SOutput stabilizes output streams (§4.4.2).
+	SOutput = operator.SOutput
+	// AggregateConfig parameterizes windowed aggregates.
+	AggregateConfig = operator.AggregateConfig
+	// JoinConfig parameterizes SJoin.
+	JoinConfig = operator.JoinConfig
+	// AggFunc selects the aggregate function.
+	AggFunc = operator.AggFunc
+	// DelayPolicy selects the availability/consistency trade-off (§6).
+	DelayPolicy = operator.DelayPolicy
+)
+
+// Aggregate functions.
+const (
+	AggCount = operator.AggCount
+	AggSum   = operator.AggSum
+	AggAvg   = operator.AggAvg
+	AggMin   = operator.AggMin
+	AggMax   = operator.AggMax
+)
+
+// Delay policies (§6).
+const (
+	PolicyNone    = operator.PolicyNone
+	PolicyProcess = operator.PolicyProcess
+	PolicyDelay   = operator.PolicyDelay
+	PolicySuspend = operator.PolicySuspend
+)
+
+// Operator constructors.
+var (
+	NewFilter    = operator.NewFilter
+	NewMap       = operator.NewMap
+	NewUnion     = operator.NewUnion
+	NewAggregate = operator.NewAggregate
+	NewSJoin     = operator.NewSJoin
+	NewSUnion    = operator.NewSUnion
+	NewSOutput   = operator.NewSOutput
+)
+
+// Query diagrams (§2.1).
+type (
+	// Diagram is a validated loop-free operator graph.
+	Diagram = diagram.Diagram
+	// DiagramBuilder assembles diagrams.
+	DiagramBuilder = diagram.Builder
+	// DPCOptions configures the §3 diagram extensions.
+	DPCOptions = diagram.DPCOptions
+)
+
+// NewDiagramBuilder returns an empty builder.
+func NewDiagramBuilder() *DiagramBuilder { return diagram.NewBuilder() }
+
+// Processing nodes, sources and clients.
+type (
+	// Node is a DPC processing node (§3-§4).
+	Node = node.Node
+	// NodeConfig parameterizes a node.
+	NodeConfig = node.Config
+	// StreamState is the advertised consistency state.
+	StreamState = node.StreamState
+	// BufferMode selects §8.1 output-buffer behaviour.
+	BufferMode = node.BufferMode
+	// Source is a DPC data source (§2.2).
+	Source = source.Source
+	// SourceConfig parameterizes a source.
+	SourceConfig = source.Config
+	// Client is a DPC client application behind a proxy node.
+	Client = client.Client
+	// ClientConfig parameterizes a client.
+	ClientConfig = client.Config
+	// ClientStats are the client-side metrics (Procnew, Ntentative, …).
+	ClientStats = client.Stats
+	// Delivery is one tuple delivered to a client, with its arrival time.
+	Delivery = client.Delivery
+)
+
+// Node states (Fig. 5).
+const (
+	StateStable        = node.StateStable
+	StateUpFailure     = node.StateUpFailure
+	StateStabilization = node.StateStabilization
+	StateFailure       = node.StateFailure
+)
+
+// Buffer modes (§8.1).
+const (
+	BufferUnbounded = node.BufferUnbounded
+	BufferBlock     = node.BufferBlock
+	BufferSlide     = node.BufferSlide
+)
+
+// NewNode builds a processing node on the network.
+func NewNode(sim *Sim, net *Net, d *Diagram, cfg NodeConfig) (*Node, error) {
+	return node.New(sim, net, d, cfg)
+}
+
+// NewSource builds a data source.
+func NewSource(sim *Sim, net *Net, cfg SourceConfig) *Source {
+	return source.New(sim, net, cfg)
+}
+
+// NewClient builds a client and its DPC proxy node.
+func NewClient(sim *Sim, net *Net, cfg ClientConfig) (*Client, error) {
+	return client.New(sim, net, cfg)
+}
+
+// Deployments.
+type (
+	// ChainSpec describes a replicated chain deployment (Figs. 12, 14).
+	ChainSpec = deploy.ChainSpec
+	// SUnionTreeSpec describes the Fig. 10 single-node SUnion tree.
+	SUnionTreeSpec = deploy.SUnionTreeSpec
+	// Deployment is a running system: sources, nodes, client.
+	Deployment = deploy.Deployment
+)
+
+// BuildChain assembles a replicated chain deployment.
+func BuildChain(spec ChainSpec) (*Deployment, error) { return deploy.BuildChain(spec) }
+
+// BuildSUnionTree assembles the Fig. 10/11 deployment.
+func BuildSUnionTree(spec SUnionTreeSpec) (*Deployment, error) {
+	return deploy.BuildSUnionTree(spec)
+}

@@ -1,0 +1,122 @@
+package borealis_test
+
+import (
+	"fmt"
+	"testing"
+
+	"borealis"
+)
+
+// TestFacadeQuickstart exercises the high-level deployment API end to end.
+func TestFacadeQuickstart(t *testing.T) {
+	dep, err := borealis.BuildChain(borealis.ChainSpec{
+		Depth:    1,
+		Replicas: 2,
+		Sources:  3,
+		Rate:     300,
+		Delay:    2 * borealis.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep.DisconnectSource(1, 5*borealis.Second, 4*borealis.Second)
+	dep.Start()
+	dep.RunFor(25 * borealis.Second)
+	st := dep.Client.Stats()
+	if st.NewTuples == 0 {
+		t.Fatal("no output")
+	}
+	if st.Tentative == 0 || st.Undos == 0 {
+		t.Fatalf("failure handling not visible through facade: %+v", st)
+	}
+}
+
+// TestFacadeCustomDiagram builds a node from the low-level API.
+func TestFacadeCustomDiagram(t *testing.T) {
+	sim := borealis.NewSim()
+	net := borealis.NewNet(sim)
+	src := borealis.NewSource(sim, net, borealis.SourceConfig{
+		ID: "s", Stream: "in", Rate: 100,
+	})
+	b := borealis.NewDiagramBuilder()
+	b.Add(borealis.NewSUnion("su", borealis.SUnionConfig{
+		Ports: 1, BucketSize: 100 * borealis.Millisecond, Delay: borealis.Second,
+	}))
+	b.Add(borealis.NewFilter("even", func(t borealis.Tuple) bool {
+		return t.Field(0)%2 == 0
+	}))
+	b.Add(borealis.NewSOutput("so"))
+	b.Connect("su", "even", 0)
+	b.Connect("even", "so", 0)
+	b.Input("in", "su", 0)
+	b.Output("out", "so")
+	d, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := borealis.NewNode(sim, net, d, borealis.NodeConfig{
+		ID:        "n",
+		Upstreams: map[string][]string{"in": {"s"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := borealis.NewClient(sim, net, borealis.ClientConfig{
+		ID: "c", Stream: "out", Upstreams: []string{"n"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Start()
+	cl.Start()
+	src.Start()
+	sim.RunFor(5 * borealis.Second)
+	for _, tp := range cl.StableView() {
+		if tp.Field(0)%2 != 0 {
+			t.Fatalf("filter leaked odd tuple: %v", tp)
+		}
+	}
+	if len(cl.StableView()) == 0 {
+		t.Fatal("no stable output through custom diagram")
+	}
+	if n.State() != borealis.StateStable {
+		t.Fatalf("node state = %v", n.State())
+	}
+}
+
+// TestFacadeDPCWrap checks the §3 auto-wrapping entry point.
+func TestFacadeDPCWrap(t *testing.T) {
+	b := borealis.NewDiagramBuilder()
+	b.Add(borealis.NewMap("double", func(d []int64) []int64 { return []int64{d[0] * 2} }))
+	b.Input("in", "double", 0)
+	b.Output("out", "double")
+	d, err := b.WrapForDPC(borealis.DPCOptions{
+		BucketSize: 100 * borealis.Millisecond,
+		Delay:      borealis.Second,
+	}).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.SUnions()) != 1 {
+		t.Fatalf("WrapForDPC should insert one input SUnion: %v", d.SUnions())
+	}
+}
+
+// ExampleBuildChain demonstrates the quickstart flow for godoc.
+func ExampleBuildChain() {
+	dep, err := borealis.BuildChain(borealis.ChainSpec{
+		Depth:    1,
+		Replicas: 2,
+		Sources:  3,
+		Rate:     100,
+		Delay:    2 * borealis.Second,
+	})
+	if err != nil {
+		panic(err)
+	}
+	dep.Start()
+	dep.RunFor(5 * borealis.Second)
+	st := dep.Client.Stats()
+	fmt.Println(st.Tentative, st.StableDuplicates)
+	// Output: 0 0
+}

@@ -1,0 +1,125 @@
+// Command borealis-sim runs the paper's experiments and prints the tables
+// and figure series of the evaluation (§5-§7).
+//
+// Usage:
+//
+//	borealis-sim [-quick] <experiment>...
+//	borealis-sim [-quick] all
+//
+// Experiments: fig11a fig11b table3 fig13 fig15 fig16 fig18 fig19 fig20
+// table4 table5 switchover ablate-buffers
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"borealis/internal/experiment"
+)
+
+var experiments = []struct {
+	name string
+	desc string
+	run  func(experiment.Options, io.Writer)
+}{
+	{"fig11a", "eventual consistency under overlapping failures", func(_ experiment.Options, w io.Writer) {
+		experiment.Fig11(true).Print(w)
+	}},
+	{"fig11b", "eventual consistency with a failure during recovery", func(_ experiment.Options, w io.Writer) {
+		experiment.Fig11(false).Print(w)
+	}},
+	{"table3", "Procnew vs failure duration (replicated node + SJoin)", func(o experiment.Options, w io.Writer) {
+		experiment.Table3(o).Print(w)
+	}},
+	{"fig13", "six delay-policy variants: Procnew and Ntentative", func(o experiment.Options, w io.Writer) {
+		experiment.Fig13(o).Print(w)
+	}},
+	{"fig15", "Procnew vs chain depth (30 s failure)", func(o experiment.Options, w io.Writer) {
+		experiment.Fig15(o).Print(w)
+	}},
+	{"fig16", "Ntentative vs chain depth (5/10/15/30 s failures)", func(o experiment.Options, w io.Writer) {
+		experiment.Fig16(o).Print(w)
+	}},
+	{"fig18", "Ntentative vs chain depth (60 s failure)", func(o experiment.Options, w io.Writer) {
+		experiment.Fig18(o).Print(w)
+	}},
+	{"fig19", "delay assignment: Procnew (whole vs uniform)", func(o experiment.Options, w io.Writer) {
+		experiment.Fig19(o).Print(w)
+	}},
+	{"fig20", "delay assignment: Ntentative (same sweep as fig19)", func(o experiment.Options, w io.Writer) {
+		experiment.Fig19(o).Print(w)
+	}},
+	{"table4", "serialization overhead vs bucket size", func(o experiment.Options, w io.Writer) {
+		experiment.Table4(o).Print(w)
+	}},
+	{"table5", "serialization overhead vs boundary interval", func(o experiment.Options, w io.Writer) {
+		experiment.Table5(o).Print(w)
+	}},
+	{"switchover", "crash switchover gap (§5.1)", func(_ experiment.Options, w io.Writer) {
+		experiment.Switchover().Print(w)
+	}},
+	{"ablate-buffers", "§8.1 buffer-management strategies", func(o experiment.Options, w io.Writer) {
+		experiment.AblateBuffers(o).Print(w)
+	}},
+	{"ablate-tb", "footnote-5 tentative boundaries vs per-node waits", func(o experiment.Options, w io.Writer) {
+		experiment.AblateTentativeBoundaries(o).Print(w)
+	}},
+}
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced sweeps (seconds instead of minutes)")
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	opts := experiment.Options{Quick: *quick}
+	want := map[string]bool{}
+	for _, a := range args {
+		if a == "all" {
+			for _, e := range experiments {
+				want[e.name] = true
+			}
+			continue
+		}
+		found := false
+		for _, e := range experiments {
+			if e.name == a {
+				found = true
+				break
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n\n", a)
+			usage()
+			os.Exit(2)
+		}
+		want[a] = true
+	}
+	first := true
+	for _, e := range experiments {
+		if !want[e.name] {
+			continue
+		}
+		if !first {
+			fmt.Println()
+		}
+		first = false
+		start := time.Now()
+		fmt.Printf("=== %s — %s ===\n", e.name, e.desc)
+		e.run(opts, os.Stdout)
+		fmt.Printf("(%s in %.1fs wall time)\n", e.name, time.Since(start).Seconds())
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: borealis-sim [-quick] <experiment>...|all\n\nexperiments:\n")
+	for _, e := range experiments {
+		fmt.Fprintf(os.Stderr, "  %-16s %s\n", e.name, e.desc)
+	}
+}

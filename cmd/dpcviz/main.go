@@ -1,0 +1,33 @@
+// Command dpcviz dumps figure series as CSV for plotting.
+//
+// Usage:
+//
+//	dpcviz fig11a > fig11a.csv
+//	dpcviz fig11b > fig11b.csv
+//
+// The output columns are time_ms, seq, type — the axes of Fig. 11. Sequence
+// 0 rows are REC_DONE markers (the paper plots them on the x-axis).
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"borealis/internal/experiment"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: dpcviz fig11a|fig11b")
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "fig11a":
+		experiment.Fig11(true).TraceCSV(os.Stdout)
+	case "fig11b":
+		experiment.Fig11(false).TraceCSV(os.Stdout)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown series %q\n", os.Args[1])
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,467 @@
+// Package deploy assembles complete distributed DPC deployments on the
+// simulated network: data sources, replicated processing-node chains, and a
+// DPC client proxy — the topologies of the paper's evaluation (Fig. 10's
+// SUnion tree, Fig. 12's replicated single node with an SJoin, Fig. 14's
+// replicated chain, and Fig. 22's overhead setup).
+package deploy
+
+import (
+	"fmt"
+
+	"borealis/internal/client"
+	"borealis/internal/diagram"
+	"borealis/internal/netsim"
+	"borealis/internal/node"
+	"borealis/internal/operator"
+	"borealis/internal/source"
+	"borealis/internal/vtime"
+)
+
+// ChainSpec describes a replicated chain deployment.
+type ChainSpec struct {
+	// Depth is the number of processing-node levels (≥1); Replicas the
+	// number of replicas per level (the paper uses 2).
+	Depth, Replicas int
+	// Sources is the number of input streams feeding level 1; Rate the
+	// aggregate input rate in tuples/second.
+	Sources int
+	Rate    float64
+	// Delay is D assigned to each level's SUnion; DelayOverride, when
+	// non-nil, assigns per-level delays instead (Fig. 19's whole-delay
+	// assignment gives every SUnion the total X).
+	Delay         int64
+	DelayOverride func(level int) int64
+	// BucketSize, BoundaryInterval, TickInterval: serialization grain.
+	BucketSize, BoundaryInterval, TickInterval int64
+	// Capacity is each node's processing rate (tuples/second).
+	Capacity float64
+	// FailurePolicy / StabilizationPolicy select the §6 variant.
+	FailurePolicy       operator.DelayPolicy
+	StabilizationPolicy operator.DelayPolicy
+	// TentativeWait overrides the SUnion tentative-bucket wait.
+	TentativeWait int64
+	// TentativeBoundaries enables the footnote-5 extension on every
+	// SUnion: tentative flushes carry boundaries so downstream nodes
+	// need not wait TentativeWait per tentative bucket.
+	TentativeBoundaries bool
+	// StallTimeout / KeepAlive tune detection (zero = defaults).
+	StallTimeout, KeepAlive int64
+	// WithJoin adds the Fig. 12 SJoin (≈100-tuple state) at level 1.
+	WithJoin bool
+	// JoinStateTuples sizes the join window (default 100).
+	JoinStateTuples int
+	// ClientDelay / ClientTentativeWait tune the client proxy's SUnion;
+	// keep these small so measurements reflect the processing nodes.
+	ClientDelay, ClientTentativeWait int64
+	// AckInterval enables output-buffer truncation acks when positive.
+	AckInterval int64
+	// BufferMode / BufferCap bound node output buffers (§8.1).
+	BufferMode node.BufferMode
+	BufferCap  int
+	// FineGrained enables the §8.2 per-stream refinement.
+	FineGrained bool
+	// RecordClient keeps the client's delivery trace.
+	RecordClient bool
+}
+
+func (s *ChainSpec) normalize() error {
+	if s.Depth < 1 {
+		return fmt.Errorf("deploy: depth must be ≥ 1")
+	}
+	if s.Replicas < 1 {
+		s.Replicas = 1
+	}
+	if s.Sources < 1 {
+		s.Sources = 1
+	}
+	if s.Rate <= 0 {
+		s.Rate = 500
+	}
+	if s.Delay <= 0 {
+		s.Delay = 2 * vtime.Second
+	}
+	if s.BucketSize <= 0 {
+		s.BucketSize = 100 * vtime.Millisecond
+	}
+	if s.BoundaryInterval <= 0 {
+		s.BoundaryInterval = 100 * vtime.Millisecond
+	}
+	if s.TickInterval <= 0 {
+		s.TickInterval = 10 * vtime.Millisecond
+	}
+	if s.FailurePolicy == operator.PolicyNone {
+		s.FailurePolicy = operator.PolicyProcess
+	}
+	if s.StabilizationPolicy == operator.PolicyNone {
+		s.StabilizationPolicy = operator.PolicyProcess
+	}
+	if s.JoinStateTuples <= 0 {
+		s.JoinStateTuples = 100
+	}
+	if s.ClientDelay <= 0 {
+		s.ClientDelay = 50 * vtime.Millisecond
+	}
+	if s.ClientTentativeWait <= 0 {
+		s.ClientTentativeWait = 50 * vtime.Millisecond
+	}
+	return nil
+}
+
+// Deployment is a running system.
+type Deployment struct {
+	Sim     *vtime.Sim
+	Net     *netsim.Net
+	Sources []*source.Source
+	// Nodes[level][replica].
+	Nodes  [][]*node.Node
+	Client *client.Client
+	Spec   ChainSpec
+}
+
+// nodeID names replica r of level l: "n1a", "n1b", "n2a", ...
+func nodeID(level, replica int) string {
+	return fmt.Sprintf("n%d%c", level, 'a'+replica)
+}
+
+// levelStream names the output stream of level l.
+func levelStream(level int) string { return fmt.Sprintf("t%d", level) }
+
+// BuildChain assembles the deployment. Call Start to begin.
+func BuildChain(spec ChainSpec) (*Deployment, error) {
+	if err := spec.normalize(); err != nil {
+		return nil, err
+	}
+	sim := vtime.New()
+	net := netsim.New(sim)
+	dep := &Deployment{Sim: sim, Net: net, Spec: spec}
+
+	// Sources.
+	var srcIDs []string
+	perSource := spec.Rate / float64(spec.Sources)
+	for i := 0; i < spec.Sources; i++ {
+		id := fmt.Sprintf("src%d", i+1)
+		srcIDs = append(srcIDs, id)
+		idx := int64(i + 1)
+		dep.Sources = append(dep.Sources, source.New(sim, net, source.Config{
+			ID:               id,
+			Stream:           fmt.Sprintf("s%d", i+1),
+			Rate:             perSource,
+			TickInterval:     spec.TickInterval,
+			BoundaryInterval: spec.BoundaryInterval,
+			Payload:          func(seq uint64) []int64 { return []int64{int64(seq), idx} },
+		}))
+	}
+
+	delayAt := func(level int) int64 {
+		if spec.DelayOverride != nil {
+			return spec.DelayOverride(level)
+		}
+		return spec.Delay
+	}
+
+	// Node levels.
+	for level := 1; level <= spec.Depth; level++ {
+		var row []*node.Node
+		for r := 0; r < spec.Replicas; r++ {
+			id := nodeID(level, r)
+			d, upstreams, err := buildLevelDiagram(spec, level, delayAt(level))
+			if err != nil {
+				return nil, err
+			}
+			var peers []string
+			for p := 0; p < spec.Replicas; p++ {
+				if p != r {
+					peers = append(peers, nodeID(level, p))
+				}
+			}
+			downstreams := map[string][]string{}
+			outStream := levelStream(level)
+			if level < spec.Depth {
+				for p := 0; p < spec.Replicas; p++ {
+					downstreams[outStream] = append(downstreams[outStream], nodeID(level+1, p))
+				}
+			} else {
+				downstreams[outStream] = []string{"client"}
+			}
+			n, err := node.New(sim, net, d, node.Config{
+				ID:                  id,
+				Capacity:            spec.Capacity,
+				FailurePolicy:       spec.FailurePolicy,
+				StabilizationPolicy: spec.StabilizationPolicy,
+				StallTimeout:        spec.StallTimeout,
+				Peers:               peers,
+				Upstreams:           upstreams(srcIDs, level, spec),
+				Downstreams:         downstreams,
+				BufferMode:          spec.BufferMode,
+				BufferCap:           spec.BufferCap,
+				FineGrained:         spec.FineGrained,
+				CM:                  node.CMConfig{KeepAlive: spec.KeepAlive},
+				AckInterval:         spec.AckInterval,
+			})
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, n)
+		}
+		dep.Nodes = append(dep.Nodes, row)
+	}
+
+	// Client proxy on the last level's output.
+	var lastReplicas []string
+	for r := 0; r < spec.Replicas; r++ {
+		lastReplicas = append(lastReplicas, nodeID(spec.Depth, r))
+	}
+	cl, err := client.New(sim, net, client.Config{
+		ID:                  "client",
+		Stream:              levelStream(spec.Depth),
+		Upstreams:           lastReplicas,
+		BucketSize:          spec.BucketSize,
+		Delay:               spec.ClientDelay,
+		TentativeWait:       spec.ClientTentativeWait,
+		StallTimeout:        spec.StallTimeout,
+		CM:                  node.CMConfig{KeepAlive: spec.KeepAlive},
+		AckInterval:         spec.AckInterval,
+		TentativeBoundaries: spec.TentativeBoundaries,
+		Record:              spec.RecordClient,
+	})
+	if err != nil {
+		return nil, err
+	}
+	dep.Client = cl
+	return dep, nil
+}
+
+// buildLevelDiagram builds the query diagram fragment for one level and a
+// function producing its upstream map.
+func buildLevelDiagram(spec ChainSpec, level int, delay int64) (*diagram.Diagram, func([]string, int, ChainSpec) map[string][]string, error) {
+	b := diagram.NewBuilder()
+	out := levelStream(level)
+	if level == 1 {
+		su := operator.NewSUnion("merge", operator.SUnionConfig{
+			Ports:               spec.Sources,
+			BucketSize:          spec.BucketSize,
+			Delay:               delay,
+			TentativeWait:       spec.TentativeWait,
+			TentativeBoundaries: spec.TentativeBoundaries,
+		})
+		b.Add(su)
+		last := "merge"
+		if spec.WithJoin {
+			// Fig. 12: SJoin sized to hold ≈ JoinStateTuples. The
+			// window (in stime units) that keeps that many tuples
+			// buffered at the aggregate input rate:
+			win := int64(float64(spec.JoinStateTuples) / spec.Rate * float64(vtime.Second))
+			if win < 1 {
+				win = 1
+			}
+			left := int32(spec.Sources) / 2
+			b.Add(operator.NewSJoin("join", operator.JoinConfig{
+				Window:   win,
+				LeftKey:  0,
+				RightKey: 0,
+				IsLeft:   func(src int32) bool { return src < left },
+			}))
+			b.Connect("merge", "join", 0)
+			last = "join"
+		}
+		b.Add(operator.NewSOutput("sout"))
+		b.Connect(last, "sout", 0)
+		for i := 0; i < spec.Sources; i++ {
+			b.Input(fmt.Sprintf("s%d", i+1), "merge", i)
+		}
+		b.Output(out, "sout")
+	} else {
+		su := operator.NewSUnion("pass", operator.SUnionConfig{
+			Ports:               1,
+			BucketSize:          spec.BucketSize,
+			Delay:               delay,
+			TentativeWait:       spec.TentativeWait,
+			TentativeBoundaries: spec.TentativeBoundaries,
+		})
+		b.Add(su)
+		b.Add(operator.NewSOutput("sout"))
+		b.Connect("pass", "sout", 0)
+		b.Input(levelStream(level-1), "pass", 0)
+		b.Output(out, "sout")
+	}
+	d, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	ups := func(srcIDs []string, level int, spec ChainSpec) map[string][]string {
+		m := map[string][]string{}
+		if level == 1 {
+			for i, sid := range srcIDs {
+				m[fmt.Sprintf("s%d", i+1)] = []string{sid}
+			}
+		} else {
+			var reps []string
+			for p := 0; p < spec.Replicas; p++ {
+				reps = append(reps, nodeID(level-1, p))
+			}
+			m[levelStream(level-1)] = reps
+		}
+		return m
+	}
+	return d, ups, nil
+}
+
+// Start launches sources, nodes and the client.
+func (d *Deployment) Start() {
+	for _, row := range d.Nodes {
+		for _, n := range row {
+			n.Start()
+		}
+	}
+	d.Client.Start()
+	for _, s := range d.Sources {
+		s.Start()
+	}
+}
+
+// RunFor advances virtual time.
+func (d *Deployment) RunFor(dur int64) { d.Sim.RunFor(dur) }
+
+// DisconnectSource injects the Table III failure at virtual-time offsets:
+// source i disconnects at `at` and reconnects (with full replay) at
+// `at+duration`.
+func (d *Deployment) DisconnectSource(i int, at, duration int64) {
+	s := d.Sources[i]
+	d.Sim.At(at, s.Disconnect)
+	d.Sim.At(at+duration, s.Reconnect)
+}
+
+// StallSourceBoundaries injects the Fig. 15/16 failure: source i keeps
+// sending data but stops producing boundary tuples for the window.
+func (d *Deployment) StallSourceBoundaries(i int, at, duration int64) {
+	s := d.Sources[i]
+	d.Sim.At(at, s.StallBoundaries)
+	d.Sim.At(at+duration, s.ResumeBoundaries)
+}
+
+// CrashNode fail-stops replica r of a level at the given time.
+func (d *Deployment) CrashNode(level, replica int, at int64) {
+	n := d.Nodes[level-1][replica]
+	d.Sim.At(at, n.Crash)
+}
+
+// RestartNode recovers a crashed replica at the given time (§4.5).
+func (d *Deployment) RestartNode(level, replica int, at int64) {
+	n := d.Nodes[level-1][replica]
+	d.Sim.At(at, n.Restart)
+}
+
+// Partition severs the network between two endpoints for a window.
+func (d *Deployment) Partition(a, b string, at, duration int64) {
+	d.Sim.At(at, func() { d.Net.Partition(a, b) })
+	d.Sim.At(at+duration, func() { d.Net.Heal(a, b) })
+}
+
+// SUnionTreeSpec describes the Fig. 10 diagram: four input streams merged
+// by a chain of three SUnions on a single unreplicated node, used by the
+// Fig. 11 eventual-consistency experiments.
+type SUnionTreeSpec struct {
+	Rate                                       float64
+	Delay                                      int64
+	BucketSize, BoundaryInterval, TickInterval int64
+	Capacity                                   float64
+	FailurePolicy, StabilizationPolicy         operator.DelayPolicy
+	StallTimeout                               int64
+	RecordClient                               bool
+}
+
+// BuildSUnionTree assembles the Fig. 10/11 deployment.
+func BuildSUnionTree(spec SUnionTreeSpec) (*Deployment, error) {
+	if spec.Rate <= 0 {
+		spec.Rate = 400
+	}
+	if spec.Delay <= 0 {
+		spec.Delay = 2 * vtime.Second
+	}
+	if spec.BucketSize <= 0 {
+		spec.BucketSize = 100 * vtime.Millisecond
+	}
+	if spec.BoundaryInterval <= 0 {
+		spec.BoundaryInterval = 100 * vtime.Millisecond
+	}
+	if spec.TickInterval <= 0 {
+		spec.TickInterval = 10 * vtime.Millisecond
+	}
+	if spec.FailurePolicy == operator.PolicyNone {
+		spec.FailurePolicy = operator.PolicyProcess
+	}
+	if spec.StabilizationPolicy == operator.PolicyNone {
+		spec.StabilizationPolicy = operator.PolicySuspend
+	}
+	sim := vtime.New()
+	net := netsim.New(sim)
+	dep := &Deployment{Sim: sim, Net: net}
+
+	var srcIDs []string
+	for i := 0; i < 4; i++ {
+		id := fmt.Sprintf("src%d", i+1)
+		srcIDs = append(srcIDs, id)
+		idx := int64(i + 1)
+		dep.Sources = append(dep.Sources, source.New(sim, net, source.Config{
+			ID:               id,
+			Stream:           fmt.Sprintf("s%d", i+1),
+			Rate:             spec.Rate / 4,
+			TickInterval:     spec.TickInterval,
+			BoundaryInterval: spec.BoundaryInterval,
+			Payload:          func(seq uint64) []int64 { return []int64{int64(seq), idx} },
+		}))
+	}
+	mk := func(name string) *operator.SUnion {
+		return operator.NewSUnion(name, operator.SUnionConfig{
+			Ports:      2,
+			BucketSize: spec.BucketSize,
+			Delay:      spec.Delay,
+		})
+	}
+	b := diagram.NewBuilder()
+	b.Add(mk("su1"))
+	b.Add(mk("su2"))
+	b.Add(mk("su3"))
+	b.Add(operator.NewSOutput("sout"))
+	b.Connect("su1", "su2", 0)
+	b.Connect("su2", "su3", 0)
+	b.Connect("su3", "sout", 0)
+	b.Input("s1", "su1", 0)
+	b.Input("s2", "su1", 1)
+	b.Input("s3", "su2", 1)
+	b.Input("s4", "su3", 1)
+	b.Output("t1", "sout")
+	d, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	ups := map[string][]string{}
+	for i, sid := range srcIDs {
+		ups[fmt.Sprintf("s%d", i+1)] = []string{sid}
+	}
+	n, err := node.New(sim, net, d, node.Config{
+		ID:                  "n1a",
+		Capacity:            spec.Capacity,
+		FailurePolicy:       spec.FailurePolicy,
+		StabilizationPolicy: spec.StabilizationPolicy,
+		StallTimeout:        spec.StallTimeout,
+		Upstreams:           ups,
+		Downstreams:         map[string][]string{"t1": {"client"}},
+	})
+	if err != nil {
+		return nil, err
+	}
+	dep.Nodes = [][]*node.Node{{n}}
+	cl, err := client.New(sim, net, client.Config{
+		ID:        "client",
+		Stream:    "t1",
+		Upstreams: []string{"n1a"},
+		Delay:     50 * vtime.Millisecond,
+		Record:    spec.RecordClient,
+	})
+	if err != nil {
+		return nil, err
+	}
+	dep.Client = cl
+	return dep, nil
+}

@@ -1,0 +1,272 @@
+package deploy
+
+import (
+	"testing"
+
+	"borealis/internal/client"
+	"borealis/internal/node"
+	"borealis/internal/operator"
+	"borealis/internal/tuple"
+)
+
+// TestTwoSimultaneousSourceFailures: DPC handles multiple concurrent
+// failures (§2.2); corrections happen once, after both heal.
+func TestTwoSimultaneousSourceFailures(t *testing.T) {
+	spec := pairSpec()
+	dep, err := BuildChain(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep.DisconnectSource(0, 5*sec, 8*sec)
+	dep.DisconnectSource(2, 7*sec, 4*sec) // overlaps, heals first
+	dep.Start()
+	dep.RunFor(30 * sec)
+	for _, n := range dep.Nodes[0] {
+		if n.Reconciliations != 1 {
+			t.Fatalf("%s reconciliations = %d, want 1 (after all failures heal)", n.ID(), n.Reconciliations)
+		}
+	}
+	audit := dep.Client.VerifyEventualConsistency(runClean(t, spec, 30*sec))
+	if !audit.OK {
+		t.Fatalf("audit: %s", audit.Reason)
+	}
+}
+
+// TestAllSourcesFail: with every input gone, the only tentative output is
+// the flush of the partial buckets in flight at the moment of failure; the
+// silence that follows carries no availability obligation (Property 1 needs
+// available inputs), and everything is corrected on heal.
+func TestAllSourcesFail(t *testing.T) {
+	spec := pairSpec()
+	dep, err := BuildChain(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < spec.Sources; i++ {
+		dep.DisconnectSource(i, 5*sec, 5*sec)
+	}
+	dep.Start()
+	dep.RunFor(25 * sec)
+	st := dep.Client.Stats()
+	if st.Tentative > uint64(spec.Rate) {
+		t.Fatalf("only the in-flight partial buckets may go tentative, got %d", st.Tentative)
+	}
+	audit := dep.Client.VerifyEventualConsistency(runClean(t, spec, 25*sec))
+	if !audit.OK {
+		t.Fatalf("audit: %s", audit.Reason)
+	}
+}
+
+// TestDepth4ChainLongStall exercises the full Fig. 14 topology through a
+// failure longer than the pipeline delay.
+func TestDepth4ChainLongStall(t *testing.T) {
+	spec := pairSpec()
+	spec.Depth = 4
+	dep, err := BuildChain(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep.StallSourceBoundaries(1, 5*sec, 15*sec)
+	dep.Start()
+	dep.RunFor(60 * sec)
+	st := dep.Client.Stats()
+	if st.Tentative == 0 {
+		t.Fatal("long stall must produce tentative output")
+	}
+	audit := dep.Client.VerifyEventualConsistency(runClean(t, spec, 60*sec))
+	if !audit.OK {
+		t.Fatalf("audit: %s", audit.Reason)
+	}
+	for li, row := range dep.Nodes {
+		for _, n := range row {
+			if n.State() != node.StateStable {
+				t.Fatalf("level %d %s not stable after recovery", li+1, n.ID())
+			}
+		}
+	}
+}
+
+// TestTentativeBoundariesChainConsistency: the footnote-5 extension must
+// not affect the corrected stream, only latency.
+func TestTentativeBoundariesChainConsistency(t *testing.T) {
+	spec := pairSpec()
+	spec.Depth = 3
+	spec.TentativeBoundaries = true
+	dep, err := BuildChain(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep.StallSourceBoundaries(0, 5*sec, 6*sec)
+	dep.Start()
+	dep.RunFor(30 * sec)
+	if dep.Client.Stats().Tentative == 0 {
+		t.Fatal("expected tentative output")
+	}
+	audit := dep.Client.VerifyEventualConsistency(runClean(t, spec, 30*sec))
+	if !audit.OK {
+		t.Fatalf("audit: %s", audit.Reason)
+	}
+}
+
+// TestFineGrainedKeepsUnaffectedStreamStable (§8.2): a node with two
+// disjoint paths advertises per-stream states, so a failure on one input
+// leaves the other path's consumers untouched.
+func TestFineGrainedKeepsUnaffectedStreamStable(t *testing.T) {
+	spec := pairSpec()
+	spec.FineGrained = true
+	dep, err := BuildChain(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep.DisconnectSource(1, 5*sec, 4*sec)
+	dep.Start()
+	dep.RunFor(25 * sec)
+	// The single output is affected here (all inputs merge), so this
+	// checks that fine-grained mode at least matches whole-node results.
+	audit := dep.Client.VerifyEventualConsistency(runClean(t, spec, 25*sec))
+	if !audit.OK {
+		t.Fatalf("fine-grained audit: %s", audit.Reason)
+	}
+}
+
+// TestPartitionBetweenLevels: a network partition between chain levels is
+// detected by boundary silence plus keep-alive timeouts and healed with a
+// resubscription replay.
+func TestPartitionBetweenLevels(t *testing.T) {
+	spec := pairSpec()
+	spec.Depth = 2
+	dep, err := BuildChain(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut n2a from both level-1 replicas: n2a must fail over... to
+	// nothing (both upstreams unreachable), stall, then recover when the
+	// partition heals. Meanwhile the client can switch to n2b.
+	dep.Partition("n2a", "n1a", 6*sec, 5*sec)
+	dep.Partition("n2a", "n1b", 6*sec, 5*sec)
+	dep.Start()
+	dep.RunFor(30 * sec)
+	audit := dep.Client.VerifyEventualConsistency(runClean(t, spec, 30*sec))
+	if !audit.OK {
+		t.Fatalf("audit: %s", audit.Reason)
+	}
+	if dep.Client.Stats().StableDuplicates != 0 {
+		t.Fatal("partition healing duplicated stable tuples")
+	}
+}
+
+// TestRepeatedFailuresOnSameStream: failure → recovery → failure again,
+// exercising checkpoint-epoch turnover.
+func TestRepeatedFailuresOnSameStream(t *testing.T) {
+	spec := pairSpec()
+	dep, err := BuildChain(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep.DisconnectSource(1, 5*sec, 4*sec)
+	dep.DisconnectSource(1, 25*sec, 4*sec)
+	dep.Start()
+	dep.RunFor(50 * sec)
+	for _, n := range dep.Nodes[0] {
+		if n.Reconciliations != 2 {
+			t.Fatalf("%s reconciliations = %d, want 2", n.ID(), n.Reconciliations)
+		}
+	}
+	audit := dep.Client.VerifyEventualConsistency(runClean(t, spec, 50*sec))
+	if !audit.OK {
+		t.Fatalf("audit: %s", audit.Reason)
+	}
+}
+
+// TestSuspendStabilizationSkipsStagger: with PolicySuspend both replicas
+// reconcile simultaneously — no replica stays available.
+func TestSuspendStabilizationSkipsStagger(t *testing.T) {
+	spec := pairSpec()
+	spec.Capacity = 1000 // finite: stabilization takes observable time
+	spec.StabilizationPolicy = operator.PolicySuspend
+	dep, err := BuildChain(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var aStart, bStart int64
+	dep.Sim.NewTicker(10*ms, func() {
+		if aStart == 0 && dep.Nodes[0][0].State() == node.StateStabilization {
+			aStart = dep.Sim.Now()
+		}
+		if bStart == 0 && dep.Nodes[0][1].State() == node.StateStabilization {
+			bStart = dep.Sim.Now()
+		}
+	})
+	dep.DisconnectSource(1, 5*sec, 6*sec)
+	dep.Start()
+	dep.RunFor(30 * sec)
+	if aStart == 0 || bStart == 0 {
+		t.Fatal("both replicas should have reconciled")
+	}
+	gap := aStart - bStart
+	if gap < 0 {
+		gap = -gap
+	}
+	if gap > 500*ms {
+		t.Fatalf("suspend variant should reconcile simultaneously, gap %d ms", gap/ms)
+	}
+}
+
+// TestStaggeredStabilizationKeepsOneReplicaUp: with Process, the replicas
+// must NOT overlap in STABILIZATION.
+func TestStaggeredStabilizationKeepsOneReplicaUp(t *testing.T) {
+	spec := pairSpec()
+	spec.Rate = 900
+	spec.Capacity = 2500 // finite: stabilization takes observable time
+	dep, err := BuildChain(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	overlap := false
+	dep.Sim.NewTicker(10*ms, func() {
+		a := dep.Nodes[0][0].State() == node.StateStabilization
+		b := dep.Nodes[0][1].State() == node.StateStabilization
+		if a && b {
+			overlap = true
+		}
+	})
+	dep.DisconnectSource(1, 5*sec, 8*sec)
+	dep.Start()
+	dep.RunFor(40 * sec)
+	if overlap {
+		t.Fatal("stagger protocol let both replicas reconcile at once")
+	}
+	if dep.Nodes[0][0].Reconciliations+dep.Nodes[0][1].Reconciliations != 2 {
+		t.Fatal("both replicas should eventually reconcile")
+	}
+}
+
+// TestClientFollowsCorrectionsThroughDualConnection inspects the §4.4.3
+// mechanics end to end: during one replica's stabilization the client keeps
+// receiving fresh (tentative) data from the other.
+func TestClientFollowsCorrectionsThroughDualConnection(t *testing.T) {
+	spec := pairSpec()
+	spec.Rate = 600
+	spec.Capacity = 1500 // finite: stabilization takes observable time
+	dep, err := BuildChain(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Track what arrives while either replica stabilizes.
+	var freshDuringStab int
+	stabActive := func() bool {
+		return dep.Nodes[0][0].State() == node.StateStabilization ||
+			dep.Nodes[0][1].State() == node.StateStabilization
+	}
+	dep.Client.OnDeliver(func(d client.Delivery) {
+		if d.Tuple.Type == tuple.Tentative && stabActive() {
+			freshDuringStab++
+		}
+	})
+	dep.DisconnectSource(1, 5*sec, 10*sec)
+	dep.Start()
+	dep.RunFor(40 * sec)
+	if freshDuringStab == 0 {
+		t.Fatal("client received no fresh data during stabilization: dual connection broken")
+	}
+}

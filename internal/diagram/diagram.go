@@ -1,0 +1,393 @@
+// Package diagram models Borealis query diagrams (§2.1): loop-free directed
+// graphs of operators with named external input and output streams. A
+// Builder assembles and validates a diagram; WrapForDPC applies the §3
+// query-diagram extensions — an SUnion in front of every node input stream
+// and an SOutput on every output stream that crosses a node boundary.
+package diagram
+
+import (
+	"fmt"
+	"sort"
+
+	"borealis/internal/operator"
+)
+
+// Edge connects an operator's output to another operator's input port.
+type Edge struct {
+	To   string
+	Port int
+}
+
+// Input binds an external input stream to an operator port.
+type Input struct {
+	Stream string
+	Op     string
+	Port   int
+}
+
+// Output binds an operator's output to an external stream name.
+type Output struct {
+	Stream string
+	Op     string
+}
+
+// Diagram is a validated, immutable query diagram.
+type Diagram struct {
+	ops     map[string]operator.Operator
+	edges   map[string][]Edge
+	inputs  []Input
+	outputs []Output
+	topo    []string
+	// feeds maps each operator to the set of external input streams that
+	// can reach it; reaches maps each external input stream to the output
+	// streams it affects. Both drive failure propagation (§8.2).
+	feeds   map[string]map[string]bool
+	reaches map[string]map[string]bool
+}
+
+// Builder assembles a diagram.
+type Builder struct {
+	ops     map[string]operator.Operator
+	order   []string
+	edges   map[string][]Edge
+	inputs  []Input
+	outputs []Output
+	errs    []error
+}
+
+// NewBuilder returns an empty diagram builder.
+func NewBuilder() *Builder {
+	return &Builder{
+		ops:   make(map[string]operator.Operator),
+		edges: make(map[string][]Edge),
+	}
+}
+
+func (b *Builder) errf(format string, args ...any) {
+	b.errs = append(b.errs, fmt.Errorf(format, args...))
+}
+
+// Add registers an operator. Names must be unique within the diagram.
+func (b *Builder) Add(op operator.Operator) *Builder {
+	name := op.Name()
+	if name == "" {
+		b.errf("diagram: operator with empty name")
+		return b
+	}
+	if _, dup := b.ops[name]; dup {
+		b.errf("diagram: duplicate operator %q", name)
+		return b
+	}
+	b.ops[name] = op
+	b.order = append(b.order, name)
+	return b
+}
+
+// Connect wires from's output into port of to.
+func (b *Builder) Connect(from, to string, port int) *Builder {
+	b.edges[from] = append(b.edges[from], Edge{To: to, Port: port})
+	return b
+}
+
+// Input declares an external input stream feeding an operator port.
+func (b *Builder) Input(stream, op string, port int) *Builder {
+	b.inputs = append(b.inputs, Input{Stream: stream, Op: op, Port: port})
+	return b
+}
+
+// Output declares an operator's output as the named external stream.
+func (b *Builder) Output(stream, op string) *Builder {
+	b.outputs = append(b.outputs, Output{Stream: stream, Op: op})
+	return b
+}
+
+// DPCOptions configures WrapForDPC.
+type DPCOptions struct {
+	// BucketSize and Delay parameterize the inserted input SUnions.
+	BucketSize int64
+	Delay      int64
+	// SafetyFactor and TentativeWait are passed through to SUnions
+	// (zero values select the defaults).
+	SafetyFactor  float64
+	TentativeWait int64
+}
+
+// WrapForDPC applies the §3 extensions: every external input stream gets a
+// single-port SUnion inserted in front of its target (so the node can delay
+// tentative input as policy dictates), and every external output that is not
+// already produced by an SOutput gets one appended. Existing SUnions and
+// SOutputs are left in place.
+func (b *Builder) WrapForDPC(opts DPCOptions) *Builder {
+	for i, in := range b.inputs {
+		if _, isSU := b.ops[in.Op].(*operator.SUnion); isSU && b.targetOnlyFedBy(in) {
+			continue // input already lands on a dedicated SUnion port
+		}
+		name := fmt.Sprintf("__in_%s", in.Stream)
+		if _, exists := b.ops[name]; exists {
+			b.errf("diagram: dpc wrapper name collision %q", name)
+			continue
+		}
+		su := operator.NewSUnion(name, operator.SUnionConfig{
+			Ports:         1,
+			BucketSize:    opts.BucketSize,
+			Delay:         opts.Delay,
+			SafetyFactor:  opts.SafetyFactor,
+			TentativeWait: opts.TentativeWait,
+		})
+		b.Add(su)
+		b.Connect(name, in.Op, in.Port)
+		b.inputs[i] = Input{Stream: in.Stream, Op: name, Port: 0}
+	}
+	for i, out := range b.outputs {
+		if _, isSO := b.ops[out.Op].(*operator.SOutput); isSO {
+			continue
+		}
+		name := fmt.Sprintf("__out_%s", out.Stream)
+		if _, exists := b.ops[name]; exists {
+			b.errf("diagram: dpc wrapper name collision %q", name)
+			continue
+		}
+		b.Add(operator.NewSOutput(name))
+		b.Connect(out.Op, name, 0)
+		b.outputs[i] = Output{Stream: out.Stream, Op: name}
+	}
+	return b
+}
+
+// targetOnlyFedBy reports whether in's target port receives only this input.
+func (b *Builder) targetOnlyFedBy(in Input) bool {
+	for _, edges := range b.edges {
+		for _, e := range edges {
+			if e.To == in.Op && e.Port == in.Port {
+				return false
+			}
+		}
+	}
+	n := 0
+	for _, other := range b.inputs {
+		if other.Op == in.Op && other.Port == in.Port {
+			n++
+		}
+	}
+	return n == 1
+}
+
+// Build validates the diagram: all endpoints exist, ports are in range,
+// every input port has exactly one source, the graph is loop-free, every
+// output names an existing operator, and stream names are unique.
+func (b *Builder) Build() (*Diagram, error) {
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	if len(b.ops) == 0 {
+		return nil, fmt.Errorf("diagram: empty")
+	}
+	// Endpoint and port validation; count sources per (op, port).
+	srcCount := make(map[string]int)
+	key := func(op string, port int) string { return fmt.Sprintf("%s/%d", op, port) }
+	for from, edges := range b.edges {
+		if _, ok := b.ops[from]; !ok {
+			return nil, fmt.Errorf("diagram: edge from unknown operator %q", from)
+		}
+		for _, e := range edges {
+			to, ok := b.ops[e.To]
+			if !ok {
+				return nil, fmt.Errorf("diagram: edge to unknown operator %q", e.To)
+			}
+			if e.Port < 0 || e.Port >= to.Inputs() {
+				return nil, fmt.Errorf("diagram: %s has no input port %d (has %d)", e.To, e.Port, to.Inputs())
+			}
+			srcCount[key(e.To, e.Port)]++
+		}
+	}
+	streamSeen := make(map[string]bool)
+	for _, in := range b.inputs {
+		op, ok := b.ops[in.Op]
+		if !ok {
+			return nil, fmt.Errorf("diagram: input %q targets unknown operator %q", in.Stream, in.Op)
+		}
+		if in.Port < 0 || in.Port >= op.Inputs() {
+			return nil, fmt.Errorf("diagram: input %q targets missing port %d of %s", in.Stream, in.Port, in.Op)
+		}
+		if streamSeen[in.Stream] {
+			return nil, fmt.Errorf("diagram: duplicate input stream %q", in.Stream)
+		}
+		streamSeen[in.Stream] = true
+		srcCount[key(in.Op, in.Port)]++
+	}
+	for _, out := range b.outputs {
+		if _, ok := b.ops[out.Op]; !ok {
+			return nil, fmt.Errorf("diagram: output %q from unknown operator %q", out.Stream, out.Op)
+		}
+		if streamSeen[out.Stream] {
+			return nil, fmt.Errorf("diagram: stream name %q reused", out.Stream)
+		}
+		streamSeen[out.Stream] = true
+	}
+	if len(b.outputs) == 0 {
+		return nil, fmt.Errorf("diagram: no output streams")
+	}
+	// Every input port needs exactly one source.
+	for name, op := range b.ops {
+		for p := 0; p < op.Inputs(); p++ {
+			switch n := srcCount[key(name, p)]; {
+			case n == 0:
+				return nil, fmt.Errorf("diagram: %s port %d has no source", name, p)
+			case n > 1:
+				return nil, fmt.Errorf("diagram: %s port %d has %d sources", name, p, n)
+			}
+		}
+	}
+	topo, err := b.topoSort()
+	if err != nil {
+		return nil, err
+	}
+	d := &Diagram{
+		ops:     b.ops,
+		edges:   b.edges,
+		inputs:  append([]Input(nil), b.inputs...),
+		outputs: append([]Output(nil), b.outputs...),
+		topo:    topo,
+	}
+	d.computeReachability()
+	return d, nil
+}
+
+// topoSort orders operators so every edge goes forward; a cycle is an error
+// (query diagrams are loop-free, §2.1).
+func (b *Builder) topoSort() ([]string, error) {
+	indeg := make(map[string]int, len(b.ops))
+	for name := range b.ops {
+		indeg[name] = 0
+	}
+	for _, edges := range b.edges {
+		for _, e := range edges {
+			indeg[e.To]++
+		}
+	}
+	var queue []string
+	for _, name := range b.order { // builder order keeps this deterministic
+		if indeg[name] == 0 {
+			queue = append(queue, name)
+		}
+	}
+	var topo []string
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		topo = append(topo, n)
+		for _, e := range b.edges[n] {
+			indeg[e.To]--
+			if indeg[e.To] == 0 {
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	if len(topo) != len(b.ops) {
+		return nil, fmt.Errorf("diagram: cycle detected")
+	}
+	return topo, nil
+}
+
+// computeReachability fills feeds (op → input streams reaching it) and
+// reaches (input stream → output streams it affects).
+func (d *Diagram) computeReachability() {
+	d.feeds = make(map[string]map[string]bool, len(d.ops))
+	for _, name := range d.topo {
+		d.feeds[name] = make(map[string]bool)
+	}
+	for _, in := range d.inputs {
+		d.feeds[in.Op][in.Stream] = true
+	}
+	for _, name := range d.topo {
+		for _, e := range d.edges[name] {
+			for s := range d.feeds[name] {
+				d.feeds[e.To][s] = true
+			}
+		}
+	}
+	d.reaches = make(map[string]map[string]bool, len(d.inputs))
+	for _, in := range d.inputs {
+		d.reaches[in.Stream] = make(map[string]bool)
+	}
+	for _, out := range d.outputs {
+		for s := range d.feeds[out.Op] {
+			d.reaches[s][out.Stream] = true
+		}
+	}
+}
+
+// Op returns the named operator, or nil.
+func (d *Diagram) Op(name string) operator.Operator { return d.ops[name] }
+
+// Ops returns operator names in topological order.
+func (d *Diagram) Ops() []string { return append([]string(nil), d.topo...) }
+
+// Downstream returns the edges leaving an operator.
+func (d *Diagram) Downstream(name string) []Edge { return d.edges[name] }
+
+// Inputs returns the external input bindings, in declaration order.
+func (d *Diagram) Inputs() []Input { return append([]Input(nil), d.inputs...) }
+
+// Outputs returns the external output bindings, in declaration order.
+func (d *Diagram) Outputs() []Output { return append([]Output(nil), d.outputs...) }
+
+// InputBinding returns the binding for a named input stream.
+func (d *Diagram) InputBinding(stream string) (Input, bool) {
+	for _, in := range d.inputs {
+		if in.Stream == stream {
+			return in, true
+		}
+	}
+	return Input{}, false
+}
+
+// FeedsOf returns the external input streams that can reach the operator,
+// sorted for determinism.
+func (d *Diagram) FeedsOf(op string) []string {
+	var out []string
+	for s := range d.feeds[op] {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// OutputsAffectedBy returns the output streams an input stream reaches,
+// sorted for determinism. The Consistency Manager uses it to advertise
+// per-output-stream failure states (§8.2).
+func (d *Diagram) OutputsAffectedBy(input string) []string {
+	var out []string
+	for s := range d.reaches[input] {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SUnions returns the names of all SUnion operators in topological order.
+func (d *Diagram) SUnions() []string {
+	var out []string
+	for _, name := range d.topo {
+		if _, ok := d.ops[name].(*operator.SUnion); ok {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// SUnionsFedBy returns the SUnions reachable from the given external input
+// stream, in topological order; a failure on that input switches exactly
+// these SUnions into a delay policy.
+func (d *Diagram) SUnionsFedBy(input string) []string {
+	var out []string
+	for _, name := range d.topo {
+		if _, ok := d.ops[name].(*operator.SUnion); !ok {
+			continue
+		}
+		if d.feeds[name][input] {
+			out = append(out, name)
+		}
+	}
+	return out
+}

@@ -1,0 +1,297 @@
+package diagram
+
+import (
+	"strings"
+	"testing"
+
+	"borealis/internal/operator"
+	"borealis/internal/tuple"
+	"borealis/internal/vtime"
+)
+
+func passAll(tuple.Tuple) bool { return true }
+
+func simpleChain() *Builder {
+	b := NewBuilder()
+	b.Add(operator.NewFilter("f", passAll))
+	b.Add(operator.NewSOutput("out"))
+	b.Connect("f", "out", 0)
+	b.Input("in", "f", 0)
+	b.Output("result", "out")
+	return b
+}
+
+func TestBuildSimpleChain(t *testing.T) {
+	d, err := simpleChain().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Op("f") == nil || d.Op("out") == nil {
+		t.Fatal("operators missing")
+	}
+	ops := d.Ops()
+	if len(ops) != 2 || ops[0] != "f" || ops[1] != "out" {
+		t.Fatalf("topo order wrong: %v", ops)
+	}
+	if edges := d.Downstream("f"); len(edges) != 1 || edges[0].To != "out" {
+		t.Fatalf("downstream wrong: %v", edges)
+	}
+}
+
+func TestBuildRejectsDuplicateOperator(t *testing.T) {
+	b := NewBuilder()
+	b.Add(operator.NewFilter("x", passAll))
+	b.Add(operator.NewFilter("x", passAll))
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("want duplicate error, got %v", err)
+	}
+}
+
+func TestBuildRejectsUnknownEndpoints(t *testing.T) {
+	b := NewBuilder()
+	b.Add(operator.NewSOutput("out"))
+	b.Connect("ghost", "out", 0)
+	b.Output("o", "out")
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "unknown operator") {
+		t.Fatalf("want unknown-endpoint error, got %v", err)
+	}
+}
+
+func TestBuildRejectsBadPort(t *testing.T) {
+	b := NewBuilder()
+	b.Add(operator.NewFilter("f", passAll))
+	b.Add(operator.NewSOutput("out"))
+	b.Connect("f", "out", 3) // SOutput has 1 port
+	b.Input("in", "f", 0)
+	b.Output("o", "out")
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "port") {
+		t.Fatalf("want port error, got %v", err)
+	}
+}
+
+func TestBuildRejectsUnfedPort(t *testing.T) {
+	b := NewBuilder()
+	su := operator.NewSUnion("su", operator.SUnionConfig{Ports: 2, BucketSize: 10, Delay: 100})
+	b.Add(su)
+	b.Add(operator.NewSOutput("out"))
+	b.Connect("su", "out", 0)
+	b.Input("in", "su", 0) // port 1 unfed
+	b.Output("o", "out")
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "no source") {
+		t.Fatalf("want no-source error, got %v", err)
+	}
+}
+
+func TestBuildRejectsDoubleFedPort(t *testing.T) {
+	b := NewBuilder()
+	b.Add(operator.NewFilter("a", passAll))
+	b.Add(operator.NewFilter("b", passAll))
+	b.Add(operator.NewSOutput("out"))
+	b.Connect("a", "out", 0)
+	b.Connect("b", "out", 0)
+	b.Input("i1", "a", 0)
+	b.Input("i2", "b", 0)
+	b.Output("o", "out")
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "sources") {
+		t.Fatalf("want multi-source error, got %v", err)
+	}
+}
+
+func TestBuildRejectsCycle(t *testing.T) {
+	b := NewBuilder()
+	b.Add(operator.NewFilter("a", passAll))
+	b.Add(operator.NewFilter("b", passAll))
+	b.Add(operator.NewSOutput("out"))
+	b.Connect("a", "b", 0)
+	b.Connect("b", "a", 0)
+	b.Connect("b", "out", 0) // port conflict aside, cycle must be caught
+	b.Output("o", "out")
+	_, err := b.Build()
+	if err == nil {
+		t.Fatal("cycle accepted")
+	}
+}
+
+func TestBuildRejectsNoOutputs(t *testing.T) {
+	b := NewBuilder()
+	b.Add(operator.NewFilter("f", passAll))
+	b.Input("in", "f", 0)
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "no output") {
+		t.Fatalf("want no-output error, got %v", err)
+	}
+}
+
+func TestBuildRejectsDuplicateStreamNames(t *testing.T) {
+	b := simpleChain()
+	b.Input("in", "f", 0) // duplicate input stream name
+	if _, err := b.Build(); err == nil {
+		t.Fatal("duplicate stream accepted")
+	}
+}
+
+func TestWrapForDPCInsertsInputSUnionAndKeepsSOutput(t *testing.T) {
+	b := simpleChain().WrapForDPC(DPCOptions{BucketSize: 100, Delay: 1000})
+	d, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, ok := d.InputBinding("in")
+	if !ok {
+		t.Fatal("input binding lost")
+	}
+	if _, isSU := d.Op(in.Op).(*operator.SUnion); !isSU {
+		t.Fatalf("input must land on an SUnion, lands on %T", d.Op(in.Op))
+	}
+	sus := d.SUnions()
+	if len(sus) != 1 {
+		t.Fatalf("want exactly 1 inserted SUnion, got %v", sus)
+	}
+	// Output already had an SOutput: none added.
+	outs := d.Outputs()
+	if len(outs) != 1 || outs[0].Op != "out" {
+		t.Fatalf("existing SOutput must be kept: %v", outs)
+	}
+}
+
+func TestWrapForDPCAddsSOutput(t *testing.T) {
+	b := NewBuilder()
+	b.Add(operator.NewFilter("f", passAll))
+	b.Input("in", "f", 0)
+	b.Output("result", "f")
+	d, err := b.WrapForDPC(DPCOptions{BucketSize: 100, Delay: 1000}).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := d.Outputs()[0]
+	if _, isSO := d.Op(out.Op).(*operator.SOutput); !isSO {
+		t.Fatalf("output must be produced by an SOutput, got %T", d.Op(out.Op))
+	}
+}
+
+func TestWrapForDPCSkipsDedicatedInputSUnion(t *testing.T) {
+	b := NewBuilder()
+	su := operator.NewSUnion("su", operator.SUnionConfig{Ports: 1, BucketSize: 10, Delay: 100})
+	b.Add(su)
+	b.Add(operator.NewSOutput("out"))
+	b.Connect("su", "out", 0)
+	b.Input("in", "su", 0)
+	b.Output("o", "out")
+	d, err := b.WrapForDPC(DPCOptions{BucketSize: 10, Delay: 100}).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.SUnions()) != 1 {
+		t.Fatalf("existing input SUnion must be reused: %v", d.SUnions())
+	}
+}
+
+func TestWrapForDPCWrapsSharedMergeSUnion(t *testing.T) {
+	// Two external inputs landing on one 2-port SUnion: the merge SUnion
+	// serializes, and each input additionally gets its own 1-port SUnion
+	// only if its port is shared (here each port is dedicated → reused).
+	b := NewBuilder()
+	su := operator.NewSUnion("merge", operator.SUnionConfig{Ports: 2, BucketSize: 10, Delay: 100})
+	b.Add(su)
+	b.Add(operator.NewSOutput("out"))
+	b.Connect("merge", "out", 0)
+	b.Input("i1", "merge", 0)
+	b.Input("i2", "merge", 1)
+	b.Output("o", "out")
+	d, err := b.WrapForDPC(DPCOptions{BucketSize: 10, Delay: 100}).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.SUnions()) != 1 {
+		t.Fatalf("dedicated merge ports must be reused: %v", d.SUnions())
+	}
+}
+
+func buildFanIn(t *testing.T) *Diagram {
+	t.Helper()
+	// i1, i2 → merge SUnion → join; i3 → filter → join's second port is
+	// modelled through the merge; filter also feeds its own output.
+	b := NewBuilder()
+	b.Add(operator.NewSUnion("merge", operator.SUnionConfig{Ports: 2, BucketSize: 10, Delay: 100}))
+	b.Add(operator.NewFilter("filt", passAll))
+	b.Add(operator.NewSJoin("join", operator.JoinConfig{Window: 10}))
+	b.Add(operator.NewSOutput("out1"))
+	b.Add(operator.NewSOutput("out2"))
+	b.Connect("merge", "join", 0)
+	b.Connect("join", "out1", 0)
+	b.Connect("filt", "out2", 0)
+	b.Input("i1", "merge", 0)
+	b.Input("i2", "merge", 1)
+	b.Input("i3", "filt", 0)
+	b.Output("joined", "out1")
+	b.Output("filtered", "out2")
+	d, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestReachability(t *testing.T) {
+	d := buildFanIn(t)
+	if got := d.OutputsAffectedBy("i1"); len(got) != 1 || got[0] != "joined" {
+		t.Fatalf("i1 affects %v, want [joined]", got)
+	}
+	if got := d.OutputsAffectedBy("i3"); len(got) != 1 || got[0] != "filtered" {
+		t.Fatalf("i3 affects %v, want [filtered]", got)
+	}
+	feeds := d.FeedsOf("join")
+	if len(feeds) != 2 || feeds[0] != "i1" || feeds[1] != "i2" {
+		t.Fatalf("join fed by %v", feeds)
+	}
+}
+
+func TestSUnionsFedBy(t *testing.T) {
+	d := buildFanIn(t)
+	if got := d.SUnionsFedBy("i2"); len(got) != 1 || got[0] != "merge" {
+		t.Fatalf("SUnionsFedBy(i2) = %v", got)
+	}
+	if got := d.SUnionsFedBy("i3"); len(got) != 0 {
+		t.Fatalf("SUnionsFedBy(i3) = %v, want none", got)
+	}
+}
+
+func TestDiagramExecutesEndToEnd(t *testing.T) {
+	// Wire a built diagram by hand (as the engine will) and push tuples.
+	d, err := simpleChain().WrapForDPC(DPCOptions{BucketSize: 100, Delay: 1000}).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := vtime.New()
+	var results []tuple.Tuple
+	for _, name := range d.Ops() {
+		name := name
+		op := d.Op(name)
+		env := &operator.Env{
+			Now:   sim.Now,
+			After: sim.After,
+			Emit: func(t tuple.Tuple) {
+				for _, e := range d.Downstream(name) {
+					d.Op(e.To).Process(e.Port, t)
+				}
+				if len(d.Downstream(name)) == 0 {
+					results = append(results, t)
+				}
+			},
+		}
+		op.Attach(env)
+	}
+	in, _ := d.InputBinding("in")
+	target := d.Op(in.Op)
+	target.Process(in.Port, tuple.NewInsertion(50, 7))
+	target.Process(in.Port, tuple.NewBoundary(100))
+	sim.Run()
+	var data []tuple.Tuple
+	for _, r := range results {
+		if r.IsData() {
+			data = append(data, r)
+		}
+	}
+	if len(data) != 1 || data[0].Field(0) != 7 {
+		t.Fatalf("end-to-end execution wrong: %v", results)
+	}
+}

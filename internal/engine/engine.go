@@ -1,0 +1,337 @@
+// Package engine executes one node's query diagram fragment. It provides
+// the pieces of the extended SPE architecture (§3) that live between the
+// Data Path and the operators:
+//
+//   - a service queue that models the node's processing capacity, so that
+//     reprocessing a large buffer during reconciliation costs time
+//     proportional to its size (this is what makes stabilization take
+//     longer than the availability bound for long failures, §6.1);
+//   - synchronous dispatch of tuples through the diagram;
+//   - whole-diagram checkpoint and restore (checkpoint/redo, §4.4.1);
+//   - divergence tracking: once any tentative tuple flows between
+//     operators, the node's state has diverged and SOutput labels all
+//     subsequent output tentative until reconciliation completes;
+//   - REC_DONE injection once the queue drains after a replay (§4.4.2:
+//     stabilization completes when the node catches up with normal
+//     execution and clears its queues).
+//
+// Checkpoint consistency. A checkpoint is *requested* at failure-detection
+// time; the snapshot is physically taken at the next batch boundary after
+// every batch enqueued before the request has been dispatched. From the
+// request on, the node's Input Managers log all arrivals. The snapshot thus
+// captures exactly the effects of pre-request input, and the log holds
+// exactly the post-request input, so restore-plus-replay neither loses nor
+// double-processes a tuple. (The initial failure suspension of 0.9·D keeps
+// SUnions from emitting anything tentative during the short drain between
+// request and snapshot.)
+package engine
+
+import (
+	"fmt"
+
+	"borealis/internal/diagram"
+	"borealis/internal/operator"
+	"borealis/internal/tuple"
+	"borealis/internal/vtime"
+)
+
+// Config parameterizes an engine.
+type Config struct {
+	// Capacity is the node's processing rate in tuples per second.
+	// Zero means infinitely fast (tuples are dispatched immediately),
+	// which is convenient for protocol unit tests.
+	Capacity float64
+}
+
+type work struct {
+	seq    uint64
+	stream string
+	tuples []tuple.Tuple
+}
+
+// Snapshot is a whole-diagram checkpoint.
+type Snapshot struct {
+	ops map[string]any
+}
+
+// Engine runs a diagram on a virtual-time simulator.
+type Engine struct {
+	sim *vtime.Sim
+	d   *diagram.Diagram
+	cfg Config
+
+	onOutput func(stream string, t tuple.Tuple)
+	onSignal func(operator.Signal)
+	onIdle   func()
+
+	queue    []work
+	nextSeq  uint64
+	busy     bool
+	svcTimer *vtime.Timer
+	diverged bool
+
+	cpCb   func(*Snapshot)
+	cutSeq uint64
+
+	recDonePending bool
+
+	// Processed counts tuples dispatched through the diagram.
+	Processed uint64
+}
+
+// New builds an engine for the diagram and wires every operator.
+func New(sim *vtime.Sim, d *diagram.Diagram, cfg Config) *Engine {
+	e := &Engine{sim: sim, d: d, cfg: cfg}
+	e.wire()
+	return e
+}
+
+// Diagram returns the executed diagram.
+func (e *Engine) Diagram() *diagram.Diagram { return e.d }
+
+// OnOutput registers the callback receiving every tuple emitted on an
+// external output stream.
+func (e *Engine) OnOutput(fn func(stream string, t tuple.Tuple)) { e.onOutput = fn }
+
+// OnSignal registers the callback receiving SUnion/SOutput control signals.
+func (e *Engine) OnSignal(fn func(operator.Signal)) { e.onSignal = fn }
+
+// OnIdle registers a callback invoked whenever the service queue drains.
+func (e *Engine) OnIdle(fn func()) { e.onIdle = fn }
+
+// Diverged reports whether the node's state has diverged from the stable
+// execution since the last checkpoint restore.
+func (e *Engine) Diverged() bool { return e.diverged }
+
+// QueueLen returns the number of queued, unserviced batches.
+func (e *Engine) QueueLen() int { return len(e.queue) }
+
+// Idle reports whether no batch is queued or in service.
+func (e *Engine) Idle() bool { return !e.busy && len(e.queue) == 0 }
+
+// wire attaches every operator's Env: emissions route synchronously along
+// diagram edges; terminal operators publish to the output callback.
+func (e *Engine) wire() {
+	outputOf := make(map[string]string) // op -> external stream
+	for _, out := range e.d.Outputs() {
+		outputOf[out.Op] = out.Stream
+	}
+	for _, name := range e.d.Ops() {
+		name := name
+		op := e.d.Op(name)
+		edges := e.d.Downstream(name)
+		stream, isOutput := outputOf[name]
+		env := &operator.Env{
+			Now:   e.sim.Now,
+			After: e.sim.After,
+			Emit: func(t tuple.Tuple) {
+				if t.Type == tuple.Tentative {
+					e.diverged = true
+				}
+				for _, edge := range edges {
+					e.d.Op(edge.To).Process(edge.Port, t)
+				}
+				if isOutput && e.onOutput != nil {
+					e.onOutput(stream, t)
+				}
+			},
+			Signal: func(s operator.Signal) {
+				if e.onSignal != nil {
+					e.onSignal(s)
+				}
+			},
+			Diverged: func() bool { return e.diverged },
+		}
+		op.Attach(env)
+	}
+}
+
+// Ingest queues a batch of tuples arriving on an external input stream.
+func (e *Engine) Ingest(stream string, ts []tuple.Tuple) {
+	if len(ts) == 0 {
+		return
+	}
+	if _, ok := e.d.InputBinding(stream); !ok {
+		panic(fmt.Sprintf("engine: unknown input stream %q", stream))
+	}
+	e.nextSeq++
+	e.queue = append(e.queue, work{seq: e.nextSeq, stream: stream, tuples: ts})
+	e.kick()
+}
+
+// kick services the queue head if the engine is idle, taking a pending
+// checkpoint first once all pre-request batches have been dispatched.
+func (e *Engine) kick() {
+	if e.busy {
+		return
+	}
+	if e.cpCb != nil && (len(e.queue) == 0 || e.queue[0].seq > e.cutSeq) {
+		cb := e.cpCb
+		e.cpCb = nil
+		cb(e.snapshot())
+	}
+	if len(e.queue) == 0 {
+		if e.recDonePending {
+			e.recDonePending = false
+			e.injectRecDone()
+		}
+		if e.onIdle != nil {
+			e.onIdle()
+		}
+		return
+	}
+	e.busy = true
+	batch := e.queue[0]
+	e.queue = e.queue[1:]
+	svc := int64(0)
+	if e.cfg.Capacity > 0 {
+		n := len(batch.tuples)
+		// Tuples the input SUnion will drop in O(1) (behind its
+		// cursor) do not consume processing capacity.
+		if in, ok := e.d.InputBinding(batch.stream); ok {
+			if su, ok := e.d.Op(in.Op).(*operator.SUnion); ok {
+				n = su.FreshCount(batch.tuples)
+			}
+		}
+		svc = int64(float64(n) / e.cfg.Capacity * float64(vtime.Second))
+	}
+	e.svcTimer = e.sim.After(svc, func() {
+		e.busy = false
+		e.svcTimer = nil
+		e.dispatch(batch)
+		e.kick()
+	})
+}
+
+// dispatch pushes a serviced batch through the diagram.
+func (e *Engine) dispatch(batch work) {
+	in, ok := e.d.InputBinding(batch.stream)
+	if !ok {
+		return
+	}
+	op := e.d.Op(in.Op)
+	for _, t := range batch.tuples {
+		e.Processed++
+		op.Process(in.Port, t)
+	}
+}
+
+// RequestCheckpoint arranges for a snapshot capturing exactly the effects
+// of every batch ingested before this call. The callback fires as soon as
+// those batches have drained (immediately if the engine is idle). From this
+// moment on, the caller must log all further arrivals for replay.
+func (e *Engine) RequestCheckpoint(cb func(*Snapshot)) {
+	if cb == nil {
+		panic("engine: nil checkpoint callback")
+	}
+	if e.cpCb != nil {
+		panic("engine: checkpoint already pending")
+	}
+	e.cutSeq = e.nextSeq
+	if !e.busy && (len(e.queue) == 0 || e.queue[0].seq > e.cutSeq) {
+		cb(e.snapshot())
+		return
+	}
+	e.cpCb = cb
+}
+
+func (e *Engine) snapshot() *Snapshot {
+	s := &Snapshot{ops: make(map[string]any, len(e.d.Ops()))}
+	for _, name := range e.d.Ops() {
+		s.ops[name] = e.d.Op(name).Checkpoint()
+	}
+	return s
+}
+
+// Restore rolls the diagram back to a snapshot and discards all queued and
+// in-flight work: everything ingested after the checkpoint request lives in
+// the Input Managers' logs and is about to be replayed through Ingest.
+func (e *Engine) Restore(s *Snapshot) {
+	for _, name := range e.d.Ops() {
+		e.d.Op(name).Restore(s.ops[name])
+	}
+	if e.svcTimer != nil {
+		e.svcTimer.Stop()
+		e.svcTimer = nil
+	}
+	e.busy = false
+	e.queue = e.queue[:0]
+	e.diverged = false
+	e.recDonePending = false
+}
+
+// ScheduleRecDone arranges for a REC_DONE marker to flow through the
+// diagram as soon as the service queue drains: the node has then caught up
+// with normal execution and the correction sequence is complete (§4.4.2).
+func (e *Engine) ScheduleRecDone() {
+	e.recDonePending = true
+	if e.Idle() {
+		e.sim.After(0, func() {
+			if e.recDonePending && e.Idle() {
+				e.recDonePending = false
+				e.injectRecDone()
+			}
+		})
+	}
+}
+
+// injectRecDone feeds a REC_DONE tuple into every external input binding;
+// multi-port SUnions forward a single marker once every path has delivered
+// one, so exactly one REC_DONE reaches each output stream.
+func (e *Engine) injectRecDone() {
+	rd := tuple.NewRecDone(e.sim.Now())
+	for _, in := range e.d.Inputs() {
+		e.d.Op(in.Op).Process(in.Port, rd)
+	}
+	// The node is consistent again once the corrections are out.
+	e.diverged = false
+}
+
+// Resetter is implemented by operators whose Restore deliberately keeps
+// some state out of checkpoints (SOutput's external-stream view): a crash
+// restart must clear that too.
+type Resetter interface{ Reset() }
+
+// ResetToPristine rolls every operator back to its initial state, clearing
+// even non-checkpointed externals: the §4.5 crash-restart, where a node
+// rebuilds from empty state.
+func (e *Engine) ResetToPristine(pristine *Snapshot) {
+	e.Restore(pristine)
+	for _, name := range e.d.Ops() {
+		if r, ok := e.d.Op(name).(Resetter); ok {
+			r.Reset()
+		}
+	}
+	e.Processed = 0
+}
+
+// SetPolicyAll switches every SUnion in the diagram to the given policy
+// (whole-node failure handling, §4).
+func (e *Engine) SetPolicyAll(p operator.DelayPolicy) {
+	for _, name := range e.d.SUnions() {
+		e.d.Op(name).(*operator.SUnion).SetPolicy(p)
+	}
+}
+
+// SetPolicyFed switches only the SUnions reachable from the given input
+// stream (fine-grained failure handling, §8.2).
+func (e *Engine) SetPolicyFed(input string, p operator.DelayPolicy) {
+	for _, name := range e.d.SUnionsFedBy(input) {
+		e.d.Op(name).(*operator.SUnion).SetPolicy(p)
+	}
+}
+
+// OldestPendingArrival returns the earliest arrival time buffered in any
+// SUnion, used by the node controller to anchor availability bookkeeping.
+func (e *Engine) OldestPendingArrival() int64 {
+	oldest := e.sim.Now()
+	for _, name := range e.d.SUnions() {
+		su := e.d.Op(name).(*operator.SUnion)
+		if su.PendingBuckets() > 0 {
+			if a := su.OldestPendingArrival(); a < oldest {
+				oldest = a
+			}
+		}
+	}
+	return oldest
+}

@@ -1,0 +1,114 @@
+package experiment
+
+import (
+	"io"
+
+	"borealis/internal/deploy"
+	"borealis/internal/node"
+	"borealis/internal/vtime"
+)
+
+// BufferAblationRow is one §8.1 buffer-management strategy under a long
+// failure.
+type BufferAblationRow struct {
+	Name string
+	// NewDuringFailure counts new tuples delivered while the failure was
+	// active: the availability the strategy preserved.
+	NewDuringFailure uint64
+	// Truncated counts tuples dropped from the node's output buffer.
+	Truncated uint64
+	// FullConsistency / RecentWindowOK: which consistency guarantee held
+	// (unbounded keeps everything; slide keeps a recent window;
+	// block keeps everything by sacrificing availability).
+	FullConsistency bool
+	RecentWindowOK  bool
+}
+
+// BufferAblationResult compares the §8.1 buffer-management strategies.
+type BufferAblationResult struct {
+	FailureSecs int64
+	Cap         int
+	Rows        []BufferAblationRow
+}
+
+// AblateBuffers runs a long failure against unbounded, slide-on-full
+// (convergent-capable), and block-on-full (general deterministic) output
+// buffers.
+func AblateBuffers(opts Options) BufferAblationResult {
+	failSecs := int64(20)
+	if opts.Quick {
+		failSecs = 8
+	}
+	res := BufferAblationResult{FailureSecs: failSecs, Cap: 2000}
+	cases := []struct {
+		name string
+		mode node.BufferMode
+		cap  int
+	}{
+		{"unbounded", node.BufferUnbounded, 0},
+		{"slide-on-full (convergent)", node.BufferSlide, res.Cap},
+		{"block-on-full", node.BufferBlock, res.Cap},
+	}
+	for _, tc := range cases {
+		res.Rows = append(res.Rows, bufferRun(tc.name, tc.mode, tc.cap, failSecs))
+	}
+	return res
+}
+
+func bufferRun(name string, mode node.BufferMode, capTuples int, failSecs int64) BufferAblationRow {
+	spec := deploy.ChainSpec{
+		Depth:      1,
+		Replicas:   2,
+		Sources:    3,
+		Rate:       500,
+		Delay:      2 * vtime.Second,
+		BufferMode: mode,
+		BufferCap:  capTuples,
+		// No acks: the buffer can only grow during the failure, which
+		// is exactly the §8.1 stress.
+	}
+	dep, err := deploy.BuildChain(spec)
+	if err != nil {
+		panic(err)
+	}
+	const failAt = 10 * vtime.Second
+	fail := failSecs * vtime.Second
+	dep.DisconnectSource(1, failAt, fail)
+	dep.Start()
+	dep.RunFor(failAt)
+	before := dep.Client.Stats().NewTuples
+	dep.RunFor(fail)
+	duringFailure := dep.Client.Stats().NewTuples - before
+	dep.RunFor(3*fail + 30*vtime.Second)
+
+	ref, err := deploy.BuildChain(spec)
+	if err != nil {
+		panic(err)
+	}
+	ref.Start()
+	ref.RunFor(failAt + fail + 3*fail + 30*vtime.Second)
+
+	full := dep.Client.VerifyEventualConsistency(ref.Client.View())
+	recent := dep.Client.VerifyRecentWindow(ref.Client.View(), 500)
+	var truncated uint64
+	for _, n := range dep.Nodes[0] {
+		truncated += n.Output("t1").Truncated
+	}
+	return BufferAblationRow{
+		Name:             name,
+		NewDuringFailure: duringFailure,
+		Truncated:        truncated,
+		FullConsistency:  full.OK,
+		RecentWindowOK:   recent.OK,
+	}
+}
+
+// Print renders the comparison.
+func (r BufferAblationResult) Print(w io.Writer) {
+	fprintf(w, "§8.1 buffer management under a %d s failure (output-buffer cap %d tuples)\n", r.FailureSecs, r.Cap)
+	fprintf(w, "%-28s %16s %12s %10s %10s\n", "strategy", "new during fail", "truncated", "full-cons", "recent-ok")
+	for _, row := range r.Rows {
+		fprintf(w, "%-28s %16d %12d %10v %10v\n",
+			row.Name, row.NewDuringFailure, row.Truncated, row.FullConsistency, row.RecentWindowOK)
+	}
+}

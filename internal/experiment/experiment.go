@@ -1,0 +1,51 @@
+// Package experiment regenerates every table and figure of the paper's
+// evaluation (§5-§7). Each experiment builds a deployment on the simulated
+// network, injects the paper's failure, and reports the same rows or series
+// the paper does. Absolute numbers differ from the paper's 2005 testbed;
+// the shapes — who wins, by what factor, where crossovers fall — are the
+// reproduction target (see EXPERIMENTS.md).
+package experiment
+
+import (
+	"fmt"
+	"io"
+
+	"borealis/internal/operator"
+	"borealis/internal/vtime"
+)
+
+// Options tunes experiment scale.
+type Options struct {
+	// Quick shrinks duration sweeps for use inside `go test -bench`.
+	Quick bool
+}
+
+// Seconds renders a µs virtual duration in seconds.
+func Seconds(us int64) float64 { return float64(us) / float64(vtime.Second) }
+
+// Variant names a {failure policy} & {stabilization policy} combination,
+// the six alternatives of §6.1.
+type Variant struct {
+	Name          string
+	Failure       operator.DelayPolicy
+	Stabilization operator.DelayPolicy
+}
+
+// Variants lists the §6.1 combinations in the paper's order.
+func Variants() []Variant {
+	return []Variant{
+		{"Process & Process", operator.PolicyProcess, operator.PolicyProcess},
+		{"Delay & Process", operator.PolicyDelay, operator.PolicyProcess},
+		{"Process & Delay", operator.PolicyProcess, operator.PolicyDelay},
+		{"Delay & Delay", operator.PolicyDelay, operator.PolicyDelay},
+		{"Process & Suspend", operator.PolicyProcess, operator.PolicySuspend},
+		{"Delay & Suspend", operator.PolicyDelay, operator.PolicySuspend},
+	}
+}
+
+// fmtCell renders a float with sensible width for table output.
+func fmtCell(v float64) string { return fmt.Sprintf("%8.2f", v) }
+
+func fprintf(w io.Writer, format string, args ...any) {
+	fmt.Fprintf(w, format, args...)
+}

@@ -1,0 +1,246 @@
+package experiment
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The experiment tests run the reduced (Quick) sweeps and assert the
+// paper's qualitative shapes — the same invariants the benchmarks enforce,
+// kept here so `go test ./...` alone validates the reproduction.
+
+var q = Options{Quick: true}
+
+func TestFig11aShape(t *testing.T) {
+	r := Fig11(true)
+	if !r.ConsistencyOK {
+		t.Fatalf("fig11a eventual consistency failed: %s", r.AuditReason)
+	}
+	if r.Reconciliations != 1 || r.RecDones != 1 || r.Undos != 1 {
+		t.Fatalf("overlapping failures must correct once: %+v", r)
+	}
+	if r.Tentative == 0 {
+		t.Fatal("fig11a should produce tentative output")
+	}
+	if len(r.Series) == 0 {
+		t.Fatal("no series recorded")
+	}
+}
+
+func TestFig11bShape(t *testing.T) {
+	r := Fig11(false)
+	if !r.ConsistencyOK {
+		t.Fatalf("fig11b eventual consistency failed: %s", r.AuditReason)
+	}
+	if r.Reconciliations != 2 || r.RecDones != 2 {
+		t.Fatalf("failure-during-recovery must correct twice: %+v", r)
+	}
+}
+
+func TestFig11CSV(t *testing.T) {
+	r := Fig11(true)
+	var buf bytes.Buffer
+	r.TraceCSV(&buf)
+	out := buf.String()
+	if !strings.HasPrefix(out, "time_ms,seq,type\n") {
+		t.Fatalf("csv header wrong: %q", out[:40])
+	}
+	if strings.Count(out, "\n") < 100 {
+		t.Fatal("csv suspiciously short")
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	r := Table3(q)
+	if len(r.Procnew) != len(r.Durations) {
+		t.Fatal("ragged result")
+	}
+	// Availability bound held for every duration.
+	for i, p := range r.Procnew {
+		if p > 3.0 {
+			t.Fatalf("bound broken at %ds: %.2fs", r.Durations[i], p)
+		}
+		if !r.ConsistencyOK[i] {
+			t.Fatalf("consistency failed at %ds", r.Durations[i])
+		}
+	}
+	// Short failures heal inside the suspension; the rest are flat.
+	if r.Procnew[0] >= r.Procnew[1] {
+		t.Fatalf("2s failure should be cheaper than the suspension: %v", r.Procnew)
+	}
+	last := r.Procnew[len(r.Procnew)-1]
+	if diff := last - r.Procnew[1]; diff > 0.1 || diff < -0.1 {
+		t.Fatalf("Procnew must be flat beyond the suspension: %v", r.Procnew)
+	}
+}
+
+func TestFig13Shapes(t *testing.T) {
+	r := Fig13(q)
+	last := len(r.Durations) - 1
+	idx := map[string]int{}
+	for i, v := range r.Variants {
+		idx[v.Name] = i
+	}
+	// Everything masks the 2s failure.
+	for i, v := range r.Variants {
+		if r.Ntentative[i][0] != 0 {
+			t.Fatalf("%s failed to mask the 2s failure: %d", v.Name, r.Ntentative[i][0])
+		}
+	}
+	// Non-suspend variants keep the bound at every duration.
+	for _, name := range []string{"Process & Process", "Delay & Process", "Process & Delay", "Delay & Delay"} {
+		for di, p := range r.Procnew[idx[name]] {
+			if p > 3.0 {
+				t.Fatalf("%s broke the bound at %ds: %.2fs", name, r.Durations[di], p)
+			}
+		}
+	}
+	// Suspend variants break it for long failures.
+	if r.Procnew[idx["Process & Suspend"]][last] <= 3.0 {
+		t.Fatal("Process & Suspend should break the bound once reconciliation outlasts D")
+	}
+	if r.Procnew[idx["Delay & Suspend"]][last] <= r.Procnew[idx["Process & Suspend"]][last] {
+		t.Fatal("Delay & Suspend must be strictly worse than Process & Suspend")
+	}
+	// Delaying reduces inconsistency vs the baseline.
+	pp := r.Ntentative[idx["Process & Process"]][last]
+	for _, name := range []string{"Delay & Process", "Process & Delay", "Delay & Delay"} {
+		if r.Ntentative[idx[name]][last] >= pp {
+			t.Fatalf("%s should beat Process & Process: %d ≥ %d", name, r.Ntentative[idx[name]][last], pp)
+		}
+	}
+}
+
+func TestFig15Shape(t *testing.T) {
+	r := Fig15(q)
+	n := len(r.Depths) - 1
+	// Delay & Delay grows ≈ 0.9·D per node.
+	if n > 0 {
+		slope := (r.DelayDelay[n] - r.DelayDelay[0]) / float64(r.Depths[n]-r.Depths[0])
+		if slope < 1.2 || slope > 2.4 {
+			t.Fatalf("D&D slope %.2f s/node, want ≈ 1.8", slope)
+		}
+		ppSlope := (r.ProcProc[n] - r.ProcProc[0]) / float64(r.Depths[n]-r.Depths[0])
+		if ppSlope > 0.8 {
+			t.Fatalf("P&P slope %.2f s/node, want small", ppSlope)
+		}
+	}
+}
+
+func TestFig16And18Shapes(t *testing.T) {
+	short := Fig16(q, 5).Panels[0]
+	n := len(short.Depths) - 1
+	if short.DelayDelay[n] >= short.ProcProc[n] {
+		t.Fatal("short failures: delaying must reduce tentative tuples with depth")
+	}
+	long := Fig18(q).Panels[0]
+	rel := (long.ProcProc[n] - long.DelayDelay[n]) / long.ProcProc[n]
+	if rel > 0.25 {
+		t.Fatalf("60s failures: delaying gains should fade, got %.0f%%", rel*100)
+	}
+}
+
+func TestFig19Fig20Shapes(t *testing.T) {
+	r := Fig19(q)
+	if r.TentWholePP[0] != 0 {
+		t.Fatalf("whole-delay must mask the 5s failure: %d", r.TentWholePP[0])
+	}
+	if r.TentUniformPP[0] == 0 {
+		t.Fatal("uniform P&P must NOT mask the 5s failure")
+	}
+	for i, p := range r.ProcWholePP {
+		if p > 8.0 {
+			t.Fatalf("whole-delay broke X=8s at %ds: %.2f", r.FailureSecs[i], p)
+		}
+	}
+}
+
+func TestTable4Table5Shapes(t *testing.T) {
+	for _, r := range []OverheadResult{Table4(q), Table5(q)} {
+		if r.Rows[0].ParamMs != 0 {
+			t.Fatal("baseline column missing")
+		}
+		if r.Rows[0].Tuples == 0 {
+			t.Fatal("baseline produced nothing")
+		}
+		prev := -1.0
+		for _, row := range r.Rows[1:] {
+			if row.Avg <= prev {
+				t.Fatalf("average latency must grow with the parameter: %+v", r.Rows)
+			}
+			prev = row.Avg
+			if row.Max < row.Avg || row.Avg < row.Min {
+				t.Fatalf("inconsistent stats: %+v", row)
+			}
+		}
+	}
+}
+
+func TestSwitchoverShape(t *testing.T) {
+	r := Switchover()
+	if r.Tentative != 0 {
+		t.Fatalf("crash switchover must be masked, got %d tentative", r.Tentative)
+	}
+	if !r.ConsistencyOK {
+		t.Fatal("switchover broke the stream")
+	}
+	if r.GapMs <= r.SteadyGapMs {
+		t.Fatal("crash gap should exceed the steady-state gap")
+	}
+	if r.GapMs > 1000 {
+		t.Fatalf("switchover took too long: %.0f ms", r.GapMs)
+	}
+}
+
+func TestAblateBuffersShape(t *testing.T) {
+	r := AblateBuffers(q)
+	if r.Rows[0].NewDuringFailure == 0 || r.Rows[1].NewDuringFailure == 0 {
+		t.Fatal("unbounded and slide must preserve availability")
+	}
+	if r.Rows[2].NewDuringFailure != 0 {
+		t.Fatal("block-on-full must sacrifice availability")
+	}
+	if r.Rows[1].Truncated == 0 {
+		t.Fatal("slide mode never truncated")
+	}
+	if !r.Rows[1].RecentWindowOK {
+		t.Fatal("slide mode must keep the recent window consistent (§8.1)")
+	}
+}
+
+func TestAblateTentativeBoundariesShape(t *testing.T) {
+	r := AblateTentativeBoundaries(q)
+	n := len(r.Depths) - 1
+	if r.With[n] >= r.Without[n] {
+		t.Fatalf("tentative boundaries should cut deep-chain latency: %.2f ≥ %.2f", r.With[n], r.Without[n])
+	}
+	if r.TentWith[n] != r.TentWithout[n] {
+		t.Fatalf("tentative boundaries must not change Ntentative: %d vs %d", r.TentWith[n], r.TentWithout[n])
+	}
+}
+
+func TestPrintersProduceOutput(t *testing.T) {
+	var buf bytes.Buffer
+	Table3(Options{Quick: true}).Print(&buf)
+	Fig15(Options{Quick: true}).Print(&buf)
+	Fig19(Options{Quick: true}).Print(&buf)
+	Table4(Options{Quick: true}).Print(&buf)
+	Switchover().Print(&buf)
+	AblateBuffers(Options{Quick: true}).Print(&buf)
+	AblateTentativeBoundaries(Options{Quick: true}).Print(&buf)
+	Fig11(true).Print(&buf)
+	out := buf.String()
+	for _, want := range []string{"Table III", "chain depth", "X = 8 s", "Table IV", "switchover", "buffer management", "tentative boundaries", "Fig. 11(a)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("printer output missing %q", want)
+		}
+	}
+}
+
+func TestVariantsOrder(t *testing.T) {
+	vs := Variants()
+	if len(vs) != 6 || vs[0].Name != "Process & Process" || vs[3].Name != "Delay & Delay" {
+		t.Fatalf("variants wrong: %+v", vs)
+	}
+}

@@ -1,0 +1,213 @@
+// Package netsim simulates the network connecting processing nodes, data
+// sources, and clients. It provides what the paper assumes of the transport
+// (§2.2): reliable, in-order delivery between any pair of endpoints, with
+// small latencies, plus the failure modes DPC must tolerate: link failures,
+// network partitions, and endpoint crashes.
+//
+// Delivery is FIFO per ordered (from, to) pair. Messages sent while the pair
+// is partitioned, or while either endpoint is down, are silently dropped —
+// the behaviour of a broken TCP connection as observed by DPC, whose failure
+// detection relies on missing boundary tuples and keep-alive timeouts rather
+// than transport errors.
+package netsim
+
+import (
+	"fmt"
+	"sort"
+
+	"borealis/internal/vtime"
+)
+
+// Handler receives messages addressed to an endpoint.
+type Handler func(from string, msg any)
+
+// DefaultLatency is the one-way delivery latency used for links that have
+// no explicit override. The paper assumes network latency is small compared
+// with the availability bound X.
+const DefaultLatency = 5 * vtime.Millisecond
+
+type pair struct{ a, b string }
+
+func orderedPair(a, b string) pair {
+	if a > b {
+		a, b = b, a
+	}
+	return pair{a, b}
+}
+
+type endpoint struct {
+	handler Handler
+	down    bool
+	// lastDeparture enforces FIFO per destination: a message may not be
+	// delivered before one sent earlier on the same ordered link.
+	lastArrival map[string]int64
+}
+
+// Net is the simulated network fabric.
+type Net struct {
+	sim         *vtime.Sim
+	endpoints   map[string]*endpoint
+	latency     map[pair]int64
+	partitioned map[pair]bool
+	defaultLat  int64
+
+	// Delivered counts messages handed to handlers; Dropped counts
+	// messages lost to partitions or downed endpoints.
+	Delivered uint64
+	Dropped   uint64
+}
+
+// New returns a network fabric driven by sim.
+func New(sim *vtime.Sim) *Net {
+	return &Net{
+		sim:         sim,
+		endpoints:   make(map[string]*endpoint),
+		latency:     make(map[pair]int64),
+		partitioned: make(map[pair]bool),
+		defaultLat:  DefaultLatency,
+	}
+}
+
+// SetDefaultLatency overrides the fabric-wide one-way latency.
+func (n *Net) SetDefaultLatency(d int64) {
+	if d < 0 {
+		panic("netsim: negative latency")
+	}
+	n.defaultLat = d
+}
+
+// Register attaches a handler to an endpoint id, creating the endpoint if
+// needed. Registering twice replaces the handler (used by crash-restart).
+func (n *Net) Register(id string, h Handler) {
+	if h == nil {
+		panic("netsim: nil handler for " + id)
+	}
+	ep := n.endpoints[id]
+	if ep == nil {
+		ep = &endpoint{lastArrival: make(map[string]int64)}
+		n.endpoints[id] = ep
+	}
+	ep.handler = h
+}
+
+// Endpoints returns the registered endpoint ids in sorted order.
+func (n *Net) Endpoints() []string {
+	ids := make([]string, 0, len(n.endpoints))
+	for id := range n.endpoints {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// SetLatency sets the one-way latency between a and b (both directions).
+func (n *Net) SetLatency(a, b string, d int64) {
+	if d < 0 {
+		panic("netsim: negative latency")
+	}
+	n.latency[orderedPair(a, b)] = d
+}
+
+// Latency returns the one-way latency between a and b.
+func (n *Net) Latency(a, b string) int64 {
+	if d, ok := n.latency[orderedPair(a, b)]; ok {
+		return d
+	}
+	return n.defaultLat
+}
+
+// Partition severs communication between a and b in both directions.
+// In-flight messages are dropped at their scheduled delivery time.
+func (n *Net) Partition(a, b string) { n.partitioned[orderedPair(a, b)] = true }
+
+// Heal restores communication between a and b.
+func (n *Net) Heal(a, b string) { delete(n.partitioned, orderedPair(a, b)) }
+
+// PartitionGroups severs every link between the two groups, simulating a
+// network partition that splits the system (§2.2).
+func (n *Net) PartitionGroups(g1, g2 []string) {
+	for _, a := range g1 {
+		for _, b := range g2 {
+			n.Partition(a, b)
+		}
+	}
+}
+
+// HealGroups restores every link between the two groups.
+func (n *Net) HealGroups(g1, g2 []string) {
+	for _, a := range g1 {
+		for _, b := range g2 {
+			n.Heal(a, b)
+		}
+	}
+}
+
+// Partitioned reports whether a and b cannot currently communicate.
+func (n *Net) Partitioned(a, b string) bool { return n.partitioned[orderedPair(a, b)] }
+
+// SetDown marks an endpoint as crashed (true) or recovered (false). A downed
+// endpoint neither sends nor receives; messages in flight to it are dropped.
+func (n *Net) SetDown(id string, down bool) {
+	ep := n.endpoints[id]
+	if ep == nil {
+		panic("netsim: unknown endpoint " + id)
+	}
+	ep.down = down
+}
+
+// Down reports whether the endpoint is crashed.
+func (n *Net) Down(id string) bool {
+	ep := n.endpoints[id]
+	return ep != nil && ep.down
+}
+
+// Send delivers msg from one endpoint to another after the link latency,
+// preserving FIFO order per (from, to) pair. Sends from or to a downed
+// endpoint, or across a partition, are dropped.
+func (n *Net) Send(from, to string, msg any) {
+	src := n.endpoints[from]
+	dst := n.endpoints[to]
+	if src == nil {
+		panic(fmt.Sprintf("netsim: send from unregistered endpoint %q", from))
+	}
+	if dst == nil {
+		panic(fmt.Sprintf("netsim: send to unregistered endpoint %q", to))
+	}
+	if src.down {
+		n.Dropped++
+		return
+	}
+	at := n.sim.Now() + n.Latency(from, to)
+	// FIFO: never deliver before a message sent earlier on this link.
+	if prev := dst.lastArrival[from]; at < prev {
+		at = prev
+	}
+	dst.lastArrival[from] = at
+	n.sim.At(at, func() {
+		// Evaluate failure state at delivery time: a partition that
+		// happened while the message was in flight kills it, like a
+		// broken connection discarding its socket buffers.
+		if dst.down || src.down || n.Partitioned(from, to) {
+			n.Dropped++
+			return
+		}
+		if dst.handler == nil {
+			n.Dropped++
+			return
+		}
+		n.Delivered++
+		dst.handler(from, msg)
+	})
+}
+
+// Reachable reports whether a message sent now from a to b would be
+// delivered (both endpoints up and no partition). The failure detectors do
+// NOT use this — they rely on timeouts like the real system — but tests and
+// the failure injector do.
+func (n *Net) Reachable(a, b string) bool {
+	ea, eb := n.endpoints[a], n.endpoints[b]
+	if ea == nil || eb == nil || ea.down || eb.down {
+		return false
+	}
+	return !n.Partitioned(a, b)
+}

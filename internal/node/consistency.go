@@ -1,0 +1,509 @@
+package node
+
+import (
+	"math/rand"
+	"sort"
+
+	"borealis/internal/vtime"
+)
+
+// CMConfig parameterizes a Consistency Manager.
+type CMConfig struct {
+	// KeepAlive is the probe period (§5.1 uses 100 ms).
+	KeepAlive int64
+	// KeepAliveTimeout marks a replica unreachable after this silence.
+	KeepAliveTimeout int64
+	// RetryInterval paces reconciliation-authorization retries (Fig. 9).
+	RetryInterval int64
+	// GrantTimeout releases a reconciliation promise if the peer never
+	// reports completion (crash safety).
+	GrantTimeout int64
+	// Stagger enables the inter-replica protocol; without it every
+	// authorization is self-granted immediately (the Suspend variant of
+	// §6.1, where no second version stays available).
+	Stagger bool
+}
+
+func (c *CMConfig) normalize() {
+	if c.KeepAlive <= 0 {
+		c.KeepAlive = 100 * vtime.Millisecond
+	}
+	if c.KeepAliveTimeout <= 0 {
+		c.KeepAliveTimeout = c.KeepAlive*2 + c.KeepAlive/2
+	}
+	if c.RetryInterval <= 0 {
+		c.RetryInterval = 100 * vtime.Millisecond
+	}
+	if c.GrantTimeout <= 0 {
+		c.GrantTimeout = 120 * vtime.Second
+	}
+}
+
+// upstreamView is what the CM knows about the replicas producing one input
+// stream.
+type upstreamView struct {
+	stream   string
+	replicas []string
+	states   map[string]StreamState
+	lastResp map[string]int64
+	// subscribed tracks endpoints this node currently subscribes to.
+	subscribed map[string]bool
+	// broken marks endpoints whose connection failed while subscribed:
+	// data sent in the meantime was lost, so a fresh subscription (with
+	// replay from the last stable tuple, Fig. 8) is required when the
+	// endpoint becomes reachable again.
+	broken map[string]bool
+}
+
+// CM is the Consistency Manager (§3): it monitors the replicas of every
+// upstream neighbor with keep-alives, switches connections per the
+// condition-action rules of Table II (refined with the dual-connection rule
+// of §4.4.3), and runs the inter-replica stagger protocol of Fig. 9 that
+// keeps one replica processing new data while another reconciles.
+type CM struct {
+	node *Node
+	cfg  CMConfig
+	ups  map[string]*upstreamView
+	rng  *rand.Rand
+
+	ticker *vtime.Ticker
+
+	// confirming tracks an in-flight probe of a switch-to-STABLE
+	// candidate, per stream: both replicas of an upstream typically
+	// detect a failure at the same instant, so the CM's view of the
+	// candidate may be one keep-alive period stale and still claim
+	// STABLE. A fresh probe before switching kills that race.
+	confirming map[string]string
+
+	// Stagger protocol state.
+	wantReconcile bool
+	awaiting      string // peer asked, awaiting response
+	grantedTo     string // peer we promised not to reconcile under
+	grantTimer    *vtime.Timer
+	retryTimer    *vtime.Timer
+
+	// Switches counts upstream replica switches (reported in §5.1).
+	Switches uint64
+}
+
+func newCM(n *Node, cfg CMConfig) *CM {
+	cfg.normalize()
+	seed := int64(0)
+	for _, c := range n.cfg.ID {
+		seed = seed*131 + int64(c)
+	}
+	cm := &CM{
+		node:       n,
+		cfg:        cfg,
+		ups:        make(map[string]*upstreamView),
+		confirming: make(map[string]string),
+		rng:        rand.New(rand.NewSource(seed)),
+	}
+	for stream, replicas := range n.cfg.Upstreams {
+		cm.ups[stream] = &upstreamView{
+			stream:     stream,
+			replicas:   append([]string(nil), replicas...),
+			states:     make(map[string]StreamState),
+			lastResp:   make(map[string]int64),
+			subscribed: make(map[string]bool),
+			broken:     make(map[string]bool),
+		}
+	}
+	return cm
+}
+
+// start subscribes every input to its first replica and begins probing.
+func (cm *CM) start() {
+	for _, stream := range cm.node.inputOrder {
+		up := cm.ups[stream]
+		if up == nil || len(up.replicas) == 0 {
+			continue
+		}
+		first := up.replicas[0]
+		for _, r := range up.replicas {
+			up.states[r] = StateStable
+			up.lastResp[r] = cm.node.sim.Now()
+		}
+		cm.subscribe(stream, first, true, false)
+		cm.node.inputs[stream].StartMonitoring()
+	}
+	cm.ticker = cm.node.sim.NewTicker(cm.cfg.KeepAlive, cm.tick)
+}
+
+func (cm *CM) stop() {
+	if cm.ticker != nil {
+		cm.ticker.Stop()
+		cm.ticker = nil
+	}
+	if cm.retryTimer != nil {
+		cm.retryTimer.Stop()
+		cm.retryTimer = nil
+	}
+	if cm.grantTimer != nil {
+		cm.grantTimer.Stop()
+		cm.grantTimer = nil
+	}
+}
+
+// reset clears all views and stagger state: crash recovery rebuilds the
+// CM's knowledge from scratch.
+func (cm *CM) reset() {
+	cm.stop()
+	for _, up := range cm.ups {
+		up.states = make(map[string]StreamState)
+		up.lastResp = make(map[string]int64)
+		up.subscribed = make(map[string]bool)
+		up.broken = make(map[string]bool)
+	}
+	cm.confirming = make(map[string]string)
+	cm.wantReconcile = false
+	cm.awaiting = ""
+	cm.grantedTo = ""
+}
+
+// tick sends keep-alive probes and times out silent replicas.
+func (cm *CM) tick() {
+	now := cm.node.sim.Now()
+	for _, stream := range cm.node.inputOrder {
+		up := cm.ups[stream]
+		if up == nil {
+			continue
+		}
+		changed := false
+		for _, r := range up.replicas {
+			cm.node.send(r, KeepAliveReq{})
+			if now-up.lastResp[r] > cm.cfg.KeepAliveTimeout && up.states[r] != StateFailure {
+				up.states[r] = StateFailure
+				if up.subscribed[r] {
+					up.broken[r] = true
+				}
+				changed = true
+			}
+		}
+		// A confirmation probe that never answered is abandoned; the
+		// next evaluation re-issues it if still warranted.
+		delete(cm.confirming, stream)
+		if changed {
+			cm.evaluate(stream)
+		}
+	}
+}
+
+// onKeepAlive records a keep-alive response and re-evaluates switching.
+func (cm *CM) onKeepAlive(from string, resp KeepAliveResp) {
+	now := cm.node.sim.Now()
+	for _, stream := range cm.node.inputOrder {
+		up := cm.ups[stream]
+		if up == nil || !contains(up.replicas, from) {
+			continue
+		}
+		up.lastResp[from] = now
+		st := resp.Node
+		if s, ok := resp.Streams[stream]; ok {
+			st = s
+		}
+		changed := up.states[from] != st
+		up.states[from] = st
+		if cm.confirming[stream] == from {
+			// The probed switch candidate answered with a fresh
+			// state: act on it (evaluate consumes the entry when
+			// it performs the confirmed switch).
+			cm.evaluate(stream)
+			continue
+		}
+		if changed {
+			cm.evaluate(stream)
+		}
+	}
+}
+
+// State returns the CM's view of a replica's state for a stream.
+func (cm *CM) State(stream, replica string) StreamState {
+	up := cm.ups[stream]
+	if up == nil {
+		return StateFailure
+	}
+	return up.states[replica]
+}
+
+// evaluate applies the condition-action rules of Table II to one input
+// stream, refined with §4.4.3's dual connection: when the current upstream
+// enters STABILIZATION it is kept for corrections while a replica in
+// UP_FAILURE supplies fresh tentative data.
+func (cm *CM) evaluate(stream string) {
+	up := cm.ups[stream]
+	im := cm.node.inputs[stream]
+	if up == nil || im == nil {
+		return
+	}
+	cur := im.Live()
+	curState := StateFailure
+	if cur != "" {
+		curState = up.states[cur]
+	}
+	if curState == StateStable {
+		// Table II row 1: do nothing — unless the connection broke
+		// while we were subscribed (network partition, crash restart):
+		// everything sent in the gap was lost, so resubscribe and let
+		// the upstream replay from our last stable tuple (Fig. 8).
+		if up.broken[cur] {
+			cm.subscribe(stream, cur, false, false)
+			im.SetConnections(cur, im.Correcting(), true)
+		}
+		return
+	}
+	pick := func(want StreamState) string {
+		for _, r := range up.replicas {
+			if r != cur && up.states[r] == want {
+				return r
+			}
+		}
+		return ""
+	}
+	// Pick the Table II action: a STABLE replica is always preferred;
+	// otherwise a current FAILURE/STABILIZATION falls back to a replica
+	// in UP_FAILURE for fresh (tail-only) tentative data, and a FAILURE
+	// falls back further to a STABILIZATION replica, which at least
+	// starts correcting the stream.
+	var target string
+	tailOnly := false
+	if r := pick(StateStable); r != "" {
+		target = r
+	} else if curState == StateFailure || curState == StateStabilization {
+		if r := pick(StateUpFailure); r != "" {
+			target, tailOnly = r, true
+		} else if curState == StateFailure {
+			target = pick(StateStabilization)
+		}
+	}
+	if target == "" {
+		return
+	}
+	// Confirm the candidate's state with a fresh probe before acting:
+	// both replicas of an upstream typically see a failure at the same
+	// instant, so the cached view of the candidate may be a keep-alive
+	// period stale. The probe response re-runs this evaluation with
+	// fresh knowledge.
+	if cm.confirming[stream] != target {
+		cm.confirming[stream] = target
+		cm.node.send(target, KeepAliveReq{})
+		return
+	}
+	delete(cm.confirming, stream)
+	corr := ""
+	if curState == StateStabilization && cur != "" {
+		// Keep the stabilizing upstream for the correction stream it
+		// is already sending (§4.4.3 dual connection).
+		corr = cur
+	} else if cur != "" {
+		cm.unsubscribe(stream, cur)
+	}
+	cm.switchLive(stream, target, corr, tailOnly)
+}
+
+// switchLive subscribes to a new live upstream for the stream. Every fresh
+// subscription is "seamless": the undo at the head of its replay (Fig. 8)
+// patches the arrival log without flipping the connection into correcting
+// mode, because the new upstream continues with live data right after.
+func (cm *CM) switchLive(stream, live, corr string, tailOnly bool) {
+	im := cm.node.inputs[stream]
+	if im.Live() == live && im.Correcting() == corr {
+		return
+	}
+	cm.Switches++
+	im.SetConnections(live, corr, true)
+	cm.subscribe(stream, live, false, tailOnly)
+}
+
+func (cm *CM) subscribe(stream, to string, initial, tailOnly bool) {
+	up := cm.ups[stream]
+	im := cm.node.inputs[stream]
+	up.subscribed[to] = true
+	delete(up.broken, to)
+	if initial {
+		im.SetConnections(to, "", true)
+	}
+	cm.node.send(to, SubscribeMsg{
+		Stream:        stream,
+		FromID:        im.LastStableID(),
+		SeenTentative: im.SeenTentative(),
+		TailOnly:      tailOnly,
+	})
+}
+
+func (cm *CM) unsubscribe(stream, from string) {
+	up := cm.ups[stream]
+	if up == nil || !up.subscribed[from] {
+		return
+	}
+	delete(up.subscribed, from)
+	cm.node.send(from, UnsubscribeMsg{Stream: stream})
+}
+
+// onConnBroken handles a sequence gap detected by an Input Manager: the
+// connection lost messages (partition, upstream restart); resubscribe so
+// the upstream replays everything after our last stable tuple (Fig. 8).
+func (cm *CM) onConnBroken(stream, from string) {
+	up := cm.ups[stream]
+	im := cm.node.inputs[stream]
+	if up == nil || im == nil {
+		return
+	}
+	if from != im.live && from != im.corr {
+		return
+	}
+	cm.subscribe(stream, from, false, false)
+	if from == im.live {
+		im.SetConnections(from, im.corr, true)
+	}
+}
+
+// consolidate drops subscriptions a healed input no longer needs (the old
+// tentative feed after a REC_DONE promoted the corrected stream to live).
+func (cm *CM) consolidate(stream string) {
+	up := cm.ups[stream]
+	im := cm.node.inputs[stream]
+	if up == nil || im == nil {
+		return
+	}
+	keep := map[string]bool{im.Live(): true}
+	if c := im.Correcting(); c != "" {
+		keep[c] = true
+	}
+	var drop []string
+	for ep := range up.subscribed {
+		if !keep[ep] {
+			drop = append(drop, ep)
+		}
+	}
+	sort.Strings(drop)
+	for _, ep := range drop {
+		cm.unsubscribe(stream, ep)
+	}
+}
+
+// ---- Inter-replica stagger protocol (Fig. 9) ----
+
+// requestReconcileAuth asks a randomly chosen replica of this node for
+// permission to enter STABILIZATION. Without staggering (or peers) the
+// request is self-granted.
+func (cm *CM) requestReconcileAuth() {
+	cm.wantReconcile = true
+	cm.tryRequest()
+}
+
+func (cm *CM) tryRequest() {
+	if !cm.wantReconcile || cm.awaiting != "" {
+		return
+	}
+	if !cm.cfg.Stagger || len(cm.node.cfg.Peers) == 0 {
+		cm.wantReconcile = false
+		cm.node.onReconcileGranted()
+		return
+	}
+	if cm.grantedTo != "" {
+		// We promised a peer we would stay available; retry later.
+		cm.scheduleRetry()
+		return
+	}
+	peer := cm.node.cfg.Peers[cm.rng.Intn(len(cm.node.cfg.Peers))]
+	cm.awaiting = peer
+	cm.node.send(peer, ReconcileReq{})
+	// A silent peer (crashed, partitioned) must not wedge us.
+	cm.node.sim.After(cm.cfg.RetryInterval*2, func() {
+		if cm.awaiting == peer {
+			cm.awaiting = ""
+			cm.scheduleRetry()
+		}
+	})
+}
+
+func (cm *CM) scheduleRetry() {
+	if cm.retryTimer != nil {
+		return
+	}
+	cm.retryTimer = cm.node.sim.After(cm.cfg.RetryInterval, func() {
+		cm.retryTimer = nil
+		cm.tryRequest()
+	})
+}
+
+// cancelWant abandons a pending reconciliation request (a new failure
+// arrived before the grant).
+func (cm *CM) cancelWant() {
+	cm.wantReconcile = false
+}
+
+// onReconcileReq applies the Fig. 9 acceptance rule: grant unless already
+// in STABILIZATION, already promised to another peer, or this node needs to
+// reconcile too and has the lower identifier (tie-break).
+func (cm *CM) onReconcileReq(from string) {
+	reject := cm.node.state == StateStabilization ||
+		(cm.grantedTo != "" && cm.grantedTo != from) ||
+		(cm.wantReconcile && cm.node.cfg.ID < from)
+	if reject {
+		cm.node.send(from, ReconcileResp{Granted: false})
+		return
+	}
+	cm.grantedTo = from
+	if cm.grantTimer != nil {
+		cm.grantTimer.Stop()
+	}
+	cm.grantTimer = cm.node.sim.After(cm.cfg.GrantTimeout, func() {
+		if cm.grantedTo == from {
+			cm.grantedTo = ""
+			cm.tryRequest()
+		}
+	})
+	cm.node.send(from, ReconcileResp{Granted: true})
+}
+
+func (cm *CM) onReconcileResp(from string, resp ReconcileResp) {
+	if cm.awaiting != from {
+		return
+	}
+	cm.awaiting = ""
+	if !cm.wantReconcile {
+		// Conditions changed while the request was in flight; release
+		// the peer's promise immediately.
+		if resp.Granted {
+			cm.node.send(from, ReconcileDone{})
+		}
+		return
+	}
+	if resp.Granted {
+		cm.wantReconcile = false
+		cm.node.onReconcileGranted()
+	} else {
+		cm.node.onReconcileRejected()
+		cm.scheduleRetry()
+	}
+}
+
+func (cm *CM) onReconcileDone(from string) {
+	if cm.grantedTo == from {
+		cm.grantedTo = ""
+		if cm.grantTimer != nil {
+			cm.grantTimer.Stop()
+			cm.grantTimer = nil
+		}
+		cm.tryRequest()
+	}
+}
+
+// finishReconcile releases the granter after this node's stabilization
+// completes (or is abandoned).
+func (cm *CM) finishReconcile() {
+	for _, p := range cm.node.cfg.Peers {
+		cm.node.send(p, ReconcileDone{})
+	}
+}
+
+func contains(ss []string, s string) bool {
+	for _, x := range ss {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,269 @@
+package node
+
+import (
+	"testing"
+
+	"borealis/internal/diagram"
+	"borealis/internal/netsim"
+	"borealis/internal/operator"
+	"borealis/internal/tuple"
+	"borealis/internal/vtime"
+)
+
+// passDiagram builds the minimal DPC diagram: in → SUnion → SOutput → out.
+func passDiagram(t *testing.T, in, out string) *diagram.Diagram {
+	t.Helper()
+	b := diagram.NewBuilder()
+	b.Add(operator.NewSUnion("su", operator.SUnionConfig{
+		Ports: 1, BucketSize: 100 * ms, Delay: 1 * sec,
+	}))
+	b.Add(operator.NewSOutput("so"))
+	b.Connect("su", "so", 0)
+	b.Input(in, "su", 0)
+	b.Output(out, "so")
+	d, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func mkNode(t *testing.T, sim *vtime.Sim, net *netsim.Net, id string, peers []string) *Node {
+	t.Helper()
+	n, err := New(sim, net, passDiagram(t, "in", "out."+id), Config{
+		ID:        id,
+		Peers:     peers,
+		Upstreams: map[string][]string{"in": {"up"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestStaggerProtocolPairTieBreak(t *testing.T) {
+	// Two replicas want to reconcile simultaneously: exactly one gets a
+	// grant; the other is rejected by the tie-break (lower id rejects
+	// the higher id's request when it wants to reconcile itself...
+	// i.e. the higher id grants, the lower id reconciles first).
+	sim := vtime.New()
+	net := netsim.New(sim)
+	net.Register("up", func(string, any) {})
+	a := mkNode(t, sim, net, "a", []string{"b"})
+	b := mkNode(t, sim, net, "b", []string{"a"})
+
+	grants := map[string]int64{}
+	a.cm.wantReconcile = true
+	b.cm.wantReconcile = true
+	// Intercept grant handling: record the time each node is granted.
+	origA := a.cm
+	_ = origA
+	sim.After(0, func() {
+		a.cm.tryRequest()
+		b.cm.tryRequest()
+	})
+	// Run and observe via node callbacks: onReconcileGranted is a no-op
+	// transition here (nodes are stable), so watch wantReconcile flags.
+	sim.RunFor(1 * sec)
+	_ = grants
+	// Both must eventually have been granted (wantReconcile cleared).
+	if a.cm.wantReconcile && b.cm.wantReconcile {
+		t.Fatal("neither replica ever got a grant")
+	}
+}
+
+func TestReconcileReqRejectedDuringStabilization(t *testing.T) {
+	sim := vtime.New()
+	net := netsim.New(sim)
+	net.Register("up", func(string, any) {})
+	a := mkNode(t, sim, net, "a", []string{"b"})
+	var resp *ReconcileResp
+	net.Register("b", func(_ string, msg any) {
+		if r, ok := msg.(ReconcileResp); ok {
+			resp = &r
+		}
+	})
+	a.state = StateStabilization
+	net.Send("b", "a", ReconcileReq{})
+	sim.Run()
+	if resp == nil || resp.Granted {
+		t.Fatalf("stabilizing node must reject: %+v", resp)
+	}
+}
+
+func TestReconcileReqTieBreakByID(t *testing.T) {
+	sim := vtime.New()
+	net := netsim.New(sim)
+	net.Register("up", func(string, any) {})
+	a := mkNode(t, sim, net, "a", []string{"b"})
+	var resp *ReconcileResp
+	net.Register("b", func(_ string, msg any) {
+		if r, ok := msg.(ReconcileResp); ok {
+			resp = &r
+		}
+	})
+	// "a" wants to reconcile and has the lower id: it rejects "b".
+	a.cm.wantReconcile = true
+	net.Send("b", "a", ReconcileReq{})
+	sim.Run()
+	if resp == nil || resp.Granted {
+		t.Fatalf("lower-id node wanting reconcile must reject: %+v", resp)
+	}
+	// But it grants once it no longer wants to reconcile.
+	a.cm.wantReconcile = false
+	resp = nil
+	net.Send("b", "a", ReconcileReq{})
+	sim.Run()
+	if resp == nil || !resp.Granted {
+		t.Fatalf("idle node must grant: %+v", resp)
+	}
+}
+
+func TestGrantReleasedByReconcileDone(t *testing.T) {
+	sim := vtime.New()
+	net := netsim.New(sim)
+	net.Register("up", func(string, any) {})
+	a := mkNode(t, sim, net, "a", []string{"b"})
+	net.Register("b", func(string, any) {})
+	net.Send("b", "a", ReconcileReq{})
+	sim.RunFor(1 * sec) // short of the grant timeout
+	if a.cm.grantedTo != "b" {
+		t.Fatalf("grantedTo = %q", a.cm.grantedTo)
+	}
+	net.Send("b", "a", ReconcileDone{})
+	sim.RunFor(1 * sec)
+	if a.cm.grantedTo != "" {
+		t.Fatal("ReconcileDone must release the promise")
+	}
+}
+
+func TestKeepAliveTimeoutMarksReplicaFailed(t *testing.T) {
+	sim := vtime.New()
+	net := netsim.New(sim)
+	net.Register("up", func(string, any) {})
+	n := mkNode(t, sim, net, "a", nil)
+	n.Start()
+	sim.RunFor(1 * sec)
+	// "up" never answers keep-alives (it is a plain sink): the CM must
+	// mark it FAILURE after the timeout.
+	if got := n.cm.State("in", "up"); got != StateFailure {
+		t.Fatalf("silent upstream state = %v, want FAILURE", got)
+	}
+}
+
+func TestKeepAliveResponseTracksAdvertisedState(t *testing.T) {
+	sim := vtime.New()
+	net := netsim.New(sim)
+	// An upstream that advertises UP_FAILURE.
+	net.Register("up", func(from string, msg any) {
+		if _, ok := msg.(KeepAliveReq); ok {
+			net.Send("up", from, KeepAliveResp{
+				Node:    StateUpFailure,
+				Streams: map[string]StreamState{"in": StateUpFailure},
+			})
+		}
+	})
+	n := mkNode(t, sim, net, "a", nil)
+	n.Start()
+	sim.RunFor(500 * ms)
+	if got := n.cm.State("in", "up"); got != StateUpFailure {
+		t.Fatalf("advertised state not tracked: %v", got)
+	}
+}
+
+func TestNodeAdvertisesPerStreamStatesWhenFineGrained(t *testing.T) {
+	// Two disjoint paths; a failure on in1 must leave out2 STABLE.
+	sim := vtime.New()
+	net := netsim.New(sim)
+	net.Register("up1", func(string, any) {})
+	net.Register("up2", func(string, any) {})
+	b := diagram.NewBuilder()
+	b.Add(operator.NewSUnion("su1", operator.SUnionConfig{Ports: 1, BucketSize: 100 * ms, Delay: sec}))
+	b.Add(operator.NewSUnion("su2", operator.SUnionConfig{Ports: 1, BucketSize: 100 * ms, Delay: sec}))
+	b.Add(operator.NewSOutput("so1"))
+	b.Add(operator.NewSOutput("so2"))
+	b.Connect("su1", "so1", 0)
+	b.Connect("su2", "so2", 0)
+	b.Input("in1", "su1", 0)
+	b.Input("in2", "su2", 0)
+	b.Output("out1", "so1")
+	b.Output("out2", "so2")
+	d, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := New(sim, net, d, Config{
+		ID:          "n",
+		FineGrained: true,
+		Upstreams:   map[string][]string{"in1": {"up1"}, "in2": {"up2"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.onInputFailed("in1", FailStall)
+	states := n.streamStates()
+	if states["out1"] != StateUpFailure {
+		t.Fatalf("out1 = %v, want UP_FAILURE", states["out1"])
+	}
+	if states["out2"] != StateStable {
+		t.Fatalf("out2 = %v, want STABLE (fine-grained §8.2)", states["out2"])
+	}
+	// Fine-grained policies: only su1 switches policy.
+	if got := d.Op("su1").(*operator.SUnion).Policy(); got == operator.PolicyNone {
+		t.Fatal("su1 must be in a failure policy")
+	}
+	if got := d.Op("su2").(*operator.SUnion).Policy(); got != operator.PolicyNone {
+		t.Fatalf("su2 must stay in PolicyNone, got %v", got)
+	}
+}
+
+func TestNodeChecksAndCountsFailedInputs(t *testing.T) {
+	sim := vtime.New()
+	net := netsim.New(sim)
+	net.Register("up", func(string, any) {})
+	n := mkNode(t, sim, net, "a", nil)
+	n.onInputFailed("in", FailStall)
+	if n.State() != StateUpFailure {
+		t.Fatalf("state = %v", n.State())
+	}
+	got := n.FailedInputs()
+	if len(got) != 1 || got[0] != "in" {
+		t.Fatalf("FailedInputs = %v", got)
+	}
+	if n.Checkpoints != 1 {
+		t.Fatalf("Checkpoints = %d", n.Checkpoints)
+	}
+	// Heal without divergence: masked, straight back to stable.
+	n.onInputHealed("in")
+	if n.State() != StateStable {
+		t.Fatalf("masked heal: state = %v", n.State())
+	}
+	if n.Reconciliations != 0 {
+		t.Fatal("masked failure must not reconcile")
+	}
+}
+
+func TestCrashedNodeIsSilent(t *testing.T) {
+	sim := vtime.New()
+	net := netsim.New(sim)
+	net.Register("up", func(string, any) {})
+	n := mkNode(t, sim, net, "a", nil)
+	var responded bool
+	net.Register("probe", func(string, any) { responded = true })
+	n.Crash()
+	if !n.Down() {
+		t.Fatal("Down() = false after crash")
+	}
+	net.Send("probe", "a", KeepAliveReq{})
+	sim.Run()
+	if responded {
+		t.Fatal("crashed node must not respond")
+	}
+}
+
+func TestUnionTypesCompile(t *testing.T) {
+	// Compile-time sanity for message types used across packages.
+	var _ any = DataMsg{Stream: "s", Tuples: []tuple.Tuple{}}
+	var _ any = SubscribeMsg{}
+	var _ any = AckMsg{}
+}

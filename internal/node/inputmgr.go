@@ -1,0 +1,420 @@
+package node
+
+import (
+	"borealis/internal/tuple"
+	"borealis/internal/vtime"
+)
+
+// FailKind classifies how an input stream failed.
+type FailKind uint8
+
+const (
+	// FailNone: the input is healthy.
+	FailNone FailKind = iota
+	// FailStall: boundary tuples stopped arriving (§4.2.3): either the
+	// upstream suspended, a source disconnected, or the network dropped
+	// the connection.
+	FailStall
+	// FailTentative: the upstream started sending tentative tuples — it
+	// is itself in UP_FAILURE.
+	FailTentative
+)
+
+// inputHooks are the callbacks an InputManager raises toward the node
+// controller.
+type inputHooks struct {
+	// onFailed fires when the input transitions healthy → failed.
+	onFailed func(stream string, kind FailKind)
+	// onHealed fires when a failed input is stable and complete again.
+	onHealed func(stream string)
+	// onBroken fires when a sequence gap reveals a broken connection
+	// (messages lost to a partition); the CM must resubscribe.
+	onBroken func(stream, from string)
+	// forward delivers live tuples into the engine.
+	forward func(stream string, ts []tuple.Tuple)
+}
+
+// InputManager owns one input stream of a node: it forwards live data into
+// the engine, keeps the post-checkpoint arrival log that reconciliation
+// replays (§4.4.1), patches that log when the upstream sends corrections
+// (UNDO + stable tuples + REC_DONE, §4.4.2), detects failures by boundary
+// silence or tentative arrivals, and detects heals.
+//
+// During an upstream's stabilization the manager can hold two connections
+// (§4.4.3): the stabilizing upstream ("correcting" — its tuples patch the
+// log but are not forwarded live) and a replica still in UP_FAILURE
+// ("live" — fresh tentative data keeps availability). A connection flips to
+// correcting mode the moment an UNDO arrives on it and back to live mode at
+// REC_DONE.
+type InputManager struct {
+	sim    *vtime.Sim
+	stream string
+	hooks  inputHooks
+
+	// stallTimeout declares the input failed after this much boundary
+	// silence; zero disables stall detection (protocol unit tests).
+	stallTimeout int64
+	stallTimer   *vtime.Timer
+
+	// live and corr are the endpoints currently serving this stream.
+	live, corr string
+
+	// correcting marks the live connection as temporarily carrying a
+	// correction sequence (single-upstream case: the only neighbor
+	// entered stabilization in place).
+	correcting bool
+
+	// seamless marks a fresh subscription to a STABLE replica: the
+	// first UNDO of its replay patches the log without entering
+	// correcting mode, because the replica continues with live data
+	// immediately after the corrections (Fig. 8).
+	seamless bool
+
+	// Subscription bookkeeping for Fig. 8 switches.
+	lastStableID  uint64
+	seenTentative bool
+
+	lastBoundaryArrival int64
+	lastBoundarySTime   int64
+
+	failKind FailKind
+
+	logging bool
+	log     []tuple.Tuple
+
+	// conns tracks per-connection batch sequencing: a gap means the
+	// connection broke and in-flight data was lost; everything is then
+	// dropped until a fresh subscription (seq 1) arrives.
+	conns map[string]*connSeq
+
+	// Tentative counts tentative data tuples received; Received counts
+	// all data tuples.
+	Tentative uint64
+	Received  uint64
+}
+
+// connSeq is the receive state of one upstream connection.
+type connSeq struct {
+	next uint64
+	// established is set once a subscription's first batch (seq 1) has
+	// been accepted. Gaps before that are pre-subscription leftovers of
+	// an older connection (e.g. after a crash restart) and are dropped
+	// silently: our own subscription is already in flight, and reacting
+	// with another one would double the replay.
+	established bool
+	broken      bool
+}
+
+// newInputManager builds a manager for one input stream.
+func newInputManager(sim *vtime.Sim, stream string, stallTimeout int64, hooks inputHooks) *InputManager {
+	return &InputManager{
+		sim:               sim,
+		stream:            stream,
+		stallTimeout:      stallTimeout,
+		hooks:             hooks,
+		lastBoundarySTime: -1,
+		conns:             make(map[string]*connSeq),
+	}
+}
+
+// admit checks a batch's sequence number against the connection state. A
+// sequence of 1 is a fresh subscription (state resets); a gap marks the
+// connection broken — the lost messages must be replayed under a new
+// subscription, so everything is dropped until one arrives.
+func (im *InputManager) admit(from string, seq uint64) bool {
+	cs := im.conns[from]
+	if cs == nil {
+		cs = &connSeq{next: 1}
+		im.conns[from] = cs
+	}
+	switch {
+	case seq == 1:
+		cs.next = 2
+		cs.established = true
+		cs.broken = false
+		return true
+	case cs.broken || !cs.established:
+		return false
+	case seq != cs.next:
+		cs.broken = true
+		if im.hooks.onBroken != nil {
+			im.hooks.onBroken(im.stream, from)
+		}
+		return false
+	default:
+		cs.next++
+		return true
+	}
+}
+
+// Stream returns the managed stream name.
+func (im *InputManager) Stream() string { return im.stream }
+
+// Failed reports whether the input is currently failed.
+func (im *InputManager) Failed() bool { return im.failKind != FailNone }
+
+// FailureKind returns the current failure classification.
+func (im *InputManager) FailureKind() FailKind { return im.failKind }
+
+// Live returns the endpoint of the live connection ("" if none).
+func (im *InputManager) Live() string { return im.live }
+
+// Correcting returns the endpoint currently supplying corrections ("").
+func (im *InputManager) Correcting() string {
+	if im.correcting {
+		return im.live
+	}
+	return im.corr
+}
+
+// LastStableID returns the id of the last stable tuple received, for
+// subscribe messages (Fig. 8).
+func (im *InputManager) LastStableID() uint64 { return im.lastStableID }
+
+// SeenTentative reports whether tentative tuples followed the last stable
+// one, for subscribe messages.
+func (im *InputManager) SeenTentative() bool { return im.seenTentative }
+
+// StartLog begins (or restarts) the post-checkpoint arrival log.
+func (im *InputManager) StartLog() {
+	im.logging = true
+	im.log = im.log[:0]
+}
+
+// StopLog ends logging and discards the log.
+func (im *InputManager) StopLog() {
+	im.logging = false
+	im.log = nil
+}
+
+// TakeLog returns the patched log for replay and resets it (logging stays
+// on: arrivals during the replay belong to the next checkpoint epoch only
+// after the controller takes a new checkpoint; until then they must remain
+// replayable, so the controller calls StartLog again at that moment).
+func (im *InputManager) TakeLog() []tuple.Tuple {
+	out := im.log
+	im.log = nil
+	return out
+}
+
+// LogLen returns the current log length (for tests and buffer accounting).
+func (im *InputManager) LogLen() int { return len(im.log) }
+
+// SetConnections points the manager at its current upstream endpoints.
+// The Consistency Manager calls this when it (re)subscribes. seamless marks
+// the live connection as a fresh subscription to a STABLE replica whose
+// replayed corrections flow straight into live data (Fig. 8).
+func (im *InputManager) SetConnections(live, corr string, seamless bool) {
+	im.live = live
+	im.corr = corr
+	im.seamless = seamless
+	if seamless {
+		im.correcting = false
+	}
+	// A (re)connection restarts the boundary-silence clock.
+	im.lastBoundaryArrival = im.sim.Now()
+	im.armStallTimer()
+}
+
+// Handle processes a batch arriving from an upstream endpoint.
+//
+// Ordering matters here for checkpoint/replay exactness. A *failure*
+// transition must fire BEFORE the batch is logged and forwarded: the
+// checkpoint cut then precedes the batch, so the batch lands in both the
+// post-cut ingress queue and the fresh arrival log — restore discards the
+// queue and the replay delivers it exactly once, with no tentative effects
+// captured inside the snapshot. A *heal* transition must fire AFTER the
+// batch is forwarded: if reconciliation is granted synchronously, the
+// restore discards the just-queued live copy and the replay (which includes
+// this batch, logged above) again delivers it exactly once.
+func (im *InputManager) Handle(from string, seq uint64, ts []tuple.Tuple) {
+	fromCorr := im.corr != "" && from == im.corr
+	if !fromCorr && from != im.live {
+		return // stale connection we already unsubscribed from
+	}
+	if !im.admit(from, seq) {
+		return // lost-message gap: wait for the resubscription replay
+	}
+	// A new failure (first tentative tuple on a healthy live connection)
+	// is declared up front, before any of the batch is logged/forwarded.
+	if !fromCorr && !im.correcting && im.failKind == FailNone {
+		for _, t := range ts {
+			if t.Type == tuple.Tentative {
+				im.declareFailed(FailTentative)
+				break
+			}
+			if t.Type == tuple.Undo {
+				break // correction sequence, not a new failure
+			}
+		}
+	}
+	var liveOut []tuple.Tuple
+	healed := false
+	for _, t := range ts {
+		switch {
+		case t.IsData():
+			im.Received++
+			if t.Type == tuple.Tentative {
+				im.Tentative++
+				im.seenTentative = true
+				// Tentative data ends the subscribe-replay grace:
+				// any later undo on this connection is a real
+				// correction sequence.
+				im.seamless = false
+			} else {
+				im.lastStableID = t.ID
+				im.seenTentative = false
+			}
+			if im.logging {
+				im.log = append(im.log, t)
+			}
+			if !fromCorr && !im.correcting {
+				liveOut = append(liveOut, t)
+			}
+		case t.Type == tuple.Boundary:
+			if t.Src == 1 {
+				// Tentative boundary (footnote 5): a heartbeat
+				// bounding the tentative stream. Forward it
+				// live, but it proves no stability: no heal,
+				// no log entry, no stable watermark.
+				if !fromCorr && !im.correcting {
+					liveOut = append(liveOut, t)
+				}
+				im.lastBoundaryArrival = im.sim.Now()
+				im.armStallTimer()
+				continue
+			}
+			if im.logging {
+				im.log = append(im.log, t)
+			}
+			if !fromCorr && !im.correcting {
+				liveOut = append(liveOut, t)
+			}
+			im.touchBoundary(t.STime)
+			// Boundary progress on the live connection means the
+			// stream is stable and complete through this point: a
+			// stalled gap was replayed (FIFO), or a diverged
+			// upstream — which suppresses boundaries — is stable
+			// again. Either way the input has healed.
+			if !fromCorr && !im.correcting && im.failKind != FailNone {
+				healed = true
+			}
+		case t.Type == tuple.Undo:
+			// A correction sequence begins on this connection.
+			if !fromCorr {
+				if im.seamless {
+					// Subscribe-replay of a STABLE replica:
+					// corrections flow straight into live
+					// data; just patch the log (Fig. 8).
+					im.seamless = false
+				} else {
+					im.correcting = true
+				}
+			}
+			im.log = tuple.ApplyUndo(im.log, t.ID)
+			im.seenTentative = false
+		case t.Type == tuple.RecDone:
+			// Corrections complete: the stable stream is current.
+			im.stripTentativeFromLog()
+			if fromCorr {
+				// The corrected stream takes over as live; the
+				// controller unsubscribes the old tentative
+				// feed (§4.4.3).
+				im.live = from
+				im.corr = ""
+			}
+			im.correcting = false
+			if im.failKind != FailNone {
+				healed = true
+			}
+		}
+	}
+	if len(liveOut) > 0 && im.hooks.forward != nil {
+		im.hooks.forward(im.stream, liveOut)
+	}
+	if healed {
+		im.heal()
+	}
+}
+
+// stripTentativeFromLog removes tentative entries: after a REC_DONE the
+// upstream's stable stream covers them (the new subscription replays from
+// the last stable tuple), so replaying them would duplicate data.
+func (im *InputManager) stripTentativeFromLog() {
+	kept := im.log[:0]
+	for _, t := range im.log {
+		if t.Type != tuple.Tentative {
+			kept = append(kept, t)
+		}
+	}
+	im.log = kept
+}
+
+// touchBoundary records boundary progress and re-arms stall detection.
+func (im *InputManager) touchBoundary(stime int64) {
+	if stime > im.lastBoundarySTime {
+		im.lastBoundarySTime = stime
+	}
+	im.lastBoundaryArrival = im.sim.Now()
+	im.armStallTimer()
+}
+
+func (im *InputManager) armStallTimer() {
+	if im.stallTimeout <= 0 {
+		return
+	}
+	if im.stallTimer != nil {
+		im.stallTimer.Stop()
+	}
+	im.stallTimer = im.sim.After(im.stallTimeout, func() {
+		im.stallTimer = nil
+		if im.failKind == FailNone && !im.correcting {
+			im.declareFailed(FailStall)
+		}
+	})
+}
+
+// Reset returns the manager to its initial state: crash recovery (§4.5)
+// rebuilds a node from nothing, including its subscription bookkeeping.
+func (im *InputManager) Reset() {
+	if im.stallTimer != nil {
+		im.stallTimer.Stop()
+		im.stallTimer = nil
+	}
+	*im = InputManager{
+		sim:               im.sim,
+		stream:            im.stream,
+		stallTimeout:      im.stallTimeout,
+		hooks:             im.hooks,
+		lastBoundarySTime: -1,
+		conns:             make(map[string]*connSeq),
+	}
+}
+
+// StartMonitoring arms stall detection; the node calls it once the first
+// subscription is active.
+func (im *InputManager) StartMonitoring() {
+	im.lastBoundaryArrival = im.sim.Now()
+	im.armStallTimer()
+}
+
+func (im *InputManager) declareFailed(kind FailKind) {
+	if im.failKind != FailNone {
+		return
+	}
+	im.failKind = kind
+	if im.hooks.onFailed != nil {
+		im.hooks.onFailed(im.stream, kind)
+	}
+}
+
+func (im *InputManager) heal() {
+	if im.failKind == FailNone {
+		return
+	}
+	im.failKind = FailNone
+	im.armStallTimer()
+	if im.hooks.onHealed != nil {
+		im.hooks.onHealed(im.stream)
+	}
+}

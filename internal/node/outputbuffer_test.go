@@ -1,0 +1,220 @@
+package node
+
+import (
+	"testing"
+
+	"borealis/internal/netsim"
+	"borealis/internal/tuple"
+	"borealis/internal/vtime"
+)
+
+func obSetup(mode BufferMode, capTuples int, expected []string) (*vtime.Sim, *netsim.Net, *OutputBuffer, map[string]*[]tuple.Tuple) {
+	sim := vtime.New()
+	net := netsim.New(sim)
+	net.Register("up", func(string, any) {})
+	boxes := make(map[string]*[]tuple.Tuple)
+	for _, id := range []string{"d1", "d2"} {
+		box := &[]tuple.Tuple{}
+		boxes[id] = box
+		net.Register(id, func(_ string, msg any) {
+			dm := msg.(DataMsg)
+			*box = append(*box, dm.Tuples...)
+		})
+	}
+	ob := NewOutputBuffer(sim, net, "up", "s", mode, capTuples, expected)
+	return sim, net, ob, boxes
+}
+
+func ins(id uint64, stime int64) tuple.Tuple {
+	return tuple.Tuple{Type: tuple.Insertion, ID: id, STime: stime, Data: []int64{int64(id)}}
+}
+
+func tent(id uint64, stime int64) tuple.Tuple {
+	return tuple.Tuple{Type: tuple.Tentative, ID: id, STime: stime, Data: []int64{int64(id)}}
+}
+
+func TestOutputBufferForwardsToSubscribers(t *testing.T) {
+	sim, _, ob, boxes := obSetup(BufferUnbounded, 0, nil)
+	ob.Subscribe("d1", SubscribeMsg{Stream: "s"})
+	ob.Publish(ins(1, 10))
+	ob.Publish(ins(2, 20))
+	sim.Run()
+	got := *boxes["d1"]
+	if len(got) != 2 || got[0].ID != 1 || got[1].ID != 2 {
+		t.Fatalf("forwarding wrong: %v", got)
+	}
+	if len(*boxes["d2"]) != 0 {
+		t.Fatal("non-subscriber received data")
+	}
+}
+
+func TestOutputBufferCoalescesSameInstantEmissions(t *testing.T) {
+	sim, net, ob, _ := obSetup(BufferUnbounded, 0, nil)
+	ob.Subscribe("d1", SubscribeMsg{Stream: "s"})
+	sim.Run()
+	before := net.Delivered
+	for i := uint64(1); i <= 50; i++ {
+		ob.Publish(ins(i, int64(i)))
+	}
+	sim.Run()
+	if net.Delivered-before != 1 {
+		t.Fatalf("want 1 coalesced message, got %d", net.Delivered-before)
+	}
+}
+
+func TestOutputBufferSubscribeReplaysFromID(t *testing.T) {
+	sim, _, ob, boxes := obSetup(BufferUnbounded, 0, nil)
+	for i := uint64(1); i <= 5; i++ {
+		ob.Publish(ins(i, int64(i)))
+	}
+	ob.Subscribe("d1", SubscribeMsg{Stream: "s", FromID: 3})
+	sim.Run()
+	got := *boxes["d1"]
+	if len(got) != 2 || got[0].ID != 4 || got[1].ID != 5 {
+		t.Fatalf("replay-from-id wrong: %v", got)
+	}
+}
+
+func TestOutputBufferSubscribeWithSeenTentativeSendsUndo(t *testing.T) {
+	sim, _, ob, boxes := obSetup(BufferUnbounded, 0, nil)
+	ob.Publish(ins(1, 1))
+	ob.Publish(ins(2, 2))
+	ob.Publish(tent(3, 3))
+	ob.Publish(tent(4, 4))
+	// Fig. 8: Node 2'' saw tentative after stable tuple 2 → undo + the
+	// corrected suffix (here still tentative, but the subscriber knows).
+	ob.Subscribe("d1", SubscribeMsg{Stream: "s", FromID: 2, SeenTentative: true})
+	sim.Run()
+	got := *boxes["d1"]
+	if len(got) != 3 {
+		t.Fatalf("want undo + 2 tuples, got %v", got)
+	}
+	if got[0].Type != tuple.Undo || got[0].ID != 2 {
+		t.Fatalf("undo wrong: %v", got[0])
+	}
+}
+
+func TestOutputBufferUndoCompacts(t *testing.T) {
+	sim, _, ob, boxes := obSetup(BufferUnbounded, 0, nil)
+	ob.Publish(ins(1, 1))
+	ob.Publish(tent(2, 2))
+	ob.Publish(tent(3, 3))
+	if ob.Len() != 3 {
+		t.Fatalf("buffer len = %d", ob.Len())
+	}
+	ob.Publish(tuple.NewUndo(1))
+	if ob.Len() != 1 {
+		t.Fatalf("undo must compact the buffer: len = %d", ob.Len())
+	}
+	ob.Publish(ins(4, 2)) // correction
+	// A late subscriber sees only the corrected stream.
+	ob.Subscribe("d1", SubscribeMsg{Stream: "s"})
+	sim.Run()
+	got := *boxes["d1"]
+	if len(got) != 2 || got[0].ID != 1 || got[1].ID != 4 {
+		t.Fatalf("late subscriber must see corrected stream: %v", got)
+	}
+}
+
+func TestOutputBufferBoundariesBufferedRecDoneNot(t *testing.T) {
+	sim, _, ob, boxes := obSetup(BufferUnbounded, 0, nil)
+	ob.Publish(ins(1, 1))
+	ob.Publish(tuple.NewBoundary(100))
+	ob.Publish(tuple.NewRecDone(5))
+	ob.Subscribe("d1", SubscribeMsg{Stream: "s"})
+	sim.Run()
+	got := *boxes["d1"]
+	if len(got) != 2 || got[1].Type != tuple.Boundary {
+		t.Fatalf("boundaries must replay, rec_done must not: %v", got)
+	}
+}
+
+func TestOutputBufferUnsubscribeStopsFlow(t *testing.T) {
+	sim, _, ob, boxes := obSetup(BufferUnbounded, 0, nil)
+	ob.Subscribe("d1", SubscribeMsg{Stream: "s"})
+	ob.Publish(ins(1, 1))
+	sim.Run()
+	ob.Unsubscribe("d1")
+	ob.Publish(ins(2, 2))
+	sim.Run()
+	if len(*boxes["d1"]) != 1 {
+		t.Fatal("unsubscribed endpoint still receiving")
+	}
+}
+
+func TestOutputBufferAckTruncation(t *testing.T) {
+	_, _, ob, _ := obSetup(BufferUnbounded, 0, []string{"d1", "d2"})
+	for i := uint64(1); i <= 10; i++ {
+		ob.Publish(ins(i, int64(i)))
+	}
+	ob.Ack("d1", 8)
+	if ob.Truncated != 0 {
+		t.Fatal("truncation must wait for all expected endpoints")
+	}
+	ob.Ack("d2", 5)
+	// min(8, 5) = 5: tuples 1-5 go.
+	if ob.Truncated != 5 {
+		t.Fatalf("Truncated = %d, want 5", ob.Truncated)
+	}
+	if ob.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", ob.Len())
+	}
+	// Replay for a reconnecting endpoint now starts at the cut.
+	sim, _, ob2, boxes := obSetup(BufferUnbounded, 0, nil)
+	_ = ob2
+	_ = sim
+	_ = boxes
+}
+
+func TestOutputBufferSlideMode(t *testing.T) {
+	_, _, ob, _ := obSetup(BufferSlide, 5, nil)
+	for i := uint64(1); i <= 8; i++ {
+		if !ob.Publish(ins(i, int64(i))) {
+			t.Fatal("slide mode must never block")
+		}
+	}
+	if ob.Len() != 5 {
+		t.Fatalf("slide buffer len = %d, want 5", ob.Len())
+	}
+	if ob.Truncated != 3 {
+		t.Fatalf("Truncated = %d, want 3", ob.Truncated)
+	}
+}
+
+func TestOutputBufferBlockMode(t *testing.T) {
+	_, _, ob, _ := obSetup(BufferBlock, 3, []string{"d1"})
+	for i := uint64(1); i <= 3; i++ {
+		if !ob.Publish(ins(i, int64(i))) {
+			t.Fatal("must not block below capacity")
+		}
+	}
+	if ob.Publish(ins(4, 4)) {
+		t.Fatal("full block-mode buffer must refuse")
+	}
+	if !ob.Blocked {
+		t.Fatal("Blocked flag must be set")
+	}
+	// Acks free space and lift the back-pressure.
+	ob.Ack("d1", 2)
+	if ob.Blocked {
+		t.Fatal("ack must unblock")
+	}
+	if !ob.Publish(ins(4, 4)) {
+		t.Fatal("publish must succeed after truncation")
+	}
+}
+
+func TestOutputBufferReplayAfterTruncationStartsAtCut(t *testing.T) {
+	sim, _, ob, boxes := obSetup(BufferUnbounded, 0, []string{"d1"})
+	for i := uint64(1); i <= 6; i++ {
+		ob.Publish(ins(i, int64(i)))
+	}
+	ob.Ack("d1", 4)
+	// A subscriber asking for data older than the cut gets what's left.
+	ob.Subscribe("d1", SubscribeMsg{Stream: "s", FromID: 2})
+	sim.Run()
+	got := *boxes["d1"]
+	if len(got) != 2 || got[0].ID != 5 {
+		t.Fatalf("replay after truncation wrong: %v", got)
+	}
+}

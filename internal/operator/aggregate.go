@@ -1,0 +1,279 @@
+package operator
+
+import (
+	"fmt"
+	"sort"
+
+	"borealis/internal/tuple"
+)
+
+// AggFunc selects the aggregate function computed over each window.
+type AggFunc uint8
+
+const (
+	// AggCount counts data tuples.
+	AggCount AggFunc = iota
+	// AggSum sums the value field.
+	AggSum
+	// AggAvg averages the value field (integer division).
+	AggAvg
+	// AggMin takes the minimum of the value field.
+	AggMin
+	// AggMax takes the maximum of the value field.
+	AggMax
+)
+
+func (f AggFunc) String() string {
+	switch f {
+	case AggCount:
+		return "count"
+	case AggSum:
+		return "sum"
+	case AggAvg:
+		return "avg"
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	}
+	return fmt.Sprintf("AggFunc(%d)", uint8(f))
+}
+
+// AggregateConfig parameterizes an Aggregate operator.
+type AggregateConfig struct {
+	// Size is the window length in stime units; Slide is the distance
+	// between consecutive window starts (Slide == Size gives tumbling
+	// windows). Windows are aligned to stime 0, which is the paper's
+	// "independent window alignment" (§2.1): boundaries do not depend on
+	// the first tuple processed, keeping the operator deterministic.
+	Size, Slide int64
+	// Fn is the aggregate function; ValueField indexes the aggregated
+	// attribute in the tuple payload.
+	Fn         AggFunc
+	ValueField int
+	// GroupField indexes the group-by attribute, or -1 for no grouping.
+	GroupField int
+}
+
+type aggAcc struct {
+	Count     int64
+	Sum       int64
+	Min, Max  int64
+	Tentative bool
+}
+
+func (a *aggAcc) add(v int64, tentative bool) {
+	if a.Count == 0 {
+		a.Min, a.Max = v, v
+	} else {
+		if v < a.Min {
+			a.Min = v
+		}
+		if v > a.Max {
+			a.Max = v
+		}
+	}
+	a.Count++
+	a.Sum += v
+	a.Tentative = a.Tentative || tentative
+}
+
+func (a *aggAcc) value(fn AggFunc) int64 {
+	switch fn {
+	case AggCount:
+		return a.Count
+	case AggSum:
+		return a.Sum
+	case AggAvg:
+		if a.Count == 0 {
+			return 0
+		}
+		return a.Sum / a.Count
+	case AggMin:
+		return a.Min
+	case AggMax:
+		return a.Max
+	}
+	return 0
+}
+
+// Aggregate computes windowed aggregates over a single stime-ordered input
+// stream (§2.1). A window closes when the watermark — advanced by both
+// boundary tuples and data-tuple timestamps — passes its end. Windows closed
+// on tentative evidence, or containing tentative tuples, produce tentative
+// results; the same windows re-derived from stable inputs during
+// reconciliation produce the stable corrections.
+//
+// Output tuples carry STime = window end and payload [group, value].
+type Aggregate struct {
+	Base
+	cfg AggregateConfig
+	// windows maps window start → group → accumulator.
+	windows map[int64]map[int64]*aggAcc
+	// watermark is the highest stime evidence seen; closedThrough is the
+	// highest window end already closed and emitted.
+	watermark     int64
+	closedThrough int64
+	sentBound     int64
+}
+
+// NewAggregate builds an aggregate operator.
+func NewAggregate(name string, cfg AggregateConfig) *Aggregate {
+	if cfg.Size <= 0 {
+		panic("operator: aggregate window size must be positive")
+	}
+	if cfg.Slide <= 0 {
+		cfg.Slide = cfg.Size
+	}
+	return &Aggregate{
+		Base:          NewBase(name),
+		cfg:           cfg,
+		windows:       make(map[int64]map[int64]*aggAcc),
+		watermark:     -1,
+		closedThrough: -1,
+		sentBound:     -1,
+	}
+}
+
+// Inputs returns 1: Aggregate consumes a serialized stream.
+func (a *Aggregate) Inputs() int { return 1 }
+
+// OpenWindows reports the number of currently open windows (for tests and
+// the convergent-capable buffer-sizing logic of §8.1).
+func (a *Aggregate) OpenWindows() int { return len(a.windows) }
+
+// windowStarts returns the starts of every window containing stime.
+func (a *Aggregate) windowStarts(stime int64) []int64 {
+	first := stime - a.cfg.Size + 1
+	// Align the first window start at or above `first` to the slide grid.
+	start := (first / a.cfg.Slide) * a.cfg.Slide
+	if start < first {
+		start += a.cfg.Slide
+	}
+	// Guard against negative stimes rounding the wrong way.
+	for start > stime {
+		start -= a.cfg.Slide
+	}
+	var out []int64
+	for s := start; s <= stime; s += a.cfg.Slide {
+		out = append(out, s)
+	}
+	return out
+}
+
+// Process consumes one tuple.
+func (a *Aggregate) Process(_ int, t tuple.Tuple) {
+	switch {
+	case t.IsData():
+		group := int64(0)
+		if a.cfg.GroupField >= 0 {
+			group = t.Field(a.cfg.GroupField)
+		}
+		v := t.Field(a.cfg.ValueField)
+		for _, ws := range a.windowStarts(t.STime) {
+			if ws+a.cfg.Size-1 <= a.closedThrough {
+				continue // late for an already-closed window; dropped
+			}
+			g := a.windows[ws]
+			if g == nil {
+				g = make(map[int64]*aggAcc)
+				a.windows[ws] = g
+			}
+			acc := g[group]
+			if acc == nil {
+				acc = &aggAcc{}
+				g[group] = acc
+			}
+			acc.add(v, t.Type == tuple.Tentative)
+		}
+		a.advance(t.STime, t.Type == tuple.Tentative)
+	case t.Type == tuple.Boundary:
+		a.advance(t.STime, false)
+		if t.STime > a.sentBound {
+			a.sentBound = t.STime
+			a.Emit(t)
+		}
+	default:
+		a.Emit(t) // UNDO / REC_DONE pass through
+	}
+}
+
+// advance moves the watermark and closes every window whose end has passed.
+// A window "ends" at start+Size-1; it closes when the watermark reaches or
+// exceeds start+Size (evidence that no further tuple belongs to it).
+func (a *Aggregate) advance(stime int64, tentativeEvidence bool) {
+	if stime <= a.watermark {
+		return
+	}
+	a.watermark = stime
+	// Collect closable windows in deterministic (start) order.
+	var starts []int64
+	for ws := range a.windows {
+		if ws+a.cfg.Size <= a.watermark {
+			starts = append(starts, ws)
+		}
+	}
+	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+	for _, ws := range starts {
+		groups := a.windows[ws]
+		keys := make([]int64, 0, len(groups))
+		for k := range groups {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		end := ws + a.cfg.Size - 1
+		for _, k := range keys {
+			acc := groups[k]
+			out := tuple.Tuple{
+				Type:  tuple.Insertion,
+				STime: end,
+				Data:  []int64{k, acc.value(a.cfg.Fn)},
+			}
+			if acc.Tentative || tentativeEvidence {
+				out.Type = tuple.Tentative
+			}
+			a.Emit(out)
+		}
+		if end > a.closedThrough {
+			a.closedThrough = end
+		}
+		delete(a.windows, ws)
+	}
+}
+
+type aggState struct {
+	Windows       map[int64]map[int64]aggAcc
+	Watermark     int64
+	ClosedThrough int64
+	SentBound     int64
+}
+
+// Checkpoint deep-copies the open windows and watermarks.
+func (a *Aggregate) Checkpoint() any {
+	ws := make(map[int64]map[int64]aggAcc, len(a.windows))
+	for s, groups := range a.windows {
+		g := make(map[int64]aggAcc, len(groups))
+		for k, acc := range groups {
+			g[k] = *acc
+		}
+		ws[s] = g
+	}
+	return aggState{Windows: ws, Watermark: a.watermark, ClosedThrough: a.closedThrough, SentBound: a.sentBound}
+}
+
+// Restore reinstates a snapshot.
+func (a *Aggregate) Restore(s any) {
+	st := s.(aggState)
+	a.windows = make(map[int64]map[int64]*aggAcc, len(st.Windows))
+	for ws, groups := range st.Windows {
+		g := make(map[int64]*aggAcc, len(groups))
+		for k, acc := range groups {
+			cp := acc
+			g[k] = &cp
+		}
+		a.windows[ws] = g
+	}
+	a.watermark = st.Watermark
+	a.closedThrough = st.ClosedThrough
+	a.sentBound = st.SentBound
+}

@@ -1,0 +1,245 @@
+package operator
+
+import (
+	"testing"
+	"testing/quick"
+
+	"borealis/internal/tuple"
+)
+
+func tumbling(size int64, fn AggFunc) *Aggregate {
+	return NewAggregate("agg", AggregateConfig{Size: size, Fn: fn, ValueField: 0, GroupField: -1})
+}
+
+func TestAggregateTumblingSum(t *testing.T) {
+	a := tumbling(10, AggSum)
+	c := attach(a, nil)
+	a.Process(0, tuple.NewInsertion(1, 5))
+	a.Process(0, tuple.NewInsertion(4, 7))
+	if len(c.data()) != 0 {
+		t.Fatal("window must not close early")
+	}
+	a.Process(0, tuple.NewBoundary(10))
+	got := c.data()
+	if len(got) != 1 || got[0].Field(1) != 12 || got[0].STime != 9 {
+		t.Fatalf("sum window wrong: %v", got)
+	}
+	if got[0].Type != tuple.Insertion {
+		t.Fatal("stable inputs must give stable aggregate")
+	}
+}
+
+func TestAggregateDataWatermarkCloses(t *testing.T) {
+	a := tumbling(10, AggCount)
+	c := attach(a, nil)
+	a.Process(0, tuple.NewInsertion(3, 1))
+	a.Process(0, tuple.NewInsertion(12, 1)) // closes [0,10)
+	got := c.data()
+	if len(got) != 1 || got[0].Field(1) != 1 {
+		t.Fatalf("data watermark close wrong: %v", got)
+	}
+}
+
+func TestAggregateFunctions(t *testing.T) {
+	cases := []struct {
+		fn   AggFunc
+		want int64
+	}{
+		{AggCount, 3}, {AggSum, 60}, {AggAvg, 20}, {AggMin, 10}, {AggMax, 30},
+	}
+	for _, tc := range cases {
+		a := tumbling(100, tc.fn)
+		c := attach(a, nil)
+		for _, v := range []int64{10, 20, 30} {
+			a.Process(0, tuple.NewInsertion(5, v))
+		}
+		a.Process(0, tuple.NewBoundary(100))
+		got := c.data()
+		if len(got) != 1 || got[0].Field(1) != tc.want {
+			t.Errorf("%v: got %v, want %d", tc.fn, got, tc.want)
+		}
+	}
+}
+
+func TestAggregateGroupBy(t *testing.T) {
+	a := NewAggregate("agg", AggregateConfig{Size: 10, Fn: AggSum, ValueField: 1, GroupField: 0})
+	c := attach(a, nil)
+	a.Process(0, tuple.NewInsertion(1, 7, 100)) // group 7
+	a.Process(0, tuple.NewInsertion(2, 9, 10))  // group 9
+	a.Process(0, tuple.NewInsertion(3, 7, 50))  // group 7
+	a.Process(0, tuple.NewBoundary(10))
+	got := c.data()
+	if len(got) != 2 {
+		t.Fatalf("want 2 groups, got %v", got)
+	}
+	// Groups are emitted in sorted key order for determinism.
+	if got[0].Field(0) != 7 || got[0].Field(1) != 150 {
+		t.Fatalf("group 7 wrong: %v", got[0])
+	}
+	if got[1].Field(0) != 9 || got[1].Field(1) != 10 {
+		t.Fatalf("group 9 wrong: %v", got[1])
+	}
+}
+
+func TestAggregateSliding(t *testing.T) {
+	a := NewAggregate("agg", AggregateConfig{Size: 10, Slide: 5, Fn: AggCount, ValueField: 0, GroupField: -1})
+	c := attach(a, nil)
+	a.Process(0, tuple.NewInsertion(7, 1)) // windows [0,10) and [5,15)
+	a.Process(0, tuple.NewBoundary(20))
+	got := c.data()
+	if len(got) != 2 {
+		t.Fatalf("sliding window should emit 2 results: %v", got)
+	}
+	if got[0].STime != 9 || got[1].STime != 14 {
+		t.Fatalf("window ends wrong: %v", stimes(got))
+	}
+}
+
+func TestAggregateTentativePropagation(t *testing.T) {
+	a := tumbling(10, AggSum)
+	c := attach(a, nil)
+	a.Process(0, tuple.NewInsertion(1, 5))
+	a.Process(0, tuple.NewTentative(2, 5))
+	a.Process(0, tuple.NewBoundary(10))
+	got := c.data()
+	if len(got) != 1 || got[0].Type != tuple.Tentative {
+		t.Fatalf("window with tentative input must be tentative: %v", got)
+	}
+}
+
+func TestAggregateTentativeEvidenceCloses(t *testing.T) {
+	a := tumbling(10, AggSum)
+	c := attach(a, nil)
+	a.Process(0, tuple.NewInsertion(1, 5))
+	// A tentative tuple advances the watermark and closes the window;
+	// the result is tentative because the closing evidence is.
+	a.Process(0, tuple.NewTentative(15, 1))
+	got := c.data()
+	if len(got) != 1 || got[0].Type != tuple.Tentative || got[0].Field(1) != 5 {
+		t.Fatalf("tentative-evidence close wrong: %v", got)
+	}
+}
+
+func TestAggregateBoundaryForwarded(t *testing.T) {
+	a := tumbling(10, AggSum)
+	c := attach(a, nil)
+	a.Process(0, tuple.NewBoundary(25))
+	bs := c.ofType(tuple.Boundary)
+	if len(bs) != 1 || bs[0].STime != 25 {
+		t.Fatalf("boundary not forwarded: %v", bs)
+	}
+	a.Process(0, tuple.NewBoundary(20))
+	if len(c.ofType(tuple.Boundary)) != 1 {
+		t.Fatal("regressing boundary must not be forwarded")
+	}
+}
+
+func TestAggregateLateTupleDropped(t *testing.T) {
+	a := tumbling(10, AggCount)
+	c := attach(a, nil)
+	a.Process(0, tuple.NewInsertion(5, 1))
+	a.Process(0, tuple.NewBoundary(10)) // closes [0,10)
+	c.reset()
+	a.Process(0, tuple.NewInsertion(6, 1)) // late for closed window
+	a.Process(0, tuple.NewBoundary(20))
+	for _, tp := range c.data() {
+		if tp.STime == 9 {
+			t.Fatalf("closed window re-emitted: %v", c.data())
+		}
+	}
+}
+
+func TestAggregateCheckpointRestore(t *testing.T) {
+	a := tumbling(10, AggSum)
+	c := attach(a, nil)
+	a.Process(0, tuple.NewInsertion(1, 5))
+	snap := a.Checkpoint()
+	a.Process(0, tuple.NewInsertion(2, 100))
+	a.Process(0, tuple.NewBoundary(10))
+	first := c.data()
+	if len(first) != 1 || first[0].Field(1) != 105 {
+		t.Fatalf("pre-restore sum wrong: %v", first)
+	}
+	a.Restore(snap)
+	c.reset()
+	a.Process(0, tuple.NewInsertion(2, 7))
+	a.Process(0, tuple.NewBoundary(10))
+	got := c.data()
+	if len(got) != 1 || got[0].Field(1) != 12 {
+		t.Fatalf("post-restore sum wrong: %v", got)
+	}
+}
+
+func TestAggregateCheckpointIsDeep(t *testing.T) {
+	a := tumbling(10, AggSum)
+	attach(a, nil)
+	a.Process(0, tuple.NewInsertion(1, 5))
+	snap := a.Checkpoint()
+	a.Process(0, tuple.NewInsertion(2, 100)) // mutates live acc
+	a.Restore(snap)
+	c := newCollector(nil)
+	a.Attach(c.env())
+	a.Process(0, tuple.NewBoundary(10))
+	got := c.data()
+	if len(got) != 1 || got[0].Field(1) != 5 {
+		t.Fatalf("checkpoint shared state with live operator: %v", got)
+	}
+}
+
+func TestAggregateRecDonePassThrough(t *testing.T) {
+	a := tumbling(10, AggSum)
+	c := attach(a, nil)
+	a.Process(0, tuple.NewRecDone(5))
+	if len(c.ofType(tuple.RecDone)) != 1 {
+		t.Fatal("rec_done must pass through aggregate")
+	}
+}
+
+// Property: replaying the post-checkpoint suffix of any stable input
+// sequence reproduces exactly the original post-checkpoint output
+// (checkpoint/redo determinism, the foundation of §4.4.1).
+func TestQuickAggregateRedoDeterminism(t *testing.T) {
+	f := func(vals []uint8, group []bool) bool {
+		a := NewAggregate("agg", AggregateConfig{Size: 16, Slide: 8, Fn: AggSum, ValueField: 1, GroupField: 0})
+		c := newCollector(nil)
+		a.Attach(c.env())
+		feed := func(from int) {
+			for i := from; i < len(vals); i++ {
+				g := int64(0)
+				if i < len(group) && group[i] {
+					g = 1
+				}
+				a.Process(0, tuple.NewInsertion(int64(i), g, int64(vals[i])))
+			}
+			a.Process(0, tuple.NewBoundary(int64(len(vals)+32)))
+		}
+		half := len(vals) / 2
+		for i := 0; i < half; i++ {
+			g := int64(0)
+			if i < len(group) && group[i] {
+				g = 1
+			}
+			a.Process(0, tuple.NewInsertion(int64(i), g, int64(vals[i])))
+		}
+		snap := a.Checkpoint()
+		c.reset()
+		feed(half)
+		first := append([]tuple.Tuple(nil), c.out...)
+		a.Restore(snap)
+		c.reset()
+		feed(half)
+		redo := c.out
+		if len(first) != len(redo) {
+			return false
+		}
+		for i := range first {
+			if !tuple.Equal(first[i], redo[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

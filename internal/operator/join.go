@@ -1,0 +1,177 @@
+package operator
+
+import "borealis/internal/tuple"
+
+// JoinConfig parameterizes an SJoin.
+type JoinConfig struct {
+	// Window is the maximum |stime difference| between matching tuples.
+	Window int64
+	// LeftKey and RightKey index the join attribute in each side's
+	// payload. Tuples match when the key fields are equal and their
+	// stimes are within Window of each other.
+	LeftKey, RightKey int
+	// IsLeft classifies a tuple by the Src tag assigned by the SUnion
+	// that serializes the join's inputs. If nil, Src 0 is the left side.
+	IsLeft func(src int32) bool
+}
+
+// SJoin is the paper's modified Join operator (§3): a windowed, key-equality
+// join that consumes the single deterministic order prepared by a preceding
+// SUnion, so that all replicas process the exact same interleaving. It
+// blocks naturally when one side's tuples are missing (a Join is a blocking
+// operator, §2.1), and it labels an output tentative whenever either
+// matching tuple is tentative.
+type SJoin struct {
+	Base
+	cfg JoinConfig
+	// left and right hold buffered tuples in arrival (stime) order,
+	// pruned as the watermark advances past usefulness.
+	left, right []tuple.Tuple
+	watermark   int64
+	sentBound   int64
+}
+
+// NewSJoin builds an SJoin.
+func NewSJoin(name string, cfg JoinConfig) *SJoin {
+	if cfg.Window <= 0 {
+		panic("operator: join window must be positive")
+	}
+	if cfg.IsLeft == nil {
+		cfg.IsLeft = func(src int32) bool { return src == 0 }
+	}
+	return &SJoin{Base: NewBase(name), cfg: cfg, watermark: -1, sentBound: -1}
+}
+
+// Inputs returns 1: SJoin consumes an SUnion-serialized stream.
+func (j *SJoin) Inputs() int { return 1 }
+
+// StateSize reports the number of buffered tuples (the paper sizes this
+// join's state at 100 tuples in the Table III / Fig. 13 experiments).
+func (j *SJoin) StateSize() int { return len(j.left) + len(j.right) }
+
+// Process consumes one tuple from the serialized stream.
+func (j *SJoin) Process(_ int, t tuple.Tuple) {
+	switch {
+	case t.IsData():
+		if j.cfg.IsLeft(t.Src) {
+			j.match(t, j.right, j.cfg.LeftKey, j.cfg.RightKey, true)
+			j.left = append(j.left, t)
+		} else {
+			j.match(t, j.left, j.cfg.RightKey, j.cfg.LeftKey, false)
+			j.right = append(j.right, t)
+		}
+		if t.STime > j.watermark {
+			j.watermark = t.STime
+			j.prune()
+		}
+	case t.Type == tuple.Boundary:
+		if t.STime > j.watermark {
+			j.watermark = t.STime
+			j.prune()
+		}
+		if t.STime > j.sentBound {
+			j.sentBound = t.STime
+			j.Emit(t)
+		}
+	default:
+		j.Emit(t) // UNDO / REC_DONE pass through
+	}
+}
+
+// match scans the opposite buffer (newest first, stopping once outside the
+// window) and emits joined tuples. Output payload is left.Data ++ right.Data
+// and output stime is the later of the pair.
+func (j *SJoin) match(t tuple.Tuple, opposite []tuple.Tuple, myKey, otherKey int, tIsLeft bool) {
+	key := t.Field(myKey)
+	// Walk backwards: buffers are stime-ordered, so we can stop at the
+	// first tuple older than the window allows.
+	var matches []tuple.Tuple
+	for i := len(opposite) - 1; i >= 0; i-- {
+		o := opposite[i]
+		if o.STime < t.STime-j.cfg.Window {
+			break
+		}
+		if o.STime > t.STime+j.cfg.Window {
+			continue
+		}
+		if o.Field(otherKey) == key {
+			matches = append(matches, o)
+		}
+	}
+	// Emit in buffer (stime) order for determinism.
+	for i := len(matches) - 1; i >= 0; i-- {
+		o := matches[i]
+		l, r := t, o
+		if !tIsLeft {
+			l, r = o, t
+		}
+		out := tuple.Tuple{Type: tuple.Insertion, STime: maxI64(l.STime, r.STime)}
+		if l.Type == tuple.Tentative || r.Type == tuple.Tentative {
+			out.Type = tuple.Tentative
+		}
+		out.Data = make([]int64, 0, len(l.Data)+len(r.Data))
+		out.Data = append(out.Data, l.Data...)
+		out.Data = append(out.Data, r.Data...)
+		j.Emit(out)
+	}
+}
+
+// prune drops buffered tuples too old to match anything at or beyond the
+// watermark: a future tuple has stime ≥ watermark, so partners below
+// watermark-Window are dead.
+func (j *SJoin) prune() {
+	cut := j.watermark - j.cfg.Window
+	j.left = pruneBefore(j.left, cut)
+	j.right = pruneBefore(j.right, cut)
+}
+
+func pruneBefore(ts []tuple.Tuple, cut int64) []tuple.Tuple {
+	i := 0
+	for i < len(ts) && ts[i].STime < cut {
+		i++
+	}
+	if i == 0 {
+		return ts
+	}
+	return append(ts[:0:0], ts[i:]...)
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+type joinState struct {
+	Left, Right []tuple.Tuple
+	Watermark   int64
+	SentBound   int64
+}
+
+// Checkpoint deep-copies the join buffers.
+func (j *SJoin) Checkpoint() any {
+	return joinState{
+		Left:      cloneTuples(j.left),
+		Right:     cloneTuples(j.right),
+		Watermark: j.watermark,
+		SentBound: j.sentBound,
+	}
+}
+
+// Restore reinstates a snapshot.
+func (j *SJoin) Restore(s any) {
+	st := s.(joinState)
+	j.left = cloneTuples(st.Left)
+	j.right = cloneTuples(st.Right)
+	j.watermark = st.Watermark
+	j.sentBound = st.SentBound
+}
+
+func cloneTuples(ts []tuple.Tuple) []tuple.Tuple {
+	out := make([]tuple.Tuple, len(ts))
+	for i, t := range ts {
+		out[i] = t.Clone()
+	}
+	return out
+}

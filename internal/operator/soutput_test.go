@@ -1,0 +1,245 @@
+package operator
+
+import (
+	"testing"
+	"testing/quick"
+
+	"borealis/internal/tuple"
+)
+
+func TestSOutputAssignsIncreasingIDs(t *testing.T) {
+	o := NewSOutput("out")
+	c := attach(o, nil)
+	o.Process(0, tuple.NewInsertion(1, 10))
+	o.Process(0, tuple.NewInsertion(2, 20))
+	got := c.data()
+	if got[0].ID != 1 || got[1].ID != 2 {
+		t.Fatalf("ids not assigned sequentially: %v", got)
+	}
+	if o.LastStableID() != 2 {
+		t.Fatalf("LastStableID = %d, want 2", o.LastStableID())
+	}
+}
+
+func TestSOutputTracksTentativeOutstanding(t *testing.T) {
+	o := NewSOutput("out")
+	attach(o, nil)
+	o.Process(0, tuple.NewInsertion(1, 1))
+	o.Process(0, tuple.NewTentative(2, 2))
+	o.Process(0, tuple.NewTentative(3, 3))
+	if o.TentativeOutstanding() != 2 {
+		t.Fatalf("TentativeOutstanding = %d, want 2", o.TentativeOutstanding())
+	}
+	o.Process(0, tuple.NewInsertion(4, 4))
+	if o.TentativeOutstanding() != 0 {
+		t.Fatal("stable tuple must reset the tentative count")
+	}
+}
+
+func TestSOutputDivergedForcesTentative(t *testing.T) {
+	o := NewSOutput("out")
+	c := attach(o, nil)
+	c.divergd = true
+	o.Process(0, tuple.NewInsertion(1, 1))
+	got := c.data()
+	if len(got) != 1 || got[0].Type != tuple.Tentative {
+		t.Fatalf("diverged node must emit tentative: %v", got)
+	}
+}
+
+func TestSOutputDropsBoundariesWhileDiverged(t *testing.T) {
+	o := NewSOutput("out")
+	c := attach(o, nil)
+	o.Process(0, tuple.NewBoundary(10))
+	if len(c.ofType(tuple.Boundary)) != 1 {
+		t.Fatal("boundary should pass when consistent")
+	}
+	c.divergd = true
+	o.Process(0, tuple.NewBoundary(20))
+	if len(c.ofType(tuple.Boundary)) != 1 {
+		t.Fatal("boundary must be withheld while diverged (footnote 5)")
+	}
+}
+
+func TestSOutputReconciliationUndoAndCorrections(t *testing.T) {
+	o := NewSOutput("out")
+	c := attach(o, nil)
+	// Normal operation: two stable tuples.
+	o.Process(0, tuple.NewInsertion(1, 1))
+	o.Process(0, tuple.NewInsertion(2, 2))
+	snap := o.Checkpoint()
+	// Failure: three tentative tuples.
+	o.Process(0, tuple.NewTentative(3, 3))
+	o.Process(0, tuple.NewTentative(4, 4))
+	o.Process(0, tuple.NewTentative(5, 5))
+	c.reset()
+	// Reconciliation: restore, replay re-derives stable versions.
+	o.Restore(snap)
+	o.Process(0, tuple.NewInsertion(3, 3))
+	o.Process(0, tuple.NewInsertion(4, 4))
+	o.Process(0, tuple.NewRecDone(5))
+	out := c.out
+	if len(out) != 4 {
+		t.Fatalf("want undo + 2 corrections + rec_done, got %v", out)
+	}
+	if out[0].Type != tuple.Undo || out[0].ID != 2 {
+		t.Fatalf("undo must name the last stable tuple (2): %v", out[0])
+	}
+	if out[1].Type != tuple.Insertion || out[2].Type != tuple.Insertion {
+		t.Fatalf("corrections must be stable: %v", out)
+	}
+	if out[1].ID <= 2 || out[2].ID <= out[1].ID {
+		t.Fatalf("correction ids must keep increasing: %v", out)
+	}
+	if out[3].Type != tuple.RecDone {
+		t.Fatalf("rec_done must end the corrections: %v", out)
+	}
+	if len(c.signals) != 1 || c.signals[0].Kind != SigRecDone {
+		t.Fatalf("SOutput must signal REC_DONE to the CM: %v", c.signals)
+	}
+}
+
+func TestSOutputNoUndoWithoutOutstandingTentative(t *testing.T) {
+	o := NewSOutput("out")
+	c := attach(o, nil)
+	o.Process(0, tuple.NewInsertion(1, 1))
+	snap := o.Checkpoint()
+	// Failure healed before anything tentative was emitted (masked).
+	o.Restore(snap)
+	c.reset()
+	o.Process(0, tuple.NewInsertion(2, 2))
+	if len(c.ofType(tuple.Undo)) != 0 {
+		t.Fatalf("masked failure must not produce undo: %v", c.out)
+	}
+}
+
+func TestSOutputDropsDuplicateStableDuringReplay(t *testing.T) {
+	o := NewSOutput("out")
+	c := attach(o, nil)
+	o.Process(0, tuple.NewInsertion(1, 1))
+	o.Process(0, tuple.NewInsertion(2, 2))
+	// Simulate a coarse checkpoint taken BEFORE those two tuples (e.g.
+	// the §8.2 per-operator variant): replay re-derives them.
+	o.Restore(soutputState{SentStable: 0})
+	c.reset()
+	o.Process(0, tuple.NewInsertion(1, 1)) // duplicate
+	o.Process(0, tuple.NewInsertion(2, 2)) // duplicate
+	o.Process(0, tuple.NewInsertion(3, 3)) // genuinely new
+	got := c.data()
+	if len(got) != 1 || got[0].STime != 3 {
+		t.Fatalf("duplicates must be dropped, new data kept: %v", got)
+	}
+	if got[0].ID != 3 {
+		t.Fatalf("ids keep increasing across dedup: %v", got[0])
+	}
+}
+
+func TestSOutputUndoAtRecDoneWhenNoCorrections(t *testing.T) {
+	// If reconciliation produces no data (e.g. all tentative output was
+	// wrong and nothing replaces it), the undo must still fire by the
+	// time REC_DONE crosses the output.
+	o := NewSOutput("out")
+	c := attach(o, nil)
+	o.Process(0, tuple.NewInsertion(1, 1))
+	snap := o.Checkpoint()
+	o.Process(0, tuple.NewTentative(2, 2))
+	o.Restore(snap)
+	c.reset()
+	o.Process(0, tuple.NewRecDone(3))
+	out := c.out
+	if len(out) != 2 || out[0].Type != tuple.Undo || out[0].ID != 1 || out[1].Type != tuple.RecDone {
+		t.Fatalf("want undo then rec_done, got %v", out)
+	}
+}
+
+func TestSOutputSecondFailureAfterRecDone(t *testing.T) {
+	// Fig. 11(b): tentative tuples after a REC_DONE belong to a new
+	// failure; the next reconciliation undoes only those.
+	o := NewSOutput("out")
+	c := attach(o, nil)
+	o.Process(0, tuple.NewInsertion(1, 1))
+	snap1 := o.Checkpoint()
+	o.Process(0, tuple.NewTentative(2, 2))
+	o.Restore(snap1)
+	o.Process(0, tuple.NewInsertion(2, 2)) // correction (undo emitted)
+	o.Process(0, tuple.NewRecDone(0))
+	lastStable := o.LastStableID()
+	snap2 := o.Checkpoint()
+	// Second failure.
+	o.Process(0, tuple.NewTentative(3, 3))
+	o.Process(0, tuple.NewTentative(4, 4))
+	c.reset()
+	o.Restore(snap2)
+	o.Process(0, tuple.NewInsertion(3, 3))
+	o.Process(0, tuple.NewRecDone(0))
+	out := c.out
+	if out[0].Type != tuple.Undo || out[0].ID != lastStable {
+		t.Fatalf("second undo must reference the corrected stable stream: %v", out)
+	}
+}
+
+func TestSOutputUndoForwarded(t *testing.T) {
+	o := NewSOutput("out")
+	c := attach(o, nil)
+	o.Process(0, tuple.NewUndo(7))
+	if len(c.ofType(tuple.Undo)) != 1 {
+		t.Fatal("fine-grained undo must be forwarded")
+	}
+}
+
+// Property: the external stream never contains a stable tuple twice, and
+// IDs are strictly increasing, for any mix of stable/tentative inputs with
+// arbitrary checkpoint/restore points.
+func TestQuickSOutputStreamInvariants(t *testing.T) {
+	f := func(ops []uint8) bool {
+		o := NewSOutput("out")
+		c := newCollector(nil)
+		o.Attach(c.env())
+		var snap any = o.Checkpoint()
+		stable := int64(0)
+		replayFrom := int64(0)
+		for _, op := range ops {
+			switch op % 4 {
+			case 0:
+				stable++
+				o.Process(0, tuple.NewInsertion(stable, stable))
+			case 1:
+				o.Process(0, tuple.NewTentative(stable+1, -1))
+			case 2:
+				snap = o.Checkpoint()
+				replayFrom = stable
+			case 3:
+				o.Restore(snap)
+				// Deterministic replay: re-derive the stable
+				// tuples after the checkpoint.
+				for s := replayFrom + 1; s <= stable; s++ {
+					o.Process(0, tuple.NewInsertion(s, s))
+				}
+			}
+		}
+		// Invariants on the external stream.
+		lastID := uint64(0)
+		seenStable := make(map[int64]bool)
+		for _, tp := range c.out {
+			if tp.Type == tuple.Undo {
+				continue
+			}
+			if tp.IsData() {
+				if tp.ID <= lastID {
+					return false
+				}
+				lastID = tp.ID
+				if tp.Type == tuple.Insertion {
+					if seenStable[tp.STime] {
+						return false // duplicate stable tuple
+					}
+					seenStable[tp.STime] = true
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,171 @@
+package operator
+
+import "borealis/internal/tuple"
+
+// Filter tests each data tuple against a predicate and forwards the ones
+// that pass. Control tuples (boundaries, undo, rec-done) pass through
+// unconditionally so that punctuation and recovery markers are never lost.
+// Filter is stateless and therefore convergent-capable (§8.1).
+type Filter struct {
+	Base
+	pred func(tuple.Tuple) bool
+	// passed counts forwarded data tuples; checkpointed so that a
+	// restored operator reports consistent statistics.
+	passed uint64
+}
+
+// NewFilter builds a filter from a predicate. The predicate must be a pure
+// function of the tuple's value for the operator to stay deterministic.
+func NewFilter(name string, pred func(tuple.Tuple) bool) *Filter {
+	if pred == nil {
+		panic("operator: nil filter predicate")
+	}
+	return &Filter{Base: NewBase(name), pred: pred}
+}
+
+// Inputs returns 1.
+func (f *Filter) Inputs() int { return 1 }
+
+// Process forwards data tuples that satisfy the predicate.
+func (f *Filter) Process(_ int, t tuple.Tuple) {
+	if !t.IsData() {
+		f.Emit(t)
+		return
+	}
+	if f.pred(t) {
+		f.passed++
+		f.Emit(t)
+	}
+}
+
+// Passed returns the number of data tuples forwarded so far.
+func (f *Filter) Passed() uint64 { return f.passed }
+
+type filterState struct{ Passed uint64 }
+
+// Checkpoint snapshots the filter.
+func (f *Filter) Checkpoint() any { return filterState{Passed: f.passed} }
+
+// Restore reinstates a snapshot.
+func (f *Filter) Restore(s any) { f.passed = s.(filterState).Passed }
+
+// Map transforms each data tuple's payload with a pure function, leaving
+// type, timestamp and identity intact. Map is stateless and therefore
+// convergent-capable (§8.1).
+type Map struct {
+	Base
+	fn func([]int64) []int64
+}
+
+// NewMap builds a map operator from a pure payload transformation.
+func NewMap(name string, fn func([]int64) []int64) *Map {
+	if fn == nil {
+		panic("operator: nil map function")
+	}
+	return &Map{Base: NewBase(name), fn: fn}
+}
+
+// Inputs returns 1.
+func (m *Map) Inputs() int { return 1 }
+
+// Process transforms data tuples and forwards control tuples untouched.
+func (m *Map) Process(_ int, t tuple.Tuple) {
+	if t.IsData() {
+		t.Data = m.fn(t.Data)
+	}
+	m.Emit(t)
+}
+
+// Checkpoint returns nil: Map is stateless.
+func (m *Map) Checkpoint() any { return nil }
+
+// Restore is a no-op for the stateless Map.
+func (m *Map) Restore(any) {}
+
+// Union is the plain Borealis merge operator. DPC replaces it with SUnion;
+// it is kept (a) as the non-fault-tolerant baseline used for the zero-delay
+// columns of Tables IV and V, and (b) for diagrams that opt out of DPC.
+//
+// Union forwards data tuples in arrival order. For boundaries it emits the
+// minimum watermark across its inputs, so downstream punctuation remains
+// sound. REC_DONE is forwarded once all inputs produced one.
+type Union struct {
+	Base
+	inputs    int
+	bounds    []int64
+	sent      int64
+	recDoneIn []bool
+}
+
+// NewUnion builds a plain union with n input ports.
+func NewUnion(name string, n int) *Union {
+	if n < 1 {
+		panic("operator: union needs at least one input")
+	}
+	b := make([]int64, n)
+	for i := range b {
+		b[i] = -1
+	}
+	return &Union{Base: NewBase(name), inputs: n, bounds: b, sent: -1, recDoneIn: make([]bool, n)}
+}
+
+// Inputs returns the number of input ports.
+func (u *Union) Inputs() int { return u.inputs }
+
+// Process forwards data immediately and boundaries at the minimum watermark.
+func (u *Union) Process(port int, t tuple.Tuple) {
+	switch t.Type {
+	case tuple.Boundary:
+		if t.STime > u.bounds[port] {
+			u.bounds[port] = t.STime
+		}
+		min := u.bounds[0]
+		for _, b := range u.bounds[1:] {
+			if b < min {
+				min = b
+			}
+		}
+		if min > u.sent {
+			u.sent = min
+			u.Emit(tuple.NewBoundary(min))
+		}
+	case tuple.RecDone:
+		u.recDoneIn[port] = true
+		for _, ok := range u.recDoneIn {
+			if !ok {
+				return
+			}
+		}
+		for i := range u.recDoneIn {
+			u.recDoneIn[i] = false
+		}
+		u.Emit(t)
+	default:
+		tt := t
+		tt.Src = int32(port)
+		u.Emit(tt)
+	}
+}
+
+type unionState struct {
+	Bounds  []int64
+	Sent    int64
+	RecDone []bool
+}
+
+// Checkpoint snapshots the union's watermarks.
+func (u *Union) Checkpoint() any {
+	return unionState{
+		Bounds:  append([]int64(nil), u.bounds...),
+		Sent:    u.sent,
+		RecDone: append([]bool(nil), u.recDoneIn...),
+	}
+}
+
+// Restore reinstates a snapshot.
+func (u *Union) Restore(s any) {
+	st := s.(unionState)
+	copy(u.bounds, st.Bounds)
+	u.sent = st.Sent
+	copy(u.recDoneIn, st.RecDone)
+}

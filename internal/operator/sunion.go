@@ -1,0 +1,550 @@
+package operator
+
+import (
+	"sort"
+
+	"borealis/internal/tuple"
+	"borealis/internal/vtime"
+)
+
+// DelayPolicy selects what an SUnion does with tuples it cannot yet emit
+// stably, i.e. the availability/consistency trade-off of §6.
+type DelayPolicy uint8
+
+const (
+	// PolicyNone is the STABLE-state behaviour: buckets are emitted only
+	// once boundary tuples prove them stable.
+	PolicyNone DelayPolicy = iota
+	// PolicyProcess emits unstable buckets almost as they arrive (after
+	// TentativeWait), once the initial suspension of 0.9·D has elapsed.
+	PolicyProcess
+	// PolicyDelay holds every unstable bucket for 0.9·D from the arrival
+	// of its first tuple before emitting it tentatively.
+	PolicyDelay
+	// PolicySuspend never emits unstable buckets; availability is
+	// sacrificed entirely until the failure heals or the policy changes.
+	PolicySuspend
+)
+
+func (p DelayPolicy) String() string {
+	switch p {
+	case PolicyNone:
+		return "none"
+	case PolicyProcess:
+		return "process"
+	case PolicyDelay:
+		return "delay"
+	case PolicySuspend:
+		return "suspend"
+	}
+	return "unknown"
+}
+
+// DefaultSafetyFactor is the paper's 0.9·D precaution (footnote 3): SUnions
+// release after 0.9 of their assigned delay to leave slack for scheduling.
+const DefaultSafetyFactor = 0.9
+
+// DefaultTentativeWait is how long an SUnion waits before emitting a
+// tentative bucket under PolicyProcess. The paper's implementation does not
+// produce tentative boundaries, so an SUnion cannot know how soon a bucket
+// of tentative tuples is complete; it waits a fixed 300 ms (footnote 5).
+const DefaultTentativeWait = 300 * vtime.Millisecond
+
+// SUnionConfig parameterizes an SUnion.
+type SUnionConfig struct {
+	// Ports is the number of input streams to serialize.
+	Ports int
+	// BucketSize is the stime width of serialization buckets (§4.2.1).
+	BucketSize int64
+	// Delay is D, the maximum incremental processing latency assigned to
+	// this SUnion (§6.3). Zero means the SUnion never emits tentative
+	// data on its own (it still serializes).
+	Delay int64
+	// SafetyFactor scales Delay (default 0.9, footnote 3).
+	SafetyFactor float64
+	// TentativeWait is the PolicyProcess bucket wait (default 300 ms).
+	TentativeWait int64
+	// TentativeBoundaries enables the footnote-5 extension: tentative
+	// flushes emit a boundary tagged Src=1, letting downstream SUnions
+	// release tentative buckets as soon as they are tentatively
+	// complete instead of waiting TentativeWait per node. Off by
+	// default, matching the paper's measured implementation.
+	TentativeBoundaries bool
+}
+
+func (c *SUnionConfig) normalize() {
+	if c.Ports < 1 {
+		panic("operator: SUnion needs at least one port")
+	}
+	if c.BucketSize <= 0 {
+		panic("operator: SUnion bucket size must be positive")
+	}
+	if c.SafetyFactor <= 0 || c.SafetyFactor > 1 {
+		c.SafetyFactor = DefaultSafetyFactor
+	}
+	if c.TentativeWait <= 0 {
+		c.TentativeWait = DefaultTentativeWait
+	}
+}
+
+type sunionBucket struct {
+	Tuples       []tuple.Tuple
+	FirstArrival int64
+	HasTentative bool
+}
+
+// SUnion is the data-serializing operator of §4.2: it buffers tuples from
+// its input streams into stime buckets, uses boundary tuples to decide when
+// a bucket is stable, and emits stable buckets in a deterministic order so
+// that all replicas of a query diagram process identical sequences.
+//
+// SUnion is also where DPC's availability/consistency trade-off lives
+// (§4.3, §6): when the node detects a failure it switches the SUnion into a
+// DelayPolicy; buckets that cannot stabilize are then emitted TENTATIVE once
+// the policy releases them, after an initial suspension of 0.9·D measured
+// from the arrival of the oldest unprocessed tuple.
+type SUnion struct {
+	Base
+	cfg SUnionConfig
+
+	// Checkpointed state.
+	bounds      []int64 // latest boundary stime per port
+	buckets     map[int64]*sunionBucket
+	cursor      int64 // start of the next bucket to emit
+	sentBound   int64
+	recDoneSeen []bool
+
+	// Runtime state, deliberately NOT checkpointed: failure handling is
+	// re-established by the node controller after a restore.
+	policy        DelayPolicy
+	tentAllowedAt int64 // initial-suspension gate (PolicyProcess)
+	// tentBounds are per-port tentative watermarks (footnote 5): they
+	// bound the tentative stream's progress, never its final content,
+	// so they are runtime state and reset on restore.
+	tentBounds    []int64
+	sentTentBound int64
+	timer         *vtime.Timer
+	signaled      bool
+	droppedLate   uint64
+	droppedUndo   uint64
+}
+
+// NewSUnion builds an SUnion.
+func NewSUnion(name string, cfg SUnionConfig) *SUnion {
+	cfg.normalize()
+	s := &SUnion{
+		Base:          NewBase(name),
+		cfg:           cfg,
+		bounds:        make([]int64, cfg.Ports),
+		tentBounds:    make([]int64, cfg.Ports),
+		buckets:       make(map[int64]*sunionBucket),
+		sentBound:     -1,
+		sentTentBound: -1,
+		recDoneSeen:   make([]bool, cfg.Ports),
+	}
+	for i := range s.bounds {
+		s.bounds[i] = -1
+		s.tentBounds[i] = -1
+	}
+	return s
+}
+
+// Inputs returns the number of serialized input streams.
+func (s *SUnion) Inputs() int { return s.cfg.Ports }
+
+// Config returns the SUnion's configuration.
+func (s *SUnion) Config() SUnionConfig { return s.cfg }
+
+// DroppedLate reports tuples discarded because their bucket had already
+// been emitted (paper footnote 6: a few tentative tuples are typically
+// dropped around switches and flushes).
+func (s *SUnion) DroppedLate() uint64 { return s.droppedLate }
+
+// Policy returns the currently applied delay policy.
+func (s *SUnion) Policy() DelayPolicy { return s.policy }
+
+// PendingBuckets reports how many buckets are buffered and unemitted.
+func (s *SUnion) PendingBuckets() int { return len(s.buckets) }
+
+// OldestPendingArrival returns the virtual arrival time of the oldest
+// buffered tuple, or now if nothing is buffered. The node controller uses
+// it to anchor the initial suspension (§2.3.1: tuples must be processed
+// within D of their arrival).
+func (s *SUnion) OldestPendingArrival() int64 {
+	oldest := int64(-1)
+	for _, b := range s.buckets {
+		if len(b.Tuples) == 0 {
+			continue
+		}
+		if oldest < 0 || b.FirstArrival < oldest {
+			oldest = b.FirstArrival
+		}
+	}
+	if oldest < 0 {
+		return s.Now()
+	}
+	return oldest
+}
+
+// SetPolicy switches the SUnion's failure-handling mode. The node
+// controller calls it on every DPC state transition. Entering a tentative-
+// emitting policy from PolicyNone starts the initial suspension: tentative
+// emission is not allowed before oldest-pending-arrival + 0.9·D.
+func (s *SUnion) SetPolicy(p DelayPolicy) {
+	if p == s.policy {
+		return
+	}
+	prev := s.policy
+	s.policy = p
+	if p == PolicyNone {
+		s.signaled = false
+		s.stopTimer()
+		return
+	}
+	if prev == PolicyNone {
+		base := s.OldestPendingArrival()
+		if now := s.Now(); now < base {
+			base = now
+		}
+		s.tentAllowedAt = base + s.delayBudget()
+		if !s.signaled {
+			s.signaled = true
+			if env := s.Env(); env != nil && env.Signal != nil {
+				env.Signal(Signal{Kind: SigUpFailure, Op: s.Name()})
+			}
+		}
+	}
+	s.pump()
+}
+
+func (s *SUnion) delayBudget() int64 {
+	return int64(float64(s.cfg.Delay) * s.cfg.SafetyFactor)
+}
+
+func (s *SUnion) bucketStart(stime int64) int64 {
+	b := stime / s.cfg.BucketSize * s.cfg.BucketSize
+	if stime < 0 && stime%s.cfg.BucketSize != 0 {
+		b -= s.cfg.BucketSize
+	}
+	return b
+}
+
+// FreshCount reports how many tuples of a prospective batch would actually
+// enter serialization buckets (stime at or beyond the emission cursor).
+// Tuples behind the cursor are dropped in O(1) without touching any
+// operator, so the engine's capacity model should not charge full
+// processing cost for them — e.g. a source replay arriving on the live path
+// after its region was already flushed tentatively.
+func (s *SUnion) FreshCount(ts []tuple.Tuple) int {
+	n := 0
+	for _, t := range ts {
+		if t.IsData() && s.bucketStart(t.STime) >= s.cursor {
+			n++
+		}
+	}
+	return n
+}
+
+// Process consumes a tuple on the given port.
+func (s *SUnion) Process(port int, t tuple.Tuple) {
+	switch {
+	case t.IsData():
+		start := s.bucketStart(t.STime)
+		if start < s.cursor {
+			s.droppedLate++
+			return
+		}
+		b := s.buckets[start]
+		if b == nil {
+			b = &sunionBucket{FirstArrival: s.Now()}
+			s.buckets[start] = b
+		}
+		if len(b.Tuples) == 0 {
+			b.FirstArrival = s.Now()
+		}
+		t.Src = int32(port)
+		b.Tuples = append(b.Tuples, t)
+		if t.Type == tuple.Tentative {
+			b.HasTentative = true
+		}
+		s.pump()
+	case t.Type == tuple.Boundary:
+		if t.Src == 1 {
+			// Tentative boundary (footnote 5): bounds the progress
+			// of a diverged upstream's tentative stream.
+			if t.STime > s.tentBounds[port] {
+				s.tentBounds[port] = t.STime
+				s.pump()
+			}
+			return
+		}
+		if t.STime > s.bounds[port] {
+			s.bounds[port] = t.STime
+			s.pump()
+		}
+	case t.Type == tuple.RecDone:
+		s.recDoneSeen[port] = true
+		for _, ok := range s.recDoneSeen {
+			if !ok {
+				return
+			}
+		}
+		for i := range s.recDoneSeen {
+			s.recDoneSeen[i] = false
+		}
+		s.Emit(t)
+	case t.Type == tuple.Undo:
+		// In the node-wide checkpoint/redo scheme (§4.4.1) undo tuples
+		// are consumed by the Input Manager before the diagram; an
+		// undo reaching an SUnion is counted and dropped.
+		s.droppedUndo++
+	}
+}
+
+// stableThrough returns the stime up to which every port's boundaries have
+// advanced: all buckets ending at or before it hold their final content.
+func (s *SUnion) stableThrough() int64 {
+	min := s.bounds[0]
+	for _, b := range s.bounds[1:] {
+		if b < min {
+			min = b
+		}
+	}
+	return min
+}
+
+// pump emits every bucket that is ready, in bucket order: stable buckets as
+// soon as boundaries prove them complete, unstable buckets when the current
+// policy releases them. It then (re)arms the flush timer for the next
+// pending bucket, if any.
+func (s *SUnion) pump() {
+	stable := s.stableThrough()
+	now := s.Now()
+	advanced := false
+	armed := false
+	for {
+		end := s.cursor + s.cfg.BucketSize
+		b := s.buckets[s.cursor]
+		empty := b == nil || len(b.Tuples) == 0
+		hasTent := b != nil && b.HasTentative
+		if stable >= end && !hasTent {
+			// Stable bucket. Under PolicyDelay even stable-ready
+			// data is held for 0.9·D (§6: "continuously delaying
+			// new tuples as much as possible"): if the node's
+			// reconciliation grant arrives within the hold, these
+			// tuples are never emitted under divergence at all.
+			if s.policy == PolicyDelay && !empty {
+				if due := b.FirstArrival + s.delayBudget(); now < due {
+					s.armTimer(due)
+					armed = true
+					break
+				}
+			}
+			// Emit sorted, final content.
+			if !empty {
+				s.emitBucket(b, false)
+			}
+			delete(s.buckets, s.cursor)
+			s.cursor = end
+			advanced = true
+			continue
+		}
+		if s.policy == PolicyNone || s.policy == PolicySuspend {
+			break
+		}
+		// Tentative path: find the earliest pending bucket with data;
+		// empty buckets in front of it are skipped when it releases.
+		lead := s.earliestPending()
+		if lead == nil {
+			break
+		}
+		due := s.releaseAt(lead)
+		if now < due {
+			s.armTimer(due)
+			armed = true
+			break
+		}
+		// Flush empty buckets up to and including the lead bucket.
+		for s.cursor <= lead.start {
+			bb := s.buckets[s.cursor]
+			if bb != nil && len(bb.Tuples) > 0 {
+				s.emitBucket(bb, true)
+			}
+			delete(s.buckets, s.cursor)
+			s.cursor += s.cfg.BucketSize
+		}
+		advanced = true
+	}
+	if advanced || stable > s.sentBound {
+		// Forward the punctuation watermark: never beyond the cursor
+		// (unemitted buckets may still change) and never backwards.
+		wm := stable
+		if s.cursor < wm {
+			wm = s.cursor
+		}
+		if wm > s.sentBound {
+			s.sentBound = wm
+			s.Emit(tuple.NewBoundary(wm))
+		}
+	}
+	if s.cfg.TentativeBoundaries && advanced && s.cursor > s.sentBound && s.cursor > s.sentTentBound {
+		// Tentative flushes advanced the cursor past the stable
+		// watermark: bound the tentative stream for downstream
+		// SUnions (footnote 5).
+		s.sentTentBound = s.cursor
+		tb := tuple.NewBoundary(s.cursor)
+		tb.Src = 1
+		s.Emit(tb)
+	}
+	if !armed {
+		s.stopTimer()
+	}
+}
+
+type pendingBucket struct {
+	start  int64
+	bucket *sunionBucket
+}
+
+// earliestPending returns the first non-empty unemitted bucket.
+func (s *SUnion) earliestPending() *pendingBucket {
+	var best *pendingBucket
+	for start, b := range s.buckets {
+		if start < s.cursor || len(b.Tuples) == 0 {
+			continue
+		}
+		if best == nil || start < best.start {
+			best = &pendingBucket{start: start, bucket: b}
+		}
+	}
+	return best
+}
+
+// tentativelyComplete reports whether every port's combined watermark
+// (stable or tentative) covers the bucket: with tentative boundaries on,
+// such a bucket can be flushed without the fixed TentativeWait.
+func (s *SUnion) tentativelyComplete(start int64) bool {
+	end := start + s.cfg.BucketSize
+	for i := range s.bounds {
+		wm := s.bounds[i]
+		if s.tentBounds[i] > wm {
+			wm = s.tentBounds[i]
+		}
+		if wm < end {
+			return false
+		}
+	}
+	return true
+}
+
+// releaseAt computes when the policy allows a bucket's tentative emission.
+func (s *SUnion) releaseAt(p *pendingBucket) int64 {
+	switch s.policy {
+	case PolicyDelay:
+		return p.bucket.FirstArrival + s.delayBudget()
+	case PolicyProcess:
+		at := p.bucket.FirstArrival + s.cfg.TentativeWait
+		if s.tentativelyComplete(p.start) {
+			// Footnote 5: tentative boundaries prove the bucket
+			// complete; no need for the fixed wait.
+			at = s.Now()
+		}
+		if at < s.tentAllowedAt {
+			at = s.tentAllowedAt
+		}
+		return at
+	}
+	return int64(1) << 62
+}
+
+// emitBucket sorts and emits one bucket. Tentative buckets are emitted with
+// every data tuple marked TENTATIVE (§4.1: results from processing a subset
+// of inputs).
+func (s *SUnion) emitBucket(b *sunionBucket, tentative bool) {
+	// A stable sort keeps arrival order for fully-tied tuples, which is
+	// itself deterministic because every upstream SUnion emits a
+	// deterministic sequence.
+	sort.SliceStable(b.Tuples, func(i, j int) bool { return tuple.Less(b.Tuples[i], b.Tuples[j]) })
+	for _, t := range b.Tuples {
+		if tentative {
+			t = t.AsTentative()
+		}
+		s.Emit(t)
+	}
+}
+
+func (s *SUnion) armTimer(at int64) {
+	if s.timer != nil && !s.timer.Stopped() && s.timer.When() == at {
+		return
+	}
+	s.stopTimer()
+	env := s.Env()
+	if env == nil || env.After == nil || env.Now == nil {
+		return
+	}
+	d := at - env.Now()
+	s.timer = env.After(d, func() {
+		s.timer = nil
+		s.pump()
+	})
+}
+
+func (s *SUnion) stopTimer() {
+	if s.timer != nil {
+		s.timer.Stop()
+		s.timer = nil
+	}
+}
+
+type sunionState struct {
+	Bounds      []int64
+	Buckets     map[int64]sunionBucket
+	Cursor      int64
+	SentBound   int64
+	RecDoneSeen []bool
+}
+
+// Checkpoint deep-copies the serialization state. Policy, suspension gates
+// and timers are runtime state: the node controller re-establishes them
+// after a restore based on which failures are still active.
+func (s *SUnion) Checkpoint() any {
+	bk := make(map[int64]sunionBucket, len(s.buckets))
+	for start, b := range s.buckets {
+		bk[start] = sunionBucket{
+			Tuples:       cloneTuples(b.Tuples),
+			FirstArrival: b.FirstArrival,
+			HasTentative: b.HasTentative,
+		}
+	}
+	return sunionState{
+		Bounds:      append([]int64(nil), s.bounds...),
+		Buckets:     bk,
+		Cursor:      s.cursor,
+		SentBound:   s.sentBound,
+		RecDoneSeen: append([]bool(nil), s.recDoneSeen...),
+	}
+}
+
+// Restore reinstates a snapshot and cancels any pending flush timer.
+func (s *SUnion) Restore(snap any) {
+	st := snap.(sunionState)
+	copy(s.bounds, st.Bounds)
+	s.buckets = make(map[int64]*sunionBucket, len(st.Buckets))
+	for start, b := range st.Buckets {
+		cp := sunionBucket{
+			Tuples:       cloneTuples(b.Tuples),
+			FirstArrival: b.FirstArrival,
+			HasTentative: b.HasTentative,
+		}
+		s.buckets[start] = &cp
+	}
+	s.cursor = st.Cursor
+	s.sentBound = st.SentBound
+	copy(s.recDoneSeen, st.RecDoneSeen)
+	s.stopTimer()
+	s.signaled = false
+	for i := range s.tentBounds {
+		s.tentBounds[i] = -1
+	}
+	s.sentTentBound = -1
+}

@@ -1,0 +1,159 @@
+package operator
+
+import (
+	"testing"
+
+	"borealis/internal/tuple"
+	"borealis/internal/vtime"
+)
+
+func newTBSU(ports int, sim *vtime.Sim, emitTB bool) (*SUnion, *collector) {
+	s := NewSUnion("su", SUnionConfig{
+		Ports:               ports,
+		BucketSize:          100 * ms,
+		Delay:               2 * sec,
+		TentativeBoundaries: emitTB,
+	})
+	c := attach(s, sim)
+	return s, c
+}
+
+func tentBoundary(stime int64) tuple.Tuple {
+	b := tuple.NewBoundary(stime)
+	b.Src = 1
+	return b
+}
+
+func TestSUnionEmitsTentativeBoundaryWithFlush(t *testing.T) {
+	sim := vtime.New()
+	s, c := newTBSU(2, sim, true)
+	s.Process(0, tuple.NewInsertion(10*ms, 1))
+	s.SetPolicy(PolicyProcess)
+	sim.Run()
+	var tb []tuple.Tuple
+	for _, tp := range c.out {
+		if tp.Type == tuple.Boundary && tp.Src == 1 {
+			tb = append(tb, tp)
+		}
+	}
+	if len(tb) == 0 {
+		t.Fatal("tentative flush must emit a tentative boundary")
+	}
+	if tb[0].STime < 100*ms {
+		t.Fatalf("tentative boundary must cover the flushed bucket: %v", tb[0])
+	}
+	// No stable boundary may have been emitted.
+	for _, tp := range c.out {
+		if tp.Type == tuple.Boundary && tp.Src == 0 {
+			t.Fatalf("stable boundary leaked during tentative flush: %v", tp)
+		}
+	}
+}
+
+func TestSUnionNoTentativeBoundaryWhenDisabled(t *testing.T) {
+	sim := vtime.New()
+	s, c := newTBSU(2, sim, false)
+	s.Process(0, tuple.NewInsertion(10*ms, 1))
+	s.SetPolicy(PolicyProcess)
+	sim.Run()
+	for _, tp := range c.out {
+		if tp.Type == tuple.Boundary {
+			t.Fatalf("boundaries must not appear with the extension off: %v", tp)
+		}
+	}
+}
+
+func TestSUnionTentativeBoundaryReleasesWithoutWait(t *testing.T) {
+	// A downstream SUnion holding a tentative bucket releases it as soon
+	// as tentative boundaries prove it complete — not after the fixed
+	// TentativeWait (footnote 5).
+	sim := vtime.New()
+	s, c := newTBSU(1, sim, false)
+	s.SetPolicy(PolicyProcess)
+	// Let the initial 0.9·D suspension pass, as it would during a real
+	// failure before any tentative data arrives from upstream.
+	sim.RunUntil(2 * sec)
+	c.reset()
+	s.Process(0, tuple.NewTentative(2*sec+10*ms, 1))
+	s.Process(0, tentBoundary(2*sec+200*ms)) // covers bucket [2.0s,2.1s)
+	sim.RunUntil(2*sec + 50*ms)              // well inside TentativeWait
+	if len(c.data()) != 1 {
+		t.Fatalf("tentatively-complete bucket must flush immediately: %v", c.data())
+	}
+	if c.data()[0].Type != tuple.Tentative {
+		t.Fatal("flush must be tentative")
+	}
+}
+
+func TestSUnionTentativeBoundaryDoesNotStabilize(t *testing.T) {
+	// Tentative boundaries bound progress but prove no stability: a
+	// bucket covered only by tentative watermarks must not emit stably.
+	sim := vtime.New()
+	s, c := newTBSU(1, sim, false)
+	s.Process(0, tuple.NewInsertion(10*ms, 1))
+	s.Process(0, tentBoundary(500*ms))
+	sim.Run()
+	if len(c.data()) != 0 {
+		t.Fatalf("tentative watermark must not trigger stable emission: %v", c.data())
+	}
+	// The stable watermark still works.
+	s.Process(0, tuple.NewBoundary(500*ms))
+	if got := c.data(); len(got) != 1 || got[0].Type != tuple.Insertion {
+		t.Fatalf("stable boundary should emit the bucket: %v", got)
+	}
+}
+
+func TestSUnionTentativeWatermarkResetOnRestore(t *testing.T) {
+	sim := vtime.New()
+	s, _ := newTBSU(1, sim, false)
+	snap := s.Checkpoint()
+	s.Process(0, tentBoundary(1*sec))
+	s.Restore(snap)
+	// After restore the tentative watermark is void: a tentative bucket
+	// must not be considered complete.
+	if s.tentativelyComplete(0) {
+		t.Fatal("tentative watermark must reset on restore")
+	}
+}
+
+func TestSUnionInitialSuspensionStillAppliesWithTB(t *testing.T) {
+	// Tentative completeness cannot bypass the 0.9·D initial suspension.
+	sim := vtime.New()
+	s, c := newTBSU(1, sim, false)
+	s.Process(0, tuple.NewTentative(10*ms, 1))
+	s.Process(0, tentBoundary(200*ms))
+	s.SetPolicy(PolicyProcess) // suspension anchored at arrival (t=0)
+	sim.RunUntil(1700 * ms)
+	if len(c.data()) != 0 {
+		t.Fatal("initial suspension bypassed")
+	}
+	sim.RunUntil(1900 * ms)
+	if len(c.data()) != 1 {
+		t.Fatalf("bucket should flush right after the suspension: %v", c.data())
+	}
+}
+
+func TestSUnionDelayPolicyHoldsStableReadyBuckets(t *testing.T) {
+	// Under PolicyDelay even a stable-ready bucket waits 0.9·D from its
+	// first arrival: the §6 continuous-delay semantics that lets a
+	// reconciliation grant arrive before the data is ever emitted.
+	sim := vtime.New()
+	s, c := newSU(1, sim)
+	s.SetPolicy(PolicyDelay)
+	s.Process(0, tuple.NewInsertion(10*ms, 1))
+	s.Process(0, tuple.NewBoundary(200*ms)) // bucket is stable-ready NOW
+	sim.RunUntil(1700 * ms)
+	if len(c.data()) != 0 {
+		t.Fatal("PolicyDelay must hold stable-ready buckets for 0.9·D")
+	}
+	sim.RunUntil(1900 * ms)
+	got := c.data()
+	if len(got) != 1 {
+		t.Fatalf("bucket not released after 0.9·D: %v", got)
+	}
+	// Stable content is emitted with stable types (divergence marking
+	// happens at SOutput).
+	if got[0].Type != tuple.Insertion {
+		t.Fatalf("stable-ready bucket content must stay stable-typed: %v", got)
+	}
+}

@@ -1,0 +1,226 @@
+// Package source implements DPC-speaking data sources (§2.2): they
+// timestamp every tuple they produce, emit periodic boundary tuples that
+// double as punctuation and heartbeats (§4.2.1), log everything they ever
+// produced in a persistent log, and replay missed suffixes to subscribers
+// that reconnect or fall behind — including after the source-side failures
+// the experiments inject (disconnection, boundary stalls).
+package source
+
+import (
+	"sort"
+
+	"borealis/internal/netsim"
+	"borealis/internal/node"
+	"borealis/internal/tuple"
+	"borealis/internal/vtime"
+)
+
+// Config parameterizes a source.
+type Config struct {
+	// ID is the network endpoint; Stream names the produced stream.
+	ID, Stream string
+	// Rate is the production rate in tuples per second.
+	Rate float64
+	// TickInterval batches production (default 10 ms): each tick emits
+	// Rate·TickInterval tuples stamped with the current virtual time.
+	TickInterval int64
+	// BoundaryInterval spaces boundary tuples (default 100 ms).
+	BoundaryInterval int64
+	// Payload builds a tuple's data fields from its sequence number;
+	// the default is [seq].
+	Payload func(seq uint64) []int64
+	// LogCap bounds the persistent log (0 = unbounded). When the log is
+	// full, the oldest entries are dropped and DroppedLog counts them —
+	// the "sources start dropping tuples" end state of §8.1.
+	LogCap int
+}
+
+type subscriber struct {
+	pos    int // index into log of the next tuple to send
+	seq    uint64
+	paused bool
+}
+
+// Source is a data source endpoint on the simulated network.
+type Source struct {
+	cfg Config
+	sim *vtime.Sim
+	net *netsim.Net
+
+	log     []tuple.Tuple
+	logBase int // sequence index of log[0] after truncation
+	subs    map[string]*subscriber
+
+	nextID       uint64
+	seq          uint64
+	acc          float64
+	nextBoundary int64
+
+	disconnected bool
+	stallBounds  bool
+
+	ticker *vtime.Ticker
+
+	// Produced counts data tuples generated; DroppedLog counts tuples
+	// evicted from a bounded log.
+	Produced   uint64
+	DroppedLog uint64
+}
+
+// New builds a source and registers its endpoint. Call Start to begin
+// producing.
+func New(sim *vtime.Sim, net *netsim.Net, cfg Config) *Source {
+	if cfg.TickInterval <= 0 {
+		cfg.TickInterval = 10 * vtime.Millisecond
+	}
+	if cfg.BoundaryInterval <= 0 {
+		cfg.BoundaryInterval = 100 * vtime.Millisecond
+	}
+	if cfg.Payload == nil {
+		cfg.Payload = func(seq uint64) []int64 { return []int64{int64(seq)} }
+	}
+	s := &Source{cfg: cfg, sim: sim, net: net, subs: make(map[string]*subscriber)}
+	net.Register(cfg.ID, s.handle)
+	return s
+}
+
+// ID returns the source's endpoint identifier.
+func (s *Source) ID() string { return s.cfg.ID }
+
+// Stream returns the produced stream name.
+func (s *Source) Stream() string { return s.cfg.Stream }
+
+// LogLen returns the persistent log length.
+func (s *Source) LogLen() int { return len(s.log) }
+
+// Start begins ticking.
+func (s *Source) Start() {
+	s.nextBoundary = s.sim.Now() + s.cfg.BoundaryInterval
+	s.ticker = s.sim.NewTicker(s.cfg.TickInterval, s.tick)
+}
+
+// Stop halts production permanently (fail-stop of a data source).
+func (s *Source) Stop() {
+	if s.ticker != nil {
+		s.ticker.Stop()
+	}
+}
+
+// Disconnect stops transmissions while production and logging continue:
+// the Table III failure mode ("temporarily disconnecting one of the input
+// streams without stopping the data source").
+func (s *Source) Disconnect() { s.disconnected = true }
+
+// Reconnect resumes transmissions; each subscriber receives the entire
+// missed suffix (the source "replays all missing tuples while continuing
+// to produce new tuples").
+func (s *Source) Reconnect() { s.disconnected = false }
+
+// StallBoundaries keeps data flowing but stops boundary production: the
+// Fig. 15/16 failure mode, which leaves the downstream output rate intact
+// while preventing buckets from stabilizing.
+func (s *Source) StallBoundaries() { s.stallBounds = true }
+
+// ResumeBoundaries re-enables boundary production.
+func (s *Source) ResumeBoundaries() { s.stallBounds = false }
+
+// tick produces this interval's tuples and flushes subscribers.
+func (s *Source) tick() {
+	now := s.sim.Now()
+	s.acc += s.cfg.Rate * float64(s.cfg.TickInterval) / float64(vtime.Second)
+	n := int(s.acc)
+	s.acc -= float64(n)
+	for i := 0; i < n; i++ {
+		s.nextID++
+		s.seq++
+		s.Produced++
+		t := tuple.Tuple{
+			Type:  tuple.Insertion,
+			ID:    s.nextID,
+			STime: now,
+			Data:  s.cfg.Payload(s.seq),
+		}
+		s.append(t)
+	}
+	if !s.stallBounds && now >= s.nextBoundary {
+		s.append(tuple.NewBoundary(now))
+		for now >= s.nextBoundary {
+			s.nextBoundary += s.cfg.BoundaryInterval
+		}
+	}
+	if !s.disconnected {
+		s.flush()
+	}
+}
+
+// append adds a tuple to the persistent log, evicting under LogCap.
+func (s *Source) append(t tuple.Tuple) {
+	if s.cfg.LogCap > 0 && len(s.log) >= s.cfg.LogCap {
+		drop := len(s.log) - s.cfg.LogCap + 1
+		s.log = append(s.log[:0:0], s.log[drop:]...)
+		s.logBase += drop
+		s.DroppedLog += uint64(drop)
+		for _, sub := range s.subs {
+			if sub.pos < s.logBase {
+				sub.pos = s.logBase
+			}
+		}
+	}
+	s.log = append(s.log, t)
+}
+
+// flush sends each subscriber everything it has not yet received, in
+// deterministic (sorted endpoint) order.
+func (s *Source) flush() {
+	end := s.logBase + len(s.log)
+	eps := make([]string, 0, len(s.subs))
+	for ep := range s.subs {
+		eps = append(eps, ep)
+	}
+	sort.Strings(eps)
+	for _, ep := range eps {
+		sub := s.subs[ep]
+		if sub.paused || sub.pos >= end {
+			continue
+		}
+		batch := make([]tuple.Tuple, end-sub.pos)
+		copy(batch, s.log[sub.pos-s.logBase:])
+		sub.pos = end
+		sub.seq++
+		s.net.Send(s.cfg.ID, ep, node.DataMsg{Stream: s.cfg.Stream, Seq: sub.seq, Tuples: batch})
+	}
+}
+
+// handle serves the DPC protocol: subscriptions with replay-from-id,
+// acknowledgments, and keep-alives (a source is always STABLE — stream
+// failures are injected at the transmission layer, not advertised).
+func (s *Source) handle(from string, msg any) {
+	switch m := msg.(type) {
+	case node.SubscribeMsg:
+		if m.Stream != s.cfg.Stream {
+			return
+		}
+		pos := s.logBase
+		if m.FromID > 0 {
+			for i := len(s.log) - 1; i >= 0; i-- {
+				if s.log[i].IsData() && s.log[i].ID == m.FromID {
+					pos = s.logBase + i + 1
+					break
+				}
+			}
+		}
+		s.subs[from] = &subscriber{pos: pos}
+		if !s.disconnected {
+			s.flush()
+		}
+	case node.UnsubscribeMsg:
+		delete(s.subs, from)
+	case node.AckMsg:
+		// Sources log persistently; acks need no truncation action.
+	case node.KeepAliveReq:
+		s.net.Send(s.cfg.ID, from, node.KeepAliveResp{
+			Node:    node.StateStable,
+			Streams: map[string]node.StreamState{s.cfg.Stream: node.StateStable},
+		})
+	}
+}

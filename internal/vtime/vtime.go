@@ -1,0 +1,218 @@
+// Package vtime provides a deterministic discrete-event simulator used as the
+// clock and scheduler for every component in this repository.
+//
+// All times are int64 microseconds of virtual time. Components schedule
+// callbacks with At or After; Run drains the event queue in (time, sequence)
+// order, so two events scheduled for the same instant fire in the order they
+// were scheduled, making every simulation fully deterministic.
+package vtime
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Common durations, in microseconds.
+const (
+	Microsecond int64 = 1
+	Millisecond int64 = 1000
+	Second      int64 = 1000 * 1000
+)
+
+// Timer is a handle to a scheduled event. Stop cancels the event if it has
+// not fired yet.
+type Timer struct {
+	fn      func()
+	at      int64
+	seq     uint64
+	stopped bool
+	fired   bool
+	index   int // heap index, -1 once removed
+}
+
+// Stop cancels the timer. It reports whether the call prevented the event
+// from firing.
+func (t *Timer) Stop() bool {
+	if t == nil || t.fired || t.stopped {
+		return false
+	}
+	t.stopped = true
+	return true
+}
+
+// Stopped reports whether Stop was called before the event fired.
+func (t *Timer) Stopped() bool { return t != nil && t.stopped }
+
+// When returns the virtual time at which the timer is (or was) scheduled.
+func (t *Timer) When() int64 { return t.at }
+
+type eventHeap []*Timer
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	t := x.(*Timer)
+	t.index = len(*h)
+	*h = append(*h, t)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	t.index = -1
+	*h = old[:n-1]
+	return t
+}
+
+// Sim is a discrete-event simulator. The zero value is not usable; call New.
+// Sim is not safe for concurrent use: the entire simulation is single
+// threaded by design, which is what makes runs reproducible.
+type Sim struct {
+	now    int64
+	seq    uint64
+	events eventHeap
+	// processed counts fired events, for tests and progress reporting.
+	processed uint64
+}
+
+// New returns a simulator whose clock starts at time 0.
+func New() *Sim {
+	return &Sim{}
+}
+
+// Now returns the current virtual time in microseconds.
+func (s *Sim) Now() int64 { return s.now }
+
+// Processed returns the number of events fired so far.
+func (s *Sim) Processed() uint64 { return s.processed }
+
+// Pending returns the number of events currently scheduled.
+func (s *Sim) Pending() int { return len(s.events) }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics: it would silently reorder causality.
+func (s *Sim) At(t int64, fn func()) *Timer {
+	if fn == nil {
+		panic("vtime: nil event function")
+	}
+	if t < s.now {
+		panic(fmt.Sprintf("vtime: scheduling event at %d before now %d", t, s.now))
+	}
+	s.seq++
+	tm := &Timer{fn: fn, at: t, seq: s.seq}
+	heap.Push(&s.events, tm)
+	return tm
+}
+
+// After schedules fn to run d microseconds from now. Negative d is treated
+// as zero.
+func (s *Sim) After(d int64, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now+d, fn)
+}
+
+// Step fires the next event, if any, advancing the clock to its time.
+// It reports whether an event fired.
+func (s *Sim) Step() bool {
+	for len(s.events) > 0 {
+		t := heap.Pop(&s.events).(*Timer)
+		if t.stopped {
+			continue
+		}
+		s.now = t.at
+		t.fired = true
+		s.processed++
+		t.fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until the queue is empty.
+func (s *Sim) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil fires events with time ≤ t, then advances the clock to t.
+// Events scheduled for later remain queued.
+func (s *Sim) RunUntil(t int64) {
+	for {
+		next, ok := s.peek()
+		if !ok || next > t {
+			break
+		}
+		s.Step()
+	}
+	if t > s.now {
+		s.now = t
+	}
+}
+
+// RunFor runs the simulation for d microseconds of virtual time.
+func (s *Sim) RunFor(d int64) { s.RunUntil(s.now + d) }
+
+func (s *Sim) peek() (int64, bool) {
+	for len(s.events) > 0 {
+		if s.events[0].stopped {
+			heap.Pop(&s.events)
+			continue
+		}
+		return s.events[0].at, true
+	}
+	return 0, false
+}
+
+// Ticker fires fn every interval until stopped. The first tick fires at
+// now+interval.
+type Ticker struct {
+	sim      *Sim
+	interval int64
+	fn       func()
+	timer    *Timer
+	stopped  bool
+}
+
+// NewTicker schedules fn to run every interval microseconds.
+func (s *Sim) NewTicker(interval int64, fn func()) *Ticker {
+	if interval <= 0 {
+		panic("vtime: ticker interval must be positive")
+	}
+	tk := &Ticker{sim: s, interval: interval, fn: fn}
+	tk.schedule()
+	return tk
+}
+
+func (tk *Ticker) schedule() {
+	tk.timer = tk.sim.After(tk.interval, func() {
+		if tk.stopped {
+			return
+		}
+		tk.fn()
+		if !tk.stopped {
+			tk.schedule()
+		}
+	})
+}
+
+// Stop cancels all future ticks.
+func (tk *Ticker) Stop() {
+	if tk.stopped {
+		return
+	}
+	tk.stopped = true
+	tk.timer.Stop()
+}

@@ -1,0 +1,237 @@
+package vtime
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAtFiresInOrder(t *testing.T) {
+	s := New()
+	var got []int
+	s.At(30, func() { got = append(got, 3) })
+	s.At(10, func() { got = append(got, 1) })
+	s.At(20, func() { got = append(got, 2) })
+	s.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("events out of order: %v", got)
+	}
+	if s.Now() != 30 {
+		t.Fatalf("Now() = %d, want 30", s.Now())
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	s := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(5, func() { got = append(got, i) })
+	}
+	s.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestAfterNegativeClamped(t *testing.T) {
+	s := New()
+	s.At(100, func() {
+		s.After(-50, func() {})
+	})
+	s.Run() // must not panic
+	if s.Now() != 100 {
+		t.Fatalf("Now() = %d, want 100", s.Now())
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	s := New()
+	s.At(100, func() {})
+	s.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic scheduling in the past")
+		}
+	}()
+	s.At(50, func() {})
+}
+
+func TestTimerStop(t *testing.T) {
+	s := New()
+	fired := false
+	tm := s.At(10, func() { fired = true })
+	if !tm.Stop() {
+		t.Fatal("Stop() = false, want true")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop() = true, want false")
+	}
+	s.Run()
+	if fired {
+		t.Fatal("stopped timer fired")
+	}
+	if s.Now() != 0 {
+		// A stopped event should not advance the clock when popped lazily
+		// before any live event; with no live events the clock stays put.
+		t.Fatalf("Now() = %d, want 0", s.Now())
+	}
+}
+
+func TestStopAfterFire(t *testing.T) {
+	s := New()
+	tm := s.At(10, func() {})
+	s.Run()
+	if tm.Stop() {
+		t.Fatal("Stop after firing should report false")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New()
+	var got []int64
+	for _, at := range []int64{10, 20, 30, 40} {
+		at := at
+		s.At(at, func() { got = append(got, at) })
+	}
+	s.RunUntil(25)
+	if len(got) != 2 {
+		t.Fatalf("RunUntil(25) fired %d events, want 2", len(got))
+	}
+	if s.Now() != 25 {
+		t.Fatalf("Now() = %d, want 25", s.Now())
+	}
+	s.RunUntil(100)
+	if len(got) != 4 {
+		t.Fatalf("after RunUntil(100) fired %d events, want 4", len(got))
+	}
+	if s.Now() != 100 {
+		t.Fatalf("Now() = %d, want 100", s.Now())
+	}
+}
+
+func TestRunFor(t *testing.T) {
+	s := New()
+	s.RunFor(500)
+	if s.Now() != 500 {
+		t.Fatalf("Now() = %d, want 500", s.Now())
+	}
+}
+
+func TestEventsScheduledDuringRun(t *testing.T) {
+	s := New()
+	var got []int64
+	s.At(10, func() {
+		s.After(5, func() { got = append(got, s.Now()) })
+	})
+	s.Run()
+	if len(got) != 1 || got[0] != 15 {
+		t.Fatalf("nested event: got %v, want [15]", got)
+	}
+}
+
+func TestTicker(t *testing.T) {
+	s := New()
+	var ticks []int64
+	tk := s.NewTicker(100, func() { ticks = append(ticks, s.Now()) })
+	s.At(350, func() { tk.Stop() })
+	s.Run()
+	want := []int64{100, 200, 300}
+	if len(ticks) != len(want) {
+		t.Fatalf("ticks = %v, want %v", ticks, want)
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Fatalf("ticks = %v, want %v", ticks, want)
+		}
+	}
+}
+
+func TestTickerStopInsideTick(t *testing.T) {
+	s := New()
+	n := 0
+	var tk *Ticker
+	tk = s.NewTicker(10, func() {
+		n++
+		if n == 2 {
+			tk.Stop()
+		}
+	})
+	s.Run()
+	if n != 2 {
+		t.Fatalf("ticker fired %d times, want 2", n)
+	}
+}
+
+func TestProcessedAndPending(t *testing.T) {
+	s := New()
+	s.At(1, func() {})
+	s.At(2, func() {})
+	if s.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", s.Pending())
+	}
+	s.Run()
+	if s.Processed() != 2 {
+		t.Fatalf("Processed = %d, want 2", s.Processed())
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("Pending = %d, want 0", s.Pending())
+	}
+}
+
+// Property: for any set of non-negative offsets, events fire in sorted order
+// and the clock never moves backwards.
+func TestQuickOrdering(t *testing.T) {
+	f := func(offsets []uint16) bool {
+		s := New()
+		var fired []int64
+		for _, off := range offsets {
+			at := int64(off)
+			s.At(at, func() { fired = append(fired, at) })
+		}
+		s.Run()
+		if len(fired) != len(offsets) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i-1] > fired[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: RunUntil(t) fires exactly the events with time ≤ t.
+func TestQuickRunUntil(t *testing.T) {
+	f := func(offsets []uint16, cut uint16) bool {
+		s := New()
+		fired := 0
+		want := 0
+		for _, off := range offsets {
+			if int64(off) <= int64(cut) {
+				want++
+			}
+			s.At(int64(off), func() { fired++ })
+		}
+		s.RunUntil(int64(cut))
+		return fired == want && s.Now() == int64(cut)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := New()
+		for j := 0; j < 1000; j++ {
+			s.At(int64(j%97), func() {})
+		}
+		s.Run()
+	}
+}
