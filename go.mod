@@ -1,0 +1,3 @@
+module borealis
+
+go 1.22

@@ -176,6 +176,11 @@ func (c *Client) OnDeliver(fn func(Delivery)) { c.onDeliver = fn }
 func (c *Client) consume(t tuple.Tuple) {
 	now := c.sim.Now()
 	if c.cfg.Record {
+		if len(c.trace) == cap(c.trace) && len(c.trace) >= 1024 {
+			nt := make([]Delivery, len(c.trace), 2*cap(c.trace))
+			copy(nt, c.trace)
+			c.trace = nt
+		}
 		c.trace = append(c.trace, Delivery{At: now, Tuple: t})
 	}
 	if c.onDeliver != nil {
@@ -183,7 +188,7 @@ func (c *Client) consume(t tuple.Tuple) {
 	}
 	switch {
 	case t.IsData():
-		c.view = append(c.view, t)
+		c.view = tuple.Append(c.view, t)
 		if t.Type == tuple.Tentative {
 			c.tentative++
 			c.streak++

@@ -14,6 +14,7 @@ import (
 	"borealis/internal/node"
 	"borealis/internal/operator"
 	"borealis/internal/source"
+	"borealis/internal/tuple"
 	"borealis/internal/vtime"
 )
 
@@ -142,13 +143,18 @@ func BuildChain(spec ChainSpec) (*Deployment, error) {
 		id := fmt.Sprintf("src%d", i+1)
 		srcIDs = append(srcIDs, id)
 		idx := int64(i + 1)
+		var arena tuple.I64Arena
 		dep.Sources = append(dep.Sources, source.New(sim, net, source.Config{
 			ID:               id,
 			Stream:           fmt.Sprintf("s%d", i+1),
 			Rate:             perSource,
 			TickInterval:     spec.TickInterval,
 			BoundaryInterval: spec.BoundaryInterval,
-			Payload:          func(seq uint64) []int64 { return []int64{int64(seq), idx} },
+			Payload: func(seq uint64) []int64 {
+				p := arena.Alloc(2)
+				p[0], p[1] = int64(seq), idx
+				return p
+			},
 		}))
 	}
 
@@ -402,13 +408,18 @@ func BuildSUnionTree(spec SUnionTreeSpec) (*Deployment, error) {
 		id := fmt.Sprintf("src%d", i+1)
 		srcIDs = append(srcIDs, id)
 		idx := int64(i + 1)
+		var arena tuple.I64Arena
 		dep.Sources = append(dep.Sources, source.New(sim, net, source.Config{
 			ID:               id,
 			Stream:           fmt.Sprintf("s%d", i+1),
 			Rate:             spec.Rate / 4,
 			TickInterval:     spec.TickInterval,
 			BoundaryInterval: spec.BoundaryInterval,
-			Payload:          func(seq uint64) []int64 { return []int64{int64(seq), idx} },
+			Payload: func(seq uint64) []int64 {
+				p := arena.Alloc(2)
+				p[0], p[1] = int64(seq), idx
+				return p
+			},
 		}))
 	}
 	mk := func(name string) *operator.SUnion {

@@ -49,6 +49,13 @@ type work struct {
 	tuples []tuple.Tuple
 }
 
+// consumer is one pre-resolved downstream edge: the operator map lookups
+// happen once at wire time, not per tuple.
+type consumer struct {
+	op   operator.Operator
+	port int
+}
+
 // Snapshot is a whole-diagram checkpoint.
 type Snapshot struct {
 	ops map[string]any
@@ -64,11 +71,24 @@ type Engine struct {
 	onSignal func(operator.Signal)
 	onIdle   func()
 
-	queue    []work
-	nextSeq  uint64
-	busy     bool
-	svcTimer *vtime.Timer
-	diverged bool
+	// queue is a ring buffer of pending batches: slots are reused across
+	// the engine's lifetime, so steady-state ingest enqueues without
+	// allocating.
+	queue   []work
+	qhead   int
+	qlen    int
+	nextSeq uint64
+
+	busy      bool
+	svcTimer  *vtime.Timer
+	svcDoneFn func(any) // bound once; service completion allocates nothing
+	inService work
+	diverged  bool
+
+	// Wire-time caches of diagram lookups used on the per-batch path.
+	inBind  map[string]consumer
+	inSU    map[string]*operator.SUnion
+	sunions []*operator.SUnion
 
 	cpCb   func(*Snapshot)
 	cutSeq uint64
@@ -82,6 +102,7 @@ type Engine struct {
 // New builds an engine for the diagram and wires every operator.
 func New(sim *vtime.Sim, d *diagram.Diagram, cfg Config) *Engine {
 	e := &Engine{sim: sim, d: d, cfg: cfg}
+	e.svcDoneFn = e.svcDone
 	e.wire()
 	return e
 }
@@ -104,37 +125,55 @@ func (e *Engine) OnIdle(fn func()) { e.onIdle = fn }
 func (e *Engine) Diverged() bool { return e.diverged }
 
 // QueueLen returns the number of queued, unserviced batches.
-func (e *Engine) QueueLen() int { return len(e.queue) }
+func (e *Engine) QueueLen() int { return e.qlen }
 
 // Idle reports whether no batch is queued or in service.
-func (e *Engine) Idle() bool { return !e.busy && len(e.queue) == 0 }
+func (e *Engine) Idle() bool { return !e.busy && e.qlen == 0 }
 
 // wire attaches every operator's Env: emissions route synchronously along
-// diagram edges; terminal operators publish to the output callback.
+// diagram edges; terminal operators publish to the output callback. Edge
+// targets are resolved once here, so per-tuple emission does no diagram
+// lookups, and the common single-consumer edge gets a direct call with no
+// fan-out loop.
 func (e *Engine) wire() {
 	outputOf := make(map[string]string) // op -> external stream
 	for _, out := range e.d.Outputs() {
 		outputOf[out.Op] = out.Stream
 	}
 	for _, name := range e.d.Ops() {
-		name := name
 		op := e.d.Op(name)
 		edges := e.d.Downstream(name)
+		cons := make([]consumer, len(edges))
+		for i, edge := range edges {
+			cons[i] = consumer{op: e.d.Op(edge.To), port: edge.Port}
+		}
 		stream, isOutput := outputOf[name]
-		env := &operator.Env{
-			Now:   e.sim.Now,
-			After: e.sim.After,
-			Emit: func(t tuple.Tuple) {
+		var emit func(tuple.Tuple)
+		if len(cons) == 1 && !isOutput {
+			to := cons[0]
+			emit = func(t tuple.Tuple) {
 				if t.Type == tuple.Tentative {
 					e.diverged = true
 				}
-				for _, edge := range edges {
-					e.d.Op(edge.To).Process(edge.Port, t)
+				to.op.Process(to.port, t)
+			}
+		} else {
+			emit = func(t tuple.Tuple) {
+				if t.Type == tuple.Tentative {
+					e.diverged = true
+				}
+				for _, c := range cons {
+					c.op.Process(c.port, t)
 				}
 				if isOutput && e.onOutput != nil {
 					e.onOutput(stream, t)
 				}
-			},
+			}
+		}
+		env := &operator.Env{
+			Now:   e.sim.Now,
+			After: e.sim.After,
+			Emit:  emit,
 			Signal: func(s operator.Signal) {
 				if e.onSignal != nil {
 					e.onSignal(s)
@@ -144,6 +183,19 @@ func (e *Engine) wire() {
 		}
 		op.Attach(env)
 	}
+	e.inBind = make(map[string]consumer)
+	e.inSU = make(map[string]*operator.SUnion)
+	for _, in := range e.d.Inputs() {
+		op := e.d.Op(in.Op)
+		e.inBind[in.Stream] = consumer{op: op, port: in.Port}
+		if su, ok := op.(*operator.SUnion); ok {
+			e.inSU[in.Stream] = su
+		}
+	}
+	e.sunions = e.sunions[:0]
+	for _, name := range e.d.SUnions() {
+		e.sunions = append(e.sunions, e.d.Op(name).(*operator.SUnion))
+	}
 }
 
 // Ingest queues a batch of tuples arriving on an external input stream.
@@ -151,12 +203,49 @@ func (e *Engine) Ingest(stream string, ts []tuple.Tuple) {
 	if len(ts) == 0 {
 		return
 	}
-	if _, ok := e.d.InputBinding(stream); !ok {
+	if _, ok := e.inBind[stream]; !ok {
 		panic(fmt.Sprintf("engine: unknown input stream %q", stream))
 	}
 	e.nextSeq++
-	e.queue = append(e.queue, work{seq: e.nextSeq, stream: stream, tuples: ts})
+	e.pushWork(work{seq: e.nextSeq, stream: stream, tuples: ts})
 	e.kick()
+}
+
+// pushWork appends a batch to the ring, growing it only when full.
+func (e *Engine) pushWork(w work) {
+	if e.qlen == len(e.queue) {
+		newCap := 2 * len(e.queue)
+		if newCap == 0 {
+			newCap = 8
+		}
+		nq := make([]work, newCap)
+		for i := 0; i < e.qlen; i++ {
+			nq[i] = e.queue[(e.qhead+i)%len(e.queue)]
+		}
+		e.queue = nq
+		e.qhead = 0
+	}
+	e.queue[(e.qhead+e.qlen)%len(e.queue)] = w
+	e.qlen++
+}
+
+// popWork removes and returns the front batch, releasing the slot's tuple
+// reference so the ring never pins drained batches.
+func (e *Engine) popWork() work {
+	w := e.queue[e.qhead]
+	e.queue[e.qhead] = work{}
+	e.qhead = (e.qhead + 1) % len(e.queue)
+	e.qlen--
+	return w
+}
+
+// clearQueue drops every queued batch (checkpoint restore).
+func (e *Engine) clearQueue() {
+	for i := 0; i < e.qlen; i++ {
+		e.queue[(e.qhead+i)%len(e.queue)] = work{}
+	}
+	e.qhead = 0
+	e.qlen = 0
 }
 
 // kick services the queue head if the engine is idle, taking a pending
@@ -165,12 +254,12 @@ func (e *Engine) kick() {
 	if e.busy {
 		return
 	}
-	if e.cpCb != nil && (len(e.queue) == 0 || e.queue[0].seq > e.cutSeq) {
+	if e.cpCb != nil && (e.qlen == 0 || e.queue[e.qhead].seq > e.cutSeq) {
 		cb := e.cpCb
 		e.cpCb = nil
 		cb(e.snapshot())
 	}
-	if len(e.queue) == 0 {
+	if e.qlen == 0 {
 		if e.recDonePending {
 			e.recDonePending = false
 			e.injectRecDone()
@@ -181,38 +270,41 @@ func (e *Engine) kick() {
 		return
 	}
 	e.busy = true
-	batch := e.queue[0]
-	e.queue = e.queue[1:]
+	batch := e.popWork()
 	svc := int64(0)
 	if e.cfg.Capacity > 0 {
 		n := len(batch.tuples)
 		// Tuples the input SUnion will drop in O(1) (behind its
 		// cursor) do not consume processing capacity.
-		if in, ok := e.d.InputBinding(batch.stream); ok {
-			if su, ok := e.d.Op(in.Op).(*operator.SUnion); ok {
-				n = su.FreshCount(batch.tuples)
-			}
+		if su := e.inSU[batch.stream]; su != nil {
+			n = su.FreshCount(batch.tuples)
 		}
 		svc = int64(float64(n) / e.cfg.Capacity * float64(vtime.Second))
 	}
-	e.svcTimer = e.sim.After(svc, func() {
-		e.busy = false
-		e.svcTimer = nil
-		e.dispatch(batch)
-		e.kick()
-	})
+	e.inService = batch
+	e.svcTimer = e.sim.AfterCall(svc, e.svcDoneFn, nil)
+}
+
+// svcDone fires when the in-service batch's processing time has elapsed.
+func (e *Engine) svcDone(any) {
+	e.busy = false
+	e.svcTimer = nil
+	batch := e.inService
+	e.inService = work{}
+	e.dispatch(batch)
+	e.kick()
 }
 
 // dispatch pushes a serviced batch through the diagram.
 func (e *Engine) dispatch(batch work) {
-	in, ok := e.d.InputBinding(batch.stream)
+	in, ok := e.inBind[batch.stream]
 	if !ok {
 		return
 	}
-	op := e.d.Op(in.Op)
-	for _, t := range batch.tuples {
+	ts := batch.tuples
+	for i := range ts {
 		e.Processed++
-		op.Process(in.Port, t)
+		in.op.Process(in.port, ts[i])
 	}
 }
 
@@ -228,7 +320,7 @@ func (e *Engine) RequestCheckpoint(cb func(*Snapshot)) {
 		panic("engine: checkpoint already pending")
 	}
 	e.cutSeq = e.nextSeq
-	if !e.busy && (len(e.queue) == 0 || e.queue[0].seq > e.cutSeq) {
+	if !e.busy && (e.qlen == 0 || e.queue[e.qhead].seq > e.cutSeq) {
 		cb(e.snapshot())
 		return
 	}
@@ -255,7 +347,8 @@ func (e *Engine) Restore(s *Snapshot) {
 		e.svcTimer = nil
 	}
 	e.busy = false
-	e.queue = e.queue[:0]
+	e.inService = work{}
+	e.clearQueue()
 	e.diverged = false
 	e.recDonePending = false
 }
@@ -308,8 +401,8 @@ func (e *Engine) ResetToPristine(pristine *Snapshot) {
 // SetPolicyAll switches every SUnion in the diagram to the given policy
 // (whole-node failure handling, §4).
 func (e *Engine) SetPolicyAll(p operator.DelayPolicy) {
-	for _, name := range e.d.SUnions() {
-		e.d.Op(name).(*operator.SUnion).SetPolicy(p)
+	for _, su := range e.sunions {
+		su.SetPolicy(p)
 	}
 }
 
@@ -325,8 +418,7 @@ func (e *Engine) SetPolicyFed(input string, p operator.DelayPolicy) {
 // SUnion, used by the node controller to anchor availability bookkeeping.
 func (e *Engine) OldestPendingArrival() int64 {
 	oldest := e.sim.Now()
-	for _, name := range e.d.SUnions() {
-		su := e.d.Op(name).(*operator.SUnion)
+	for _, su := range e.sunions {
 		if su.PendingBuckets() > 0 {
 			if a := su.OldestPendingArrival(); a < oldest {
 				oldest = a

@@ -13,6 +13,7 @@ import (
 var q = Options{Quick: true}
 
 func TestFig11aShape(t *testing.T) {
+	t.Parallel()
 	r := Fig11(true)
 	if !r.ConsistencyOK {
 		t.Fatalf("fig11a eventual consistency failed: %s", r.AuditReason)
@@ -29,6 +30,7 @@ func TestFig11aShape(t *testing.T) {
 }
 
 func TestFig11bShape(t *testing.T) {
+	t.Parallel()
 	r := Fig11(false)
 	if !r.ConsistencyOK {
 		t.Fatalf("fig11b eventual consistency failed: %s", r.AuditReason)
@@ -39,6 +41,7 @@ func TestFig11bShape(t *testing.T) {
 }
 
 func TestFig11CSV(t *testing.T) {
+	t.Parallel()
 	r := Fig11(true)
 	var buf bytes.Buffer
 	r.TraceCSV(&buf)
@@ -52,6 +55,7 @@ func TestFig11CSV(t *testing.T) {
 }
 
 func TestTable3Shape(t *testing.T) {
+	t.Parallel()
 	r := Table3(q)
 	if len(r.Procnew) != len(r.Durations) {
 		t.Fatal("ragged result")
@@ -76,6 +80,7 @@ func TestTable3Shape(t *testing.T) {
 }
 
 func TestFig13Shapes(t *testing.T) {
+	t.Parallel()
 	r := Fig13(q)
 	last := len(r.Durations) - 1
 	idx := map[string]int{}
@@ -113,6 +118,7 @@ func TestFig13Shapes(t *testing.T) {
 }
 
 func TestFig15Shape(t *testing.T) {
+	t.Parallel()
 	r := Fig15(q)
 	n := len(r.Depths) - 1
 	// Delay & Delay grows ≈ 0.9·D per node.
@@ -129,6 +135,7 @@ func TestFig15Shape(t *testing.T) {
 }
 
 func TestFig16And18Shapes(t *testing.T) {
+	t.Parallel()
 	short := Fig16(q, 5).Panels[0]
 	n := len(short.Depths) - 1
 	if short.DelayDelay[n] >= short.ProcProc[n] {
@@ -142,6 +149,7 @@ func TestFig16And18Shapes(t *testing.T) {
 }
 
 func TestFig19Fig20Shapes(t *testing.T) {
+	t.Parallel()
 	r := Fig19(q)
 	if r.TentWholePP[0] != 0 {
 		t.Fatalf("whole-delay must mask the 5s failure: %d", r.TentWholePP[0])
@@ -157,6 +165,7 @@ func TestFig19Fig20Shapes(t *testing.T) {
 }
 
 func TestTable4Table5Shapes(t *testing.T) {
+	t.Parallel()
 	for _, r := range []OverheadResult{Table4(q), Table5(q)} {
 		if r.Rows[0].ParamMs != 0 {
 			t.Fatal("baseline column missing")
@@ -178,6 +187,7 @@ func TestTable4Table5Shapes(t *testing.T) {
 }
 
 func TestSwitchoverShape(t *testing.T) {
+	t.Parallel()
 	r := Switchover()
 	if r.Tentative != 0 {
 		t.Fatalf("crash switchover must be masked, got %d tentative", r.Tentative)
@@ -194,6 +204,7 @@ func TestSwitchoverShape(t *testing.T) {
 }
 
 func TestAblateBuffersShape(t *testing.T) {
+	t.Parallel()
 	r := AblateBuffers(q)
 	if r.Rows[0].NewDuringFailure == 0 || r.Rows[1].NewDuringFailure == 0 {
 		t.Fatal("unbounded and slide must preserve availability")
@@ -210,6 +221,7 @@ func TestAblateBuffersShape(t *testing.T) {
 }
 
 func TestAblateTentativeBoundariesShape(t *testing.T) {
+	t.Parallel()
 	r := AblateTentativeBoundaries(q)
 	n := len(r.Depths) - 1
 	if r.With[n] >= r.Without[n] {
@@ -221,6 +233,7 @@ func TestAblateTentativeBoundariesShape(t *testing.T) {
 }
 
 func TestPrintersProduceOutput(t *testing.T) {
+	t.Parallel()
 	var buf bytes.Buffer
 	Table3(Options{Quick: true}).Print(&buf)
 	Fig15(Options{Quick: true}).Print(&buf)
@@ -239,6 +252,7 @@ func TestPrintersProduceOutput(t *testing.T) {
 }
 
 func TestVariantsOrder(t *testing.T) {
+	t.Parallel()
 	vs := Variants()
 	if len(vs) != 6 || vs[0].Name != "Process & Process" || vs[3].Name != "Delay & Delay" {
 		t.Fatalf("variants wrong: %+v", vs)

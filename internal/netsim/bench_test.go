@@ -1,0 +1,52 @@
+package netsim
+
+import (
+	"testing"
+
+	"borealis/internal/vtime"
+)
+
+// BenchmarkNetsimSend measures the per-message cost of the fabric: schedule
+// a delivery, fire it, invoke the handler. Every tuple batch, ack,
+// keep-alive, and subscription in the system crosses this path.
+func BenchmarkNetsimSend(b *testing.B) {
+	sim := vtime.New()
+	n := New(sim)
+	got := 0
+	n.Register("a", func(string, any) {})
+	n.Register("b", func(from string, msg any) { got++ })
+	msg := struct{ X int }{42}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Send("a", "b", &msg)
+		sim.Run()
+	}
+	if got != b.N {
+		b.Fatalf("delivered %d of %d", got, b.N)
+	}
+}
+
+// BenchmarkNetsimSendBurst sends bursts of messages per sim drain, the
+// pattern of a node flushing batches to several subscribers.
+func BenchmarkNetsimSendBurst(b *testing.B) {
+	sim := vtime.New()
+	n := New(sim)
+	got := 0
+	n.Register("a", func(string, any) {})
+	n.Register("b", func(from string, msg any) { got++ })
+	n.Register("c", func(from string, msg any) { got++ })
+	msg := struct{ X int }{42}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 8; j++ {
+			n.Send("a", "b", &msg)
+			n.Send("a", "c", &msg)
+		}
+		sim.Run()
+	}
+	if got == 0 {
+		b.Fatal("nothing delivered")
+	}
+}

@@ -43,6 +43,16 @@ type endpoint struct {
 	lastArrival map[string]int64
 }
 
+// delivery is one in-flight message. Records are pooled per Net: a Send
+// takes one from the free list and the delivery callback returns it, so the
+// steady-state data plane schedules messages without allocating.
+type delivery struct {
+	from, to string
+	src, dst *endpoint
+	msg      any
+	next     *delivery
+}
+
 // Net is the simulated network fabric.
 type Net struct {
 	sim         *vtime.Sim
@@ -50,6 +60,11 @@ type Net struct {
 	latency     map[pair]int64
 	partitioned map[pair]bool
 	defaultLat  int64
+
+	// deliverFn is the shared delivery callback (bound once so Send does
+	// not allocate a closure per message); dfree is the record free list.
+	deliverFn func(any)
+	dfree     *delivery
 
 	// Delivered counts messages handed to handlers; Dropped counts
 	// messages lost to partitions or downed endpoints.
@@ -59,13 +74,15 @@ type Net struct {
 
 // New returns a network fabric driven by sim.
 func New(sim *vtime.Sim) *Net {
-	return &Net{
+	n := &Net{
 		sim:         sim,
 		endpoints:   make(map[string]*endpoint),
 		latency:     make(map[pair]int64),
 		partitioned: make(map[pair]bool),
 		defaultLat:  DefaultLatency,
 	}
+	n.deliverFn = n.deliver
+	return n
 }
 
 // SetDefaultLatency overrides the fabric-wide one-way latency.
@@ -183,21 +200,37 @@ func (n *Net) Send(from, to string, msg any) {
 		at = prev
 	}
 	dst.lastArrival[from] = at
-	n.sim.At(at, func() {
-		// Evaluate failure state at delivery time: a partition that
-		// happened while the message was in flight kills it, like a
-		// broken connection discarding its socket buffers.
-		if dst.down || src.down || n.Partitioned(from, to) {
-			n.Dropped++
-			return
-		}
-		if dst.handler == nil {
-			n.Dropped++
-			return
-		}
-		n.Delivered++
-		dst.handler(from, msg)
-	})
+	d := n.dfree
+	if d == nil {
+		d = &delivery{}
+	} else {
+		n.dfree = d.next
+		d.next = nil
+	}
+	d.from, d.to, d.src, d.dst, d.msg = from, to, src, dst, msg
+	n.sim.AtCall(at, n.deliverFn, d)
+}
+
+// deliver consumes one pooled delivery record at its scheduled time.
+func (n *Net) deliver(x any) {
+	d := x.(*delivery)
+	from, to, src, dst, msg := d.from, d.to, d.src, d.dst, d.msg
+	d.src, d.dst, d.msg = nil, nil, nil
+	d.next = n.dfree
+	n.dfree = d
+	// Evaluate failure state at delivery time: a partition that
+	// happened while the message was in flight kills it, like a
+	// broken connection discarding its socket buffers.
+	if dst.down || src.down || n.Partitioned(from, to) {
+		n.Dropped++
+		return
+	}
+	if dst.handler == nil {
+		n.Dropped++
+		return
+	}
+	n.Delivered++
+	dst.handler(from, msg)
 }
 
 // Reachable reports whether a message sent now from a to b would be

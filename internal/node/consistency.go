@@ -450,6 +450,7 @@ func (cm *CM) onReconcileReq(from string) {
 		cm.grantTimer.Stop()
 	}
 	cm.grantTimer = cm.node.sim.After(cm.cfg.GrantTimeout, func() {
+		cm.grantTimer = nil
 		if cm.grantedTo == from {
 			cm.grantedTo = ""
 			cm.tryRequest()

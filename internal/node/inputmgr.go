@@ -248,7 +248,23 @@ func (im *InputManager) Handle(from string, seq uint64, ts []tuple.Tuple) {
 			}
 		}
 	}
+	// Fast path: a batch with no correction tuples arriving on the live
+	// connection outside a correction sequence forwards exactly as-is, so
+	// the incoming slice can be handed to the engine without copying
+	// (batches are read-only once sent). im.correcting only flips on
+	// Undo/RecDone, which the scan excludes.
+	hasCorrection := false
+	for i := range ts {
+		if ts[i].Type == tuple.Undo || ts[i].Type == tuple.RecDone {
+			hasCorrection = true
+			break
+		}
+	}
+	forwardAsIs := !hasCorrection && !fromCorr && !im.correcting
 	var liveOut []tuple.Tuple
+	if !forwardAsIs && !fromCorr {
+		liveOut = make([]tuple.Tuple, 0, len(ts))
+	}
 	healed := false
 	for _, t := range ts {
 		switch {
@@ -266,9 +282,9 @@ func (im *InputManager) Handle(from string, seq uint64, ts []tuple.Tuple) {
 				im.seenTentative = false
 			}
 			if im.logging {
-				im.log = append(im.log, t)
+				im.log = tuple.Append(im.log, t)
 			}
-			if !fromCorr && !im.correcting {
+			if !forwardAsIs && !fromCorr && !im.correcting {
 				liveOut = append(liveOut, t)
 			}
 		case t.Type == tuple.Boundary:
@@ -277,7 +293,7 @@ func (im *InputManager) Handle(from string, seq uint64, ts []tuple.Tuple) {
 				// bounding the tentative stream. Forward it
 				// live, but it proves no stability: no heal,
 				// no log entry, no stable watermark.
-				if !fromCorr && !im.correcting {
+				if !forwardAsIs && !fromCorr && !im.correcting {
 					liveOut = append(liveOut, t)
 				}
 				im.lastBoundaryArrival = im.sim.Now()
@@ -285,9 +301,9 @@ func (im *InputManager) Handle(from string, seq uint64, ts []tuple.Tuple) {
 				continue
 			}
 			if im.logging {
-				im.log = append(im.log, t)
+				im.log = tuple.Append(im.log, t)
 			}
-			if !fromCorr && !im.correcting {
+			if !forwardAsIs && !fromCorr && !im.correcting {
 				liveOut = append(liveOut, t)
 			}
 			im.touchBoundary(t.STime)
@@ -328,6 +344,9 @@ func (im *InputManager) Handle(from string, seq uint64, ts []tuple.Tuple) {
 				healed = true
 			}
 		}
+	}
+	if forwardAsIs {
+		liveOut = ts
 	}
 	if len(liveOut) > 0 && im.hooks.forward != nil {
 		im.hooks.forward(im.stream, liveOut)

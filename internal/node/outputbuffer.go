@@ -39,7 +39,12 @@ type OutputBuffer struct {
 	mode   BufferMode
 	cap    int
 
+	// buf[head:] is the live buffer contents. Truncation (acks, slide
+	// mode) advances head in O(1); dead prefix space is reclaimed in
+	// place the next time the buffer needs room, so a full slide buffer
+	// never recopies itself per published tuple.
 	buf  []tuple.Tuple
+	head int
 	subs map[string]*obSub
 
 	// acks maps downstream endpoints to the highest stable tuple id they
@@ -51,7 +56,11 @@ type OutputBuffer struct {
 	// pending batches emissions of the same instant into one DataMsg.
 	pending    []tuple.Tuple
 	flushTimer *vtime.Timer
+	flushFn    func() // bound once; scheduling a flush allocates no closure
 	sim        *vtime.Sim
+	// subsSorted caches Subscribers() for the flush hot path; it is
+	// rebuilt whenever the subscription set changes.
+	subsSorted []string
 
 	// Truncated counts tuples dropped from the head; Blocked reports
 	// whether a full BufferBlock buffer is exerting back-pressure.
@@ -66,7 +75,7 @@ type obSub struct {
 
 // NewOutputBuffer builds a buffer for one output stream of endpoint self.
 func NewOutputBuffer(sim *vtime.Sim, net *netsim.Net, self, stream string, mode BufferMode, capTuples int, expected []string) *OutputBuffer {
-	return &OutputBuffer{
+	ob := &OutputBuffer{
 		net:      net,
 		self:     self,
 		stream:   stream,
@@ -77,10 +86,46 @@ func NewOutputBuffer(sim *vtime.Sim, net *netsim.Net, self, stream string, mode 
 		acks:     make(map[string]uint64),
 		expected: append([]string(nil), expected...),
 	}
+	ob.flushFn = ob.flush
+	return ob
 }
 
 // Len returns the number of buffered tuples.
-func (ob *OutputBuffer) Len() int { return len(ob.buf) }
+func (ob *OutputBuffer) Len() int { return len(ob.buf) - ob.head }
+
+// live returns the current buffer contents.
+func (ob *OutputBuffer) live() []tuple.Tuple { return ob.buf[ob.head:] }
+
+// drop discards the n oldest live tuples, clearing their slots so the
+// buffer does not pin emitted payloads.
+func (ob *OutputBuffer) drop(n int) {
+	clear(ob.buf[ob.head : ob.head+n])
+	ob.head += n
+	ob.Truncated += uint64(n)
+}
+
+// appendBuf adds one tuple, reclaiming dead head space in place when the
+// backing array fills, and doubling it only when more than half is live.
+func (ob *OutputBuffer) appendBuf(t tuple.Tuple) {
+	if len(ob.buf) == cap(ob.buf) {
+		live := len(ob.buf) - ob.head
+		if ob.head > 0 && live <= cap(ob.buf)/2 {
+			copy(ob.buf, ob.buf[ob.head:])
+			clear(ob.buf[live:])
+			ob.buf = ob.buf[:live]
+		} else {
+			nc := 2 * live
+			if nc < 64 {
+				nc = 64
+			}
+			nb := make([]tuple.Tuple, live, nc)
+			copy(nb, ob.buf[ob.head:])
+			ob.buf = nb
+		}
+		ob.head = 0
+	}
+	ob.buf = append(ob.buf, t)
+}
 
 // Reset clears the buffer, subscriptions, and acknowledgments: crash
 // recovery (§4.5) starts the stream over — buffers are volatile (§2.2) and
@@ -88,7 +133,9 @@ func (ob *OutputBuffer) Len() int { return len(ob.buf) }
 // the reset).
 func (ob *OutputBuffer) Reset() {
 	ob.buf = nil
+	ob.head = 0
 	ob.subs = make(map[string]*obSub)
+	ob.subsSorted = nil
 	ob.acks = make(map[string]uint64)
 	ob.pending = nil
 	if ob.flushTimer != nil {
@@ -98,14 +145,18 @@ func (ob *OutputBuffer) Reset() {
 	ob.Blocked = false
 }
 
-// Subscribers returns the active subscriber endpoints, sorted.
+// Subscribers returns the active subscriber endpoints, sorted. The result
+// is cached; callers must not modify it.
 func (ob *OutputBuffer) Subscribers() []string {
-	var out []string
-	for s := range ob.subs {
-		out = append(out, s)
+	if ob.subsSorted == nil && len(ob.subs) > 0 {
+		out := make([]string, 0, len(ob.subs))
+		for s := range ob.subs {
+			out = append(out, s)
+		}
+		sort.Strings(out)
+		ob.subsSorted = out
 	}
-	sort.Strings(out)
-	return out
+	return ob.subsSorted
 }
 
 // Publish handles one tuple emitted by the local diagram on this stream:
@@ -115,23 +166,24 @@ func (ob *OutputBuffer) Subscribers() []string {
 func (ob *OutputBuffer) Publish(t tuple.Tuple) bool {
 	switch {
 	case t.IsData(), t.Type == tuple.Boundary:
-		if ob.cap > 0 && len(ob.buf) >= ob.cap {
+		if ob.cap > 0 && ob.Len() >= ob.cap {
 			switch ob.mode {
 			case BufferBlock:
 				ob.Blocked = true
 				return false
 			case BufferSlide:
-				drop := len(ob.buf) - ob.cap + 1
-				ob.Truncated += uint64(drop)
-				ob.buf = append(ob.buf[:0:0], ob.buf[drop:]...)
+				ob.drop(ob.Len() - ob.cap + 1)
 			}
 		}
-		ob.buf = append(ob.buf, t)
+		ob.appendBuf(t)
 	case t.Type == tuple.Undo:
 		// Compact: delete the revoked tentative suffix. Replays from
 		// now on reflect the corrected stream; live subscribers get
 		// the undo itself.
-		ob.buf = tuple.ApplyUndo(ob.buf, t.ID)
+		live := ob.live()
+		kept := tuple.ApplyUndo(live, t.ID)
+		clear(live[len(kept):])
+		ob.buf = ob.buf[:ob.head+len(kept)]
 	case t.Type == tuple.RecDone:
 		// Not buffered: a late subscriber sees only corrected data.
 	}
@@ -147,7 +199,7 @@ func (ob *OutputBuffer) send(t tuple.Tuple) {
 	}
 	ob.pending = append(ob.pending, t)
 	if ob.flushTimer == nil {
-		ob.flushTimer = ob.sim.After(0, ob.flush)
+		ob.flushTimer = ob.sim.After(0, ob.flushFn)
 	}
 }
 
@@ -172,6 +224,7 @@ func (ob *OutputBuffer) flush() {
 func (ob *OutputBuffer) Subscribe(from string, msg SubscribeMsg) {
 	sub := &obSub{}
 	ob.subs[from] = sub
+	ob.subsSorted = nil
 	if msg.TailOnly {
 		return
 	}
@@ -189,22 +242,26 @@ func (ob *OutputBuffer) Subscribe(from string, msg SubscribeMsg) {
 // after returns the buffered suffix following the data tuple with the given
 // id (everything, if id is 0 or unknown because it was truncated).
 func (ob *OutputBuffer) after(id uint64) []tuple.Tuple {
+	live := ob.live()
 	start := 0
 	if id > 0 {
-		for i := len(ob.buf) - 1; i >= 0; i-- {
-			if ob.buf[i].IsData() && ob.buf[i].ID == id {
+		for i := len(live) - 1; i >= 0; i-- {
+			if live[i].IsData() && live[i].ID == id {
 				start = i + 1
 				break
 			}
 		}
 	}
-	out := make([]tuple.Tuple, len(ob.buf)-start)
-	copy(out, ob.buf[start:])
+	out := make([]tuple.Tuple, len(live)-start)
+	copy(out, live[start:])
 	return out
 }
 
 // Unsubscribe removes a subscriber.
-func (ob *OutputBuffer) Unsubscribe(from string) { delete(ob.subs, from) }
+func (ob *OutputBuffer) Unsubscribe(from string) {
+	delete(ob.subs, from)
+	ob.subsSorted = nil
+}
 
 // Ack records a downstream acknowledgment and truncates the buffer to the
 // suffix someone might still need: everything after the minimum
@@ -229,8 +286,10 @@ func (ob *OutputBuffer) Ack(from string, upTo uint64) {
 	if min == 0 {
 		return
 	}
+	live := ob.live()
 	cut := 0
-	for i, t := range ob.buf {
+	for i := range live {
+		t := &live[i]
 		if t.IsData() && t.ID <= min && t.Type == tuple.Insertion {
 			cut = i + 1
 		}
@@ -239,9 +298,8 @@ func (ob *OutputBuffer) Ack(from string, upTo uint64) {
 		}
 	}
 	if cut > 0 {
-		ob.Truncated += uint64(cut)
-		ob.buf = append(ob.buf[:0:0], ob.buf[cut:]...)
-		if ob.Blocked && (ob.cap <= 0 || len(ob.buf) < ob.cap) {
+		ob.drop(cut)
+		if ob.Blocked && (ob.cap <= 0 || ob.Len() < ob.cap) {
 			ob.Blocked = false
 		}
 	}

@@ -1,6 +1,7 @@
 package operator
 
 import (
+	"slices"
 	"sort"
 
 	"borealis/internal/tuple"
@@ -87,10 +88,16 @@ func (c *SUnionConfig) normalize() {
 	}
 }
 
+// sunionBucket is one serialization bucket. Buckets live in the SUnion's
+// ordered index while pending and on a free list once emitted, so the
+// steady-state bucket churn reuses both the structs and their Tuples
+// backing arrays.
 type sunionBucket struct {
+	Start        int64
 	Tuples       []tuple.Tuple
 	FirstArrival int64
 	HasTentative bool
+	next         *sunionBucket // free-list link
 }
 
 // SUnion is the data-serializing operator of §4.2: it buffers tuples from
@@ -107,12 +114,16 @@ type SUnion struct {
 	Base
 	cfg SUnionConfig
 
-	// Checkpointed state.
+	// Checkpointed state. buckets is an ordered index: sorted ascending
+	// by Start, every entry at or past the cursor and non-empty, so the
+	// earliest pending bucket is always buckets[0] and pump never scans.
 	bounds      []int64 // latest boundary stime per port
-	buckets     map[int64]*sunionBucket
+	buckets     []*sunionBucket
 	cursor      int64 // start of the next bucket to emit
 	sentBound   int64
 	recDoneSeen []bool
+
+	bfree *sunionBucket // recycled buckets
 
 	// Runtime state, deliberately NOT checkpointed: failure handling is
 	// re-established by the node controller after a restore.
@@ -125,6 +136,8 @@ type SUnion struct {
 	sentTentBound int64
 	timer         *vtime.Timer
 	signaled      bool
+	pumping       bool
+	repump        bool
 	droppedLate   uint64
 	droppedUndo   uint64
 }
@@ -137,7 +150,6 @@ func NewSUnion(name string, cfg SUnionConfig) *SUnion {
 		cfg:           cfg,
 		bounds:        make([]int64, cfg.Ports),
 		tentBounds:    make([]int64, cfg.Ports),
-		buckets:       make(map[int64]*sunionBucket),
 		sentBound:     -1,
 		sentTentBound: -1,
 		recDoneSeen:   make([]bool, cfg.Ports),
@@ -173,9 +185,6 @@ func (s *SUnion) PendingBuckets() int { return len(s.buckets) }
 func (s *SUnion) OldestPendingArrival() int64 {
 	oldest := int64(-1)
 	for _, b := range s.buckets {
-		if len(b.Tuples) == 0 {
-			continue
-		}
 		if oldest < 0 || b.FirstArrival < oldest {
 			oldest = b.FirstArrival
 		}
@@ -245,6 +254,68 @@ func (s *SUnion) FreshCount(ts []tuple.Tuple) int {
 	return n
 }
 
+// allocBucket takes a bucket from the free list, or makes one.
+func (s *SUnion) allocBucket(start int64) *sunionBucket {
+	b := s.bfree
+	if b == nil {
+		b = &sunionBucket{}
+	} else {
+		s.bfree = b.next
+		b.next = nil
+	}
+	b.Start = start
+	b.Tuples = b.Tuples[:0]
+	b.FirstArrival = 0
+	b.HasTentative = false
+	return b
+}
+
+// freeBucket recycles an emitted bucket, clearing tuple payload references
+// so the pool does not pin emitted data.
+func (s *SUnion) freeBucket(b *sunionBucket) {
+	clear(b.Tuples)
+	b.Tuples = b.Tuples[:0]
+	b.next = s.bfree
+	s.bfree = b
+}
+
+// getBucket returns the bucket starting at start, creating and inserting it
+// in order if absent. The fast path — stimes mostly increase — touches only
+// the last entry.
+func (s *SUnion) getBucket(start int64) *sunionBucket {
+	n := len(s.buckets)
+	if n > 0 {
+		if last := s.buckets[n-1]; last.Start == start {
+			return last
+		} else if last.Start < start {
+			b := s.allocBucket(start)
+			s.buckets = append(s.buckets, b)
+			return b
+		}
+	} else {
+		b := s.allocBucket(start)
+		s.buckets = append(s.buckets, b)
+		return b
+	}
+	i := sort.Search(n, func(i int) bool { return s.buckets[i].Start >= start })
+	if i < n && s.buckets[i].Start == start {
+		return s.buckets[i]
+	}
+	b := s.allocBucket(start)
+	s.buckets = append(s.buckets, nil)
+	copy(s.buckets[i+1:], s.buckets[i:])
+	s.buckets[i] = b
+	return b
+}
+
+// popFront removes the earliest bucket from the index, keeping capacity.
+func (s *SUnion) popFront() {
+	n := len(s.buckets)
+	copy(s.buckets, s.buckets[1:])
+	s.buckets[n-1] = nil
+	s.buckets = s.buckets[:n-1]
+}
+
 // Process consumes a tuple on the given port.
 func (s *SUnion) Process(port int, t tuple.Tuple) {
 	switch {
@@ -254,11 +325,7 @@ func (s *SUnion) Process(port int, t tuple.Tuple) {
 			s.droppedLate++
 			return
 		}
-		b := s.buckets[start]
-		if b == nil {
-			b = &sunionBucket{FirstArrival: s.Now()}
-			s.buckets[start] = b
-		}
+		b := s.getBucket(start)
 		if len(b.Tuples) == 0 {
 			b.FirstArrival = s.Now()
 		}
@@ -316,24 +383,57 @@ func (s *SUnion) stableThrough() int64 {
 // pump emits every bucket that is ready, in bucket order: stable buckets as
 // soon as boundaries prove them complete, unstable buckets when the current
 // policy releases them. It then (re)arms the flush timer for the next
-// pending bucket, if any.
+// pending bucket, if any. Reentrant calls (an emission's downstream effects
+// reaching back into this operator) are deferred to the outer invocation so
+// the bucket being emitted is never mutated mid-flight.
 func (s *SUnion) pump() {
+	if s.pumping {
+		s.repump = true
+		return
+	}
+	s.pumping = true
+	for {
+		s.repump = false
+		s.pumpOnce()
+		if !s.repump {
+			break
+		}
+	}
+	s.pumping = false
+}
+
+func (s *SUnion) pumpOnce() {
 	stable := s.stableThrough()
 	now := s.Now()
 	advanced := false
 	armed := false
 	for {
 		end := s.cursor + s.cfg.BucketSize
-		b := s.buckets[s.cursor]
-		empty := b == nil || len(b.Tuples) == 0
-		hasTent := b != nil && b.HasTentative
-		if stable >= end && !hasTent {
+		var b *sunionBucket
+		if len(s.buckets) > 0 && s.buckets[0].Start == s.cursor {
+			b = s.buckets[0]
+		}
+		if b == nil {
+			if stable >= end {
+				// Gap at the cursor: every absent bucket below the
+				// stable watermark is trivially stable and empty.
+				// Jump the cursor over the whole run instead of
+				// stepping one bucket width at a time.
+				target := s.bucketStart(stable)
+				if len(s.buckets) > 0 && s.buckets[0].Start < target {
+					target = s.buckets[0].Start
+				}
+				s.cursor = target
+				advanced = true
+				continue
+			}
+		} else if stable >= end && !b.HasTentative {
 			// Stable bucket. Under PolicyDelay even stable-ready
 			// data is held for 0.9·D (§6: "continuously delaying
 			// new tuples as much as possible"): if the node's
 			// reconciliation grant arrives within the hold, these
 			// tuples are never emitted under divergence at all.
-			if s.policy == PolicyDelay && !empty {
+			if s.policy == PolicyDelay {
 				if due := b.FirstArrival + s.delayBudget(); now < due {
 					s.armTimer(due)
 					armed = true
@@ -341,39 +441,34 @@ func (s *SUnion) pump() {
 				}
 			}
 			// Emit sorted, final content.
-			if !empty {
-				s.emitBucket(b, false)
-			}
-			delete(s.buckets, s.cursor)
+			s.popFront()
 			s.cursor = end
 			advanced = true
+			s.emitBucket(b, false)
+			s.freeBucket(b)
 			continue
 		}
 		if s.policy == PolicyNone || s.policy == PolicySuspend {
 			break
 		}
-		// Tentative path: find the earliest pending bucket with data;
-		// empty buckets in front of it are skipped when it releases.
-		lead := s.earliestPending()
-		if lead == nil {
+		// Tentative path: the earliest pending bucket is the front of
+		// the ordered index; absent buckets in front of it are skipped
+		// when it releases.
+		if len(s.buckets) == 0 {
 			break
 		}
+		lead := s.buckets[0]
 		due := s.releaseAt(lead)
 		if now < due {
 			s.armTimer(due)
 			armed = true
 			break
 		}
-		// Flush empty buckets up to and including the lead bucket.
-		for s.cursor <= lead.start {
-			bb := s.buckets[s.cursor]
-			if bb != nil && len(bb.Tuples) > 0 {
-				s.emitBucket(bb, true)
-			}
-			delete(s.buckets, s.cursor)
-			s.cursor += s.cfg.BucketSize
-		}
+		s.popFront()
+		s.cursor = lead.Start + s.cfg.BucketSize
 		advanced = true
+		s.emitBucket(lead, true)
+		s.freeBucket(lead)
 	}
 	if advanced || stable > s.sentBound {
 		// Forward the punctuation watermark: never beyond the cursor
@@ -401,25 +496,6 @@ func (s *SUnion) pump() {
 	}
 }
 
-type pendingBucket struct {
-	start  int64
-	bucket *sunionBucket
-}
-
-// earliestPending returns the first non-empty unemitted bucket.
-func (s *SUnion) earliestPending() *pendingBucket {
-	var best *pendingBucket
-	for start, b := range s.buckets {
-		if start < s.cursor || len(b.Tuples) == 0 {
-			continue
-		}
-		if best == nil || start < best.start {
-			best = &pendingBucket{start: start, bucket: b}
-		}
-	}
-	return best
-}
-
 // tentativelyComplete reports whether every port's combined watermark
 // (stable or tentative) covers the bucket: with tentative boundaries on,
 // such a bucket can be flushed without the fixed TentativeWait.
@@ -438,13 +514,13 @@ func (s *SUnion) tentativelyComplete(start int64) bool {
 }
 
 // releaseAt computes when the policy allows a bucket's tentative emission.
-func (s *SUnion) releaseAt(p *pendingBucket) int64 {
+func (s *SUnion) releaseAt(b *sunionBucket) int64 {
 	switch s.policy {
 	case PolicyDelay:
-		return p.bucket.FirstArrival + s.delayBudget()
+		return b.FirstArrival + s.delayBudget()
 	case PolicyProcess:
-		at := p.bucket.FirstArrival + s.cfg.TentativeWait
-		if s.tentativelyComplete(p.start) {
+		at := b.FirstArrival + s.cfg.TentativeWait
+		if s.tentativelyComplete(b.Start) {
 			// Footnote 5: tentative boundaries prove the bucket
 			// complete; no need for the fixed wait.
 			at = s.Now()
@@ -464,7 +540,7 @@ func (s *SUnion) emitBucket(b *sunionBucket, tentative bool) {
 	// A stable sort keeps arrival order for fully-tied tuples, which is
 	// itself deterministic because every upstream SUnion emits a
 	// deterministic sequence.
-	sort.SliceStable(b.Tuples, func(i, j int) bool { return tuple.Less(b.Tuples[i], b.Tuples[j]) })
+	slices.SortStableFunc(b.Tuples, tuple.Compare)
 	for _, t := range b.Tuples {
 		if tentative {
 			t = t.AsTentative()
@@ -498,7 +574,7 @@ func (s *SUnion) stopTimer() {
 
 type sunionState struct {
 	Bounds      []int64
-	Buckets     map[int64]sunionBucket
+	Buckets     []sunionBucket // ascending by Start
 	Cursor      int64
 	SentBound   int64
 	RecDoneSeen []bool
@@ -508,9 +584,10 @@ type sunionState struct {
 // and timers are runtime state: the node controller re-establishes them
 // after a restore based on which failures are still active.
 func (s *SUnion) Checkpoint() any {
-	bk := make(map[int64]sunionBucket, len(s.buckets))
-	for start, b := range s.buckets {
-		bk[start] = sunionBucket{
+	bk := make([]sunionBucket, len(s.buckets))
+	for i, b := range s.buckets {
+		bk[i] = sunionBucket{
+			Start:        b.Start,
 			Tuples:       cloneTuples(b.Tuples),
 			FirstArrival: b.FirstArrival,
 			HasTentative: b.HasTentative,
@@ -529,14 +606,16 @@ func (s *SUnion) Checkpoint() any {
 func (s *SUnion) Restore(snap any) {
 	st := snap.(sunionState)
 	copy(s.bounds, st.Bounds)
-	s.buckets = make(map[int64]*sunionBucket, len(st.Buckets))
-	for start, b := range st.Buckets {
-		cp := sunionBucket{
-			Tuples:       cloneTuples(b.Tuples),
-			FirstArrival: b.FirstArrival,
-			HasTentative: b.HasTentative,
-		}
-		s.buckets[start] = &cp
+	for _, b := range s.buckets {
+		s.freeBucket(b)
+	}
+	s.buckets = s.buckets[:0]
+	for i := range st.Buckets {
+		b := s.allocBucket(st.Buckets[i].Start)
+		b.Tuples = cloneTuples(st.Buckets[i].Tuples)
+		b.FirstArrival = st.Buckets[i].FirstArrival
+		b.HasTentative = st.Buckets[i].HasTentative
+		s.buckets = append(s.buckets, b)
 	}
 	s.cursor = st.Cursor
 	s.sentBound = st.SentBound

@@ -50,6 +50,9 @@ type Source struct {
 	log     []tuple.Tuple
 	logBase int // sequence index of log[0] after truncation
 	subs    map[string]*subscriber
+	// subsSorted caches the deterministic flush order; rebuilt when the
+	// subscription set changes.
+	subsSorted []string
 
 	nextID       uint64
 	seq          uint64
@@ -77,7 +80,12 @@ func New(sim *vtime.Sim, net *netsim.Net, cfg Config) *Source {
 		cfg.BoundaryInterval = 100 * vtime.Millisecond
 	}
 	if cfg.Payload == nil {
-		cfg.Payload = func(seq uint64) []int64 { return []int64{int64(seq)} }
+		var arena tuple.I64Arena
+		cfg.Payload = func(seq uint64) []int64 {
+			p := arena.Alloc(1)
+			p[0] = int64(seq)
+			return p
+		}
 	}
 	s := &Source{cfg: cfg, sim: sim, net: net, subs: make(map[string]*subscriber)}
 	net.Register(cfg.ID, s.handle)
@@ -166,25 +174,30 @@ func (s *Source) append(t tuple.Tuple) {
 			}
 		}
 	}
-	s.log = append(s.log, t)
+	s.log = tuple.Append(s.log, t)
 }
 
 // flush sends each subscriber everything it has not yet received, in
-// deterministic (sorted endpoint) order.
+// deterministic (sorted endpoint) order. Batches alias the log rather than
+// copying it: the aliased region is immutable (appends write past it, and
+// LogCap eviction reallocates, leaving in-flight views intact).
 func (s *Source) flush() {
 	end := s.logBase + len(s.log)
-	eps := make([]string, 0, len(s.subs))
-	for ep := range s.subs {
-		eps = append(eps, ep)
+	if s.subsSorted == nil && len(s.subs) > 0 {
+		eps := make([]string, 0, len(s.subs))
+		for ep := range s.subs {
+			eps = append(eps, ep)
+		}
+		sort.Strings(eps)
+		s.subsSorted = eps
 	}
-	sort.Strings(eps)
-	for _, ep := range eps {
+	for _, ep := range s.subsSorted {
 		sub := s.subs[ep]
 		if sub.paused || sub.pos >= end {
 			continue
 		}
-		batch := make([]tuple.Tuple, end-sub.pos)
-		copy(batch, s.log[sub.pos-s.logBase:])
+		lo := sub.pos - s.logBase
+		batch := s.log[lo : len(s.log) : len(s.log)]
 		sub.pos = end
 		sub.seq++
 		s.net.Send(s.cfg.ID, ep, node.DataMsg{Stream: s.cfg.Stream, Seq: sub.seq, Tuples: batch})
@@ -210,11 +223,13 @@ func (s *Source) handle(from string, msg any) {
 			}
 		}
 		s.subs[from] = &subscriber{pos: pos}
+		s.subsSorted = nil
 		if !s.disconnected {
 			s.flush()
 		}
 	case node.UnsubscribeMsg:
 		delete(s.subs, from)
+		s.subsSorted = nil
 	case node.AckMsg:
 		// Sources log persistently; acks need no truncation action.
 	case node.KeepAliveReq:

@@ -1,0 +1,36 @@
+package vtime
+
+import "testing"
+
+// BenchmarkVtimeSchedule exercises the scheduler's hottest pattern: the
+// SUnion re-arm cycle, where a timer is armed, cancelled, re-armed at a
+// different instant, and finally fired. With the timer free-list this runs
+// allocation-free in steady state.
+func BenchmarkVtimeSchedule(b *testing.B) {
+	s := New()
+	noop := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := s.After(10, noop)
+		t.Stop()
+		s.After(5, noop)
+		s.Step()
+	}
+}
+
+// BenchmarkVtimeScheduleDeep keeps a deeper pending heap, measuring push/pop
+// cost with realistic queue depth.
+func BenchmarkVtimeScheduleDeep(b *testing.B) {
+	s := New()
+	noop := func() {}
+	for i := 0; i < 256; i++ {
+		s.After(int64(1_000_000+i), noop)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.After(1, noop)
+		s.Step()
+	}
+}

@@ -5,10 +5,16 @@
 // callbacks with At or After; Run drains the event queue in (time, sequence)
 // order, so two events scheduled for the same instant fire in the order they
 // were scheduled, making every simulation fully deterministic.
+//
+// Timers are pooled: once a timer fires or is stopped it returns to a
+// per-Sim free list and its handle is dead — callers must drop their
+// reference at that point (the idiom throughout this repo is to nil the
+// stored field as the first statement of the callback, and right after any
+// Stop call). Calling Stop on a dead handle is a no-op until the object is
+// reused, so stale handles must not be retained across further scheduling.
 package vtime
 
 import (
-	"container/heap"
 	"fmt"
 )
 
@@ -20,23 +26,35 @@ const (
 )
 
 // Timer is a handle to a scheduled event. Stop cancels the event if it has
-// not fired yet.
+// not fired yet. Timers are recycled after they fire or are stopped; see the
+// package comment for the handle-lifetime contract.
 type Timer struct {
+	sim *Sim
+	// Exactly one of fn/argFn is set. argFn is the closure-free path: a
+	// shared function invoked with a caller-owned argument, so schedulers
+	// like netsim do not allocate a fresh closure per event.
 	fn      func()
+	argFn   func(any)
+	arg     any
 	at      int64
 	seq     uint64
 	stopped bool
 	fired   bool
-	index   int // heap index, -1 once removed
+	index   int    // heap index, -1 once removed
+	next    *Timer // free-list link
 }
 
-// Stop cancels the timer. It reports whether the call prevented the event
-// from firing.
+// Stop cancels the timer, eagerly removing it from the event heap and
+// recycling it. It reports whether the call prevented the event from firing.
 func (t *Timer) Stop() bool {
 	if t == nil || t.fired || t.stopped {
 		return false
 	}
 	t.stopped = true
+	if t.index >= 0 {
+		t.sim.remove(t.index)
+		t.sim.release(t)
+	}
 	return true
 }
 
@@ -46,42 +64,14 @@ func (t *Timer) Stopped() bool { return t != nil && t.stopped }
 // When returns the virtual time at which the timer is (or was) scheduled.
 func (t *Timer) When() int64 { return t.at }
 
-type eventHeap []*Timer
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	t := x.(*Timer)
-	t.index = len(*h)
-	*h = append(*h, t)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	t := old[n-1]
-	old[n-1] = nil
-	t.index = -1
-	*h = old[:n-1]
-	return t
-}
-
 // Sim is a discrete-event simulator. The zero value is not usable; call New.
 // Sim is not safe for concurrent use: the entire simulation is single
 // threaded by design, which is what makes runs reproducible.
 type Sim struct {
 	now    int64
 	seq    uint64
-	events eventHeap
+	events []*Timer // binary min-heap on (at, seq)
+	free   *Timer   // free list of recycled timers
 	// processed counts fired events, for tests and progress reporting.
 	processed uint64
 }
@@ -97,8 +87,46 @@ func (s *Sim) Now() int64 { return s.now }
 // Processed returns the number of events fired so far.
 func (s *Sim) Processed() uint64 { return s.processed }
 
-// Pending returns the number of events currently scheduled.
+// Pending returns the number of events currently scheduled. Stopped timers
+// are removed eagerly, so every counted event will fire.
 func (s *Sim) Pending() int { return len(s.events) }
+
+// alloc takes a timer from the free list, or makes one.
+func (s *Sim) alloc() *Timer {
+	t := s.free
+	if t == nil {
+		return &Timer{sim: s}
+	}
+	s.free = t.next
+	t.next = nil
+	t.stopped = false
+	t.fired = false
+	return t
+}
+
+// release recycles a fired or stopped timer. Function and argument
+// references are cleared so the pool does not retain caller state.
+func (s *Sim) release(t *Timer) {
+	t.fn = nil
+	t.argFn = nil
+	t.arg = nil
+	t.stopped = true // a dead handle's Stop must stay a no-op
+	t.index = -1
+	t.next = s.free
+	s.free = t
+}
+
+// schedule validates, stamps, and enqueues a timer.
+func (s *Sim) schedule(t *Timer, at int64) *Timer {
+	if at < s.now {
+		panic(fmt.Sprintf("vtime: scheduling event at %d before now %d", at, s.now))
+	}
+	s.seq++
+	t.at = at
+	t.seq = s.seq
+	s.push(t)
+	return t
+}
 
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
 // panics: it would silently reorder causality.
@@ -106,13 +134,23 @@ func (s *Sim) At(t int64, fn func()) *Timer {
 	if fn == nil {
 		panic("vtime: nil event function")
 	}
-	if t < s.now {
-		panic(fmt.Sprintf("vtime: scheduling event at %d before now %d", t, s.now))
+	tm := s.alloc()
+	tm.fn = fn
+	return s.schedule(tm, t)
+}
+
+// AtCall schedules fn(arg) at absolute virtual time t. Unlike At, the
+// function is shared across events and the per-event state travels in arg,
+// so steady-state callers (netsim deliveries, pooled records) allocate
+// nothing per event.
+func (s *Sim) AtCall(t int64, fn func(any), arg any) *Timer {
+	if fn == nil {
+		panic("vtime: nil event function")
 	}
-	s.seq++
-	tm := &Timer{fn: fn, at: t, seq: s.seq}
-	heap.Push(&s.events, tm)
-	return tm
+	tm := s.alloc()
+	tm.argFn = fn
+	tm.arg = arg
+	return s.schedule(tm, t)
 }
 
 // After schedules fn to run d microseconds from now. Negative d is treated
@@ -124,21 +162,38 @@ func (s *Sim) After(d int64, fn func()) *Timer {
 	return s.At(s.now+d, fn)
 }
 
+// AfterCall schedules fn(arg) d microseconds from now, allocation-free in
+// steady state. Negative d is treated as zero.
+func (s *Sim) AfterCall(d int64, fn func(any), arg any) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return s.AtCall(s.now+d, fn, arg)
+}
+
 // Step fires the next event, if any, advancing the clock to its time.
 // It reports whether an event fired.
 func (s *Sim) Step() bool {
-	for len(s.events) > 0 {
-		t := heap.Pop(&s.events).(*Timer)
-		if t.stopped {
-			continue
-		}
-		s.now = t.at
-		t.fired = true
-		s.processed++
-		t.fn()
-		return true
+	if len(s.events) == 0 {
+		return false
 	}
-	return false
+	t := s.popMin()
+	s.now = t.at
+	t.fired = true
+	s.processed++
+	if t.argFn != nil {
+		fn, arg := t.argFn, t.arg
+		// Recycle only after the callback returns: a handle retained
+		// through the callback (Ticker.Stop from inside the tick) still
+		// sees fired==true rather than a reused timer.
+		defer s.release(t)
+		fn(arg)
+	} else {
+		fn := t.fn
+		defer s.release(t)
+		fn()
+	}
+	return true
 }
 
 // Run fires events until the queue is empty.
@@ -150,11 +205,7 @@ func (s *Sim) Run() {
 // RunUntil fires events with time ≤ t, then advances the clock to t.
 // Events scheduled for later remain queued.
 func (s *Sim) RunUntil(t int64) {
-	for {
-		next, ok := s.peek()
-		if !ok || next > t {
-			break
-		}
+	for len(s.events) > 0 && s.events[0].at <= t {
 		s.Step()
 	}
 	if t > s.now {
@@ -165,15 +216,77 @@ func (s *Sim) RunUntil(t int64) {
 // RunFor runs the simulation for d microseconds of virtual time.
 func (s *Sim) RunFor(d int64) { s.RunUntil(s.now + d) }
 
-func (s *Sim) peek() (int64, bool) {
-	for len(s.events) > 0 {
-		if s.events[0].stopped {
-			heap.Pop(&s.events)
-			continue
-		}
-		return s.events[0].at, true
+// less orders the heap by (at, seq): time first, scheduling order second.
+func (s *Sim) less(i, j int) bool {
+	a, b := s.events[i], s.events[j]
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return 0, false
+	return a.seq < b.seq
+}
+
+func (s *Sim) swap(i, j int) {
+	s.events[i], s.events[j] = s.events[j], s.events[i]
+	s.events[i].index = i
+	s.events[j].index = j
+}
+
+func (s *Sim) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s.swap(i, parent)
+		i = parent
+	}
+}
+
+func (s *Sim) down(i int) {
+	n := len(s.events)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		least := l
+		if r := l + 1; r < n && s.less(r, l) {
+			least = r
+		}
+		if !s.less(least, i) {
+			break
+		}
+		s.swap(i, least)
+		i = least
+	}
+}
+
+func (s *Sim) push(t *Timer) {
+	t.index = len(s.events)
+	s.events = append(s.events, t)
+	s.up(t.index)
+}
+
+func (s *Sim) popMin() *Timer {
+	t := s.events[0]
+	s.remove(0)
+	return t
+}
+
+// remove detaches the timer at heap index i, restoring heap order.
+func (s *Sim) remove(i int) {
+	t := s.events[i]
+	last := len(s.events) - 1
+	if i != last {
+		s.swap(i, last)
+	}
+	s.events[last] = nil
+	s.events = s.events[:last]
+	if i != last {
+		s.down(i)
+		s.up(i)
+	}
+	t.index = -1
 }
 
 // Ticker fires fn every interval until stopped. The first tick fires at
@@ -182,6 +295,7 @@ type Ticker struct {
 	sim      *Sim
 	interval int64
 	fn       func()
+	tickFn   func() // bound once; rescheduling allocates no new closure
 	timer    *Timer
 	stopped  bool
 }
@@ -192,20 +306,24 @@ func (s *Sim) NewTicker(interval int64, fn func()) *Ticker {
 		panic("vtime: ticker interval must be positive")
 	}
 	tk := &Ticker{sim: s, interval: interval, fn: fn}
+	tk.tickFn = tk.tick
 	tk.schedule()
 	return tk
 }
 
+func (tk *Ticker) tick() {
+	tk.timer = nil
+	if tk.stopped {
+		return
+	}
+	tk.fn()
+	if !tk.stopped {
+		tk.schedule()
+	}
+}
+
 func (tk *Ticker) schedule() {
-	tk.timer = tk.sim.After(tk.interval, func() {
-		if tk.stopped {
-			return
-		}
-		tk.fn()
-		if !tk.stopped {
-			tk.schedule()
-		}
-	})
+	tk.timer = tk.sim.After(tk.interval, tk.tickFn)
 }
 
 // Stop cancels all future ticks.
@@ -215,4 +333,5 @@ func (tk *Ticker) Stop() {
 	}
 	tk.stopped = true
 	tk.timer.Stop()
+	tk.timer = nil
 }
