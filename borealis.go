@@ -40,6 +40,7 @@ import (
 	"borealis/internal/netsim"
 	"borealis/internal/node"
 	"borealis/internal/operator"
+	"borealis/internal/scenario"
 	"borealis/internal/source"
 	"borealis/internal/tuple"
 	"borealis/internal/vtime"
@@ -209,6 +210,15 @@ type (
 	SUnionTreeSpec = deploy.SUnionTreeSpec
 	// Deployment is a running system: sources, nodes, client.
 	Deployment = deploy.Deployment
+	// TopologySpec describes an arbitrary-DAG deployment: sources, a
+	// loop-free graph of replicated node groups, and a client.
+	TopologySpec = deploy.TopologySpec
+	// TopologySource describes one data source of a TopologySpec.
+	TopologySource = deploy.TopologySource
+	// NodeGroup describes one replicated logical node of a TopologySpec.
+	NodeGroup = deploy.NodeGroup
+	// TopologyClient configures the client proxy of a TopologySpec.
+	TopologyClient = deploy.TopologyClient
 )
 
 // BuildChain assembles a replicated chain deployment.
@@ -217,4 +227,42 @@ func BuildChain(spec ChainSpec) (*Deployment, error) { return deploy.BuildChain(
 // BuildSUnionTree assembles the Fig. 10/11 deployment.
 func BuildSUnionTree(spec SUnionTreeSpec) (*Deployment, error) {
 	return deploy.BuildSUnionTree(spec)
+}
+
+// BuildTopology assembles a deployment over an arbitrary DAG of replicated
+// node groups; BuildChain and BuildSUnionTree are presets over it.
+func BuildTopology(spec TopologySpec) (*Deployment, error) { return deploy.BuildTopology(spec) }
+
+// GroupReplicaID names replica r of a logical node: ("n2", 1) → "n2b".
+func GroupReplicaID(group string, replica int) string {
+	return deploy.GroupReplicaID(group, replica)
+}
+
+// Scenario engine (declarative topologies + failure schedules).
+type (
+	// Scenario is a declarative spec: topology, workload shapes and a
+	// timed fault schedule (see docs/SCENARIOS.md for the file format).
+	Scenario = scenario.Spec
+	// ScenarioOptions tunes a scenario run (quick mode, audit skip).
+	ScenarioOptions = scenario.Options
+	// ScenarioReport is the structured, deterministic metrics report.
+	ScenarioReport = scenario.Report
+)
+
+// LoadScenario reads and validates a scenario file.
+func LoadScenario(path string) (*Scenario, error) { return scenario.Load(path) }
+
+// ParseScenario decodes and validates a scenario spec from JSON.
+func ParseScenario(data []byte) (*Scenario, error) { return scenario.Parse(data) }
+
+// RunScenario executes a scenario on the virtual-time simulator and
+// returns its metrics report. Same spec + same seed ⇒ identical report.
+func RunScenario(s *Scenario, opts ScenarioOptions) (*ScenarioReport, error) {
+	return scenario.Run(s, opts)
+}
+
+// BuildScenario compiles a scenario into a deployment (workloads and
+// faults installed) without running it.
+func BuildScenario(s *Scenario, opts ScenarioOptions) (*Deployment, error) {
+	return scenario.Build(s, opts)
 }

@@ -1,16 +1,20 @@
 // Command borealis-sim runs the paper's experiments and prints the tables
-// and figure series of the evaluation (§5-§7).
+// and figure series of the evaluation (§5-§7), and executes declarative
+// scenario files (arbitrary topologies + failure schedules) from the
+// scenarios/ directory or anywhere else.
 //
 // Usage:
 //
 //	borealis-sim [-quick] <experiment>...
 //	borealis-sim [-quick] all
+//	borealis-sim [-quick] [-json] [-no-audit] scenario <file.json>...
 //
 // Experiments: fig11a fig11b table3 fig13 fig15 fig16 fig18 fig19 fig20
-// table4 table5 switchover ablate-buffers
+// table4 table5 switchover ablate-buffers ablate-tb
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -18,6 +22,7 @@ import (
 	"time"
 
 	"borealis/internal/experiment"
+	"borealis/internal/scenario"
 )
 
 var experiments = []struct {
@@ -71,12 +76,22 @@ var experiments = []struct {
 
 func main() {
 	quick := flag.Bool("quick", false, "reduced sweeps (seconds instead of minutes)")
+	asJSON := flag.Bool("json", false, "scenario mode: emit the canonical JSON report")
+	noAudit := flag.Bool("no-audit", false, "scenario mode: skip the consistency reference run")
 	flag.Usage = usage
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
 		usage()
 		os.Exit(2)
+	}
+	if args[0] == "scenario" {
+		if len(args) < 2 {
+			fmt.Fprintf(os.Stderr, "usage: borealis-sim [-quick] [-json] [-no-audit] scenario <file.json>...\n")
+			os.Exit(2)
+		}
+		runScenarios(args[1:], scenario.Options{Quick: *quick, SkipConsistency: *noAudit}, *asJSON)
+		return
 	}
 	opts := experiment.Options{Quick: *quick}
 	want := map[string]bool{}
@@ -117,9 +132,67 @@ func main() {
 	}
 }
 
+// runScenarios loads, runs and reports each scenario file in order. A
+// failed eventual-consistency audit makes the whole invocation exit
+// non-zero so CI smoke runs catch regressions. With -json, one file emits
+// a single report object (the golden-file form); several files emit one
+// JSON array so the output stays machine-parseable.
+func runScenarios(paths []string, opts scenario.Options, asJSON bool) {
+	auditFailed := false
+	var reports []*scenario.Report
+	for i, path := range paths {
+		spec, err := scenario.Load(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "borealis-sim: %v\n", err)
+			os.Exit(1)
+		}
+		start := time.Now()
+		rep, err := scenario.Run(spec, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "borealis-sim: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		if rep.Consistency != nil && !rep.Consistency.OK {
+			auditFailed = true
+		}
+		if asJSON {
+			reports = append(reports, rep)
+			continue
+		}
+		if i > 0 {
+			fmt.Println()
+		}
+		rep.Print(os.Stdout)
+		fmt.Printf("(%s in %.1fs wall time)\n", spec.Name, time.Since(start).Seconds())
+	}
+	if asJSON {
+		var b []byte
+		var err error
+		if len(reports) == 1 {
+			b, err = reports[0].JSON()
+		} else {
+			b, err = json.MarshalIndent(reports, "", "  ")
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "borealis-sim: %v\n", err)
+			os.Exit(1)
+		}
+		if len(b) > 0 && b[len(b)-1] != '\n' {
+			b = append(b, '\n')
+		}
+		os.Stdout.Write(b)
+	}
+	if auditFailed {
+		fmt.Fprintf(os.Stderr, "borealis-sim: eventual-consistency audit FAILED\n")
+		os.Exit(1)
+	}
+}
+
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: borealis-sim [-quick] <experiment>...|all\n\nexperiments:\n")
+	fmt.Fprintf(os.Stderr, "usage: borealis-sim [-quick] <experiment>...|all\n")
+	fmt.Fprintf(os.Stderr, "       borealis-sim [-quick] [-json] [-no-audit] scenario <file.json>...\n\nexperiments:\n")
 	for _, e := range experiments {
 		fmt.Fprintf(os.Stderr, "  %-16s %s\n", e.name, e.desc)
 	}
+	fmt.Fprintf(os.Stderr, "\nscenario files: see scenarios/ and docs/SCENARIOS.md\n")
 }

@@ -1,0 +1,62 @@
+package borealis_test
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// mdLink matches inline markdown links: [text](target).
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// generatedMD holds paper/snippet reference files produced by extraction
+// tooling; they carry artifacts (figure image links) we don't curate.
+var generatedMD = map[string]bool{
+	"PAPER.md":    true,
+	"PAPERS.md":   true,
+	"SNIPPETS.md": true,
+}
+
+// TestDocsLinks walks the curated markdown files in the repository root
+// and docs/ and verifies that relative links point at files that exist,
+// so the documentation cannot rot silently. External (http/https) links
+// and pure anchors are skipped. CI runs this in the docs job.
+func TestDocsLinks(t *testing.T) {
+	var mds []string
+	for _, pattern := range []string{"*.md", "docs/*.md"} {
+		m, err := filepath.Glob(pattern)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range m {
+			if !generatedMD[filepath.Base(f)] {
+				mds = append(mds, f)
+			}
+		}
+	}
+	if len(mds) < 5 {
+		t.Fatalf("expected the repo's markdown set, found only %v", mds)
+	}
+	for _, md := range mds {
+		data, err := os.ReadFile(md)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.HasPrefix(target, "http://") ||
+				strings.HasPrefix(target, "https://") ||
+				strings.HasPrefix(target, "mailto:") ||
+				strings.HasPrefix(target, "#") {
+				continue
+			}
+			target, _, _ = strings.Cut(target, "#") // strip anchor
+			resolved := filepath.Join(filepath.Dir(md), target)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: broken relative link %q (%v)", md, m[1], err)
+			}
+		}
+	}
+}

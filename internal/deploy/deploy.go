@@ -1,20 +1,20 @@
 // Package deploy assembles complete distributed DPC deployments on the
-// simulated network: data sources, replicated processing-node chains, and a
-// DPC client proxy — the topologies of the paper's evaluation (Fig. 10's
-// SUnion tree, Fig. 12's replicated single node with an SJoin, Fig. 14's
-// replicated chain, and Fig. 22's overhead setup).
+// simulated network: data sources, replicated processing-node graphs, and a
+// DPC client proxy. BuildTopology (topology.go) handles arbitrary DAGs of
+// replicated node groups; BuildChain and BuildSUnionTree are presets for
+// the topologies of the paper's evaluation (Fig. 10's SUnion tree, Fig.
+// 12's replicated single node with an SJoin, Fig. 14's replicated chain,
+// and Fig. 22's overhead setup).
 package deploy
 
 import (
 	"fmt"
 
 	"borealis/internal/client"
-	"borealis/internal/diagram"
 	"borealis/internal/netsim"
 	"borealis/internal/node"
 	"borealis/internal/operator"
 	"borealis/internal/source"
-	"borealis/internal/tuple"
 	"borealis/internal/vtime"
 )
 
@@ -113,203 +113,112 @@ type Deployment struct {
 	Sim     *vtime.Sim
 	Net     *netsim.Net
 	Sources []*source.Source
-	// Nodes[level][replica].
+	// Nodes[group][replica], groups in spec listing order (validated
+	// loop-free, but not reordered); for chain deployments a group is a
+	// level.
 	Nodes  [][]*node.Node
 	Client *client.Client
-	Spec   ChainSpec
+	// Spec is the chain preset spec, when built via BuildChain.
+	Spec ChainSpec
+	// Topology is the generalized spec every deployment compiles to.
+	Topology *TopologySpec
+
+	groupIndex  map[string]int
+	sourceIndex map[string]int
 }
 
 // nodeID names replica r of level l: "n1a", "n1b", "n2a", ...
 func nodeID(level, replica int) string {
-	return fmt.Sprintf("n%d%c", level, 'a'+replica)
+	return GroupReplicaID(fmt.Sprintf("n%d", level), replica)
 }
 
 // levelStream names the output stream of level l.
 func levelStream(level int) string { return fmt.Sprintf("t%d", level) }
 
-// BuildChain assembles the deployment. Call Start to begin.
+// BuildChain assembles a chain deployment as a preset over BuildTopology.
+// Call Start to begin.
 func BuildChain(spec ChainSpec) (*Deployment, error) {
 	if err := spec.normalize(); err != nil {
 		return nil, err
 	}
-	sim := vtime.New()
-	net := netsim.New(sim)
-	dep := &Deployment{Sim: sim, Net: net, Spec: spec}
-
-	// Sources.
-	var srcIDs []string
-	perSource := spec.Rate / float64(spec.Sources)
-	for i := 0; i < spec.Sources; i++ {
-		id := fmt.Sprintf("src%d", i+1)
-		srcIDs = append(srcIDs, id)
-		idx := int64(i + 1)
-		var arena tuple.I64Arena
-		dep.Sources = append(dep.Sources, source.New(sim, net, source.Config{
-			ID:               id,
-			Stream:           fmt.Sprintf("s%d", i+1),
-			Rate:             perSource,
-			TickInterval:     spec.TickInterval,
-			BoundaryInterval: spec.BoundaryInterval,
-			Payload: func(seq uint64) []int64 {
-				p := arena.Alloc(2)
-				p[0], p[1] = int64(seq), idx
-				return p
-			},
-		}))
+	top := TopologySpec{
+		BucketSize:       spec.BucketSize,
+		BoundaryInterval: spec.BoundaryInterval,
+		TickInterval:     spec.TickInterval,
+		StallTimeout:     spec.StallTimeout,
+		KeepAlive:        spec.KeepAlive,
+		AckInterval:      spec.AckInterval,
+		Client: TopologyClient{
+			Stream:              levelStream(spec.Depth),
+			BucketSize:          spec.BucketSize,
+			Delay:               spec.ClientDelay,
+			TentativeWait:       spec.ClientTentativeWait,
+			TentativeBoundaries: spec.TentativeBoundaries,
+			Record:              spec.RecordClient,
+		},
 	}
-
+	perSource := spec.Rate / float64(spec.Sources)
+	var level1Inputs []string
+	for i := 0; i < spec.Sources; i++ {
+		stream := fmt.Sprintf("s%d", i+1)
+		level1Inputs = append(level1Inputs, stream)
+		top.Sources = append(top.Sources, TopologySource{
+			ID:     fmt.Sprintf("src%d", i+1),
+			Stream: stream,
+			Rate:   perSource,
+		})
+	}
 	delayAt := func(level int) int64 {
 		if spec.DelayOverride != nil {
 			return spec.DelayOverride(level)
 		}
 		return spec.Delay
 	}
-
-	// Node levels.
 	for level := 1; level <= spec.Depth; level++ {
-		var row []*node.Node
-		for r := 0; r < spec.Replicas; r++ {
-			id := nodeID(level, r)
-			d, upstreams, err := buildLevelDiagram(spec, level, delayAt(level))
-			if err != nil {
-				return nil, err
-			}
-			var peers []string
-			for p := 0; p < spec.Replicas; p++ {
-				if p != r {
-					peers = append(peers, nodeID(level, p))
-				}
-			}
-			downstreams := map[string][]string{}
-			outStream := levelStream(level)
-			if level < spec.Depth {
-				for p := 0; p < spec.Replicas; p++ {
-					downstreams[outStream] = append(downstreams[outStream], nodeID(level+1, p))
-				}
-			} else {
-				downstreams[outStream] = []string{"client"}
-			}
-			n, err := node.New(sim, net, d, node.Config{
-				ID:                  id,
-				Capacity:            spec.Capacity,
-				FailurePolicy:       spec.FailurePolicy,
-				StabilizationPolicy: spec.StabilizationPolicy,
-				StallTimeout:        spec.StallTimeout,
-				Peers:               peers,
-				Upstreams:           upstreams(srcIDs, level, spec),
-				Downstreams:         downstreams,
-				BufferMode:          spec.BufferMode,
-				BufferCap:           spec.BufferCap,
-				FineGrained:         spec.FineGrained,
-				CM:                  node.CMConfig{KeepAlive: spec.KeepAlive},
-				AckInterval:         spec.AckInterval,
-			})
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, n)
+		g := NodeGroup{
+			Name:                fmt.Sprintf("n%d", level),
+			Output:              levelStream(level),
+			Inputs:              []string{levelStream(level - 1)},
+			Replicas:            spec.Replicas,
+			Delay:               delayAt(level),
+			Capacity:            spec.Capacity,
+			FailurePolicy:       spec.FailurePolicy,
+			StabilizationPolicy: spec.StabilizationPolicy,
+			TentativeWait:       spec.TentativeWait,
+			TentativeBoundaries: spec.TentativeBoundaries,
+			BufferMode:          spec.BufferMode,
+			BufferCap:           spec.BufferCap,
+			FineGrained:         spec.FineGrained,
 		}
-		dep.Nodes = append(dep.Nodes, row)
+		if level == 1 {
+			g.Inputs = level1Inputs
+			if spec.WithJoin {
+				// Fig. 12: SJoin sized to hold ≈ JoinStateTuples. The
+				// window (in stime units) that keeps that many tuples
+				// buffered at the aggregate input rate:
+				win := int64(float64(spec.JoinStateTuples) / spec.Rate * float64(vtime.Second))
+				if win < 1 {
+					win = 1
+				}
+				left := int32(spec.Sources) / 2
+				g.Operators = func() []operator.Operator {
+					return []operator.Operator{operator.NewSJoin("join", operator.JoinConfig{
+						Window:   win,
+						LeftKey:  0,
+						RightKey: 0,
+						IsLeft:   func(src int32) bool { return src < left },
+					})}
+				}
+			}
+		}
+		top.Groups = append(top.Groups, g)
 	}
-
-	// Client proxy on the last level's output.
-	var lastReplicas []string
-	for r := 0; r < spec.Replicas; r++ {
-		lastReplicas = append(lastReplicas, nodeID(spec.Depth, r))
-	}
-	cl, err := client.New(sim, net, client.Config{
-		ID:                  "client",
-		Stream:              levelStream(spec.Depth),
-		Upstreams:           lastReplicas,
-		BucketSize:          spec.BucketSize,
-		Delay:               spec.ClientDelay,
-		TentativeWait:       spec.ClientTentativeWait,
-		StallTimeout:        spec.StallTimeout,
-		CM:                  node.CMConfig{KeepAlive: spec.KeepAlive},
-		AckInterval:         spec.AckInterval,
-		TentativeBoundaries: spec.TentativeBoundaries,
-		Record:              spec.RecordClient,
-	})
+	dep, err := BuildTopology(top)
 	if err != nil {
 		return nil, err
 	}
-	dep.Client = cl
+	dep.Spec = spec
 	return dep, nil
-}
-
-// buildLevelDiagram builds the query diagram fragment for one level and a
-// function producing its upstream map.
-func buildLevelDiagram(spec ChainSpec, level int, delay int64) (*diagram.Diagram, func([]string, int, ChainSpec) map[string][]string, error) {
-	b := diagram.NewBuilder()
-	out := levelStream(level)
-	if level == 1 {
-		su := operator.NewSUnion("merge", operator.SUnionConfig{
-			Ports:               spec.Sources,
-			BucketSize:          spec.BucketSize,
-			Delay:               delay,
-			TentativeWait:       spec.TentativeWait,
-			TentativeBoundaries: spec.TentativeBoundaries,
-		})
-		b.Add(su)
-		last := "merge"
-		if spec.WithJoin {
-			// Fig. 12: SJoin sized to hold ≈ JoinStateTuples. The
-			// window (in stime units) that keeps that many tuples
-			// buffered at the aggregate input rate:
-			win := int64(float64(spec.JoinStateTuples) / spec.Rate * float64(vtime.Second))
-			if win < 1 {
-				win = 1
-			}
-			left := int32(spec.Sources) / 2
-			b.Add(operator.NewSJoin("join", operator.JoinConfig{
-				Window:   win,
-				LeftKey:  0,
-				RightKey: 0,
-				IsLeft:   func(src int32) bool { return src < left },
-			}))
-			b.Connect("merge", "join", 0)
-			last = "join"
-		}
-		b.Add(operator.NewSOutput("sout"))
-		b.Connect(last, "sout", 0)
-		for i := 0; i < spec.Sources; i++ {
-			b.Input(fmt.Sprintf("s%d", i+1), "merge", i)
-		}
-		b.Output(out, "sout")
-	} else {
-		su := operator.NewSUnion("pass", operator.SUnionConfig{
-			Ports:               1,
-			BucketSize:          spec.BucketSize,
-			Delay:               delay,
-			TentativeWait:       spec.TentativeWait,
-			TentativeBoundaries: spec.TentativeBoundaries,
-		})
-		b.Add(su)
-		b.Add(operator.NewSOutput("sout"))
-		b.Connect("pass", "sout", 0)
-		b.Input(levelStream(level-1), "pass", 0)
-		b.Output(out, "sout")
-	}
-	d, err := b.Build()
-	if err != nil {
-		return nil, nil, err
-	}
-	ups := func(srcIDs []string, level int, spec ChainSpec) map[string][]string {
-		m := map[string][]string{}
-		if level == 1 {
-			for i, sid := range srcIDs {
-				m[fmt.Sprintf("s%d", i+1)] = []string{sid}
-			}
-		} else {
-			var reps []string
-			for p := 0; p < spec.Replicas; p++ {
-				reps = append(reps, nodeID(level-1, p))
-			}
-			m[levelStream(level-1)] = reps
-		}
-		return m
-	}
-	return d, ups, nil
 }
 
 // Start launches sources, nodes and the client.
@@ -376,7 +285,9 @@ type SUnionTreeSpec struct {
 	RecordClient                               bool
 }
 
-// BuildSUnionTree assembles the Fig. 10/11 deployment.
+// BuildSUnionTree assembles the Fig. 10/11 deployment as a preset over
+// BuildTopology: one unreplicated node whose diagram is the left-deep
+// SUnion cascade (Cascade mode) over four source streams.
 func BuildSUnionTree(spec SUnionTreeSpec) (*Deployment, error) {
 	if spec.Rate <= 0 {
 		spec.Rate = 400
@@ -384,95 +295,42 @@ func BuildSUnionTree(spec SUnionTreeSpec) (*Deployment, error) {
 	if spec.Delay <= 0 {
 		spec.Delay = 2 * vtime.Second
 	}
-	if spec.BucketSize <= 0 {
-		spec.BucketSize = 100 * vtime.Millisecond
-	}
-	if spec.BoundaryInterval <= 0 {
-		spec.BoundaryInterval = 100 * vtime.Millisecond
-	}
-	if spec.TickInterval <= 0 {
-		spec.TickInterval = 10 * vtime.Millisecond
-	}
 	if spec.FailurePolicy == operator.PolicyNone {
 		spec.FailurePolicy = operator.PolicyProcess
 	}
 	if spec.StabilizationPolicy == operator.PolicyNone {
 		spec.StabilizationPolicy = operator.PolicySuspend
 	}
-	sim := vtime.New()
-	net := netsim.New(sim)
-	dep := &Deployment{Sim: sim, Net: net}
-
-	var srcIDs []string
-	for i := 0; i < 4; i++ {
-		id := fmt.Sprintf("src%d", i+1)
-		srcIDs = append(srcIDs, id)
-		idx := int64(i + 1)
-		var arena tuple.I64Arena
-		dep.Sources = append(dep.Sources, source.New(sim, net, source.Config{
-			ID:               id,
-			Stream:           fmt.Sprintf("s%d", i+1),
-			Rate:             spec.Rate / 4,
-			TickInterval:     spec.TickInterval,
-			BoundaryInterval: spec.BoundaryInterval,
-			Payload: func(seq uint64) []int64 {
-				p := arena.Alloc(2)
-				p[0], p[1] = int64(seq), idx
-				return p
-			},
-		}))
+	top := TopologySpec{
+		BucketSize:       spec.BucketSize,
+		BoundaryInterval: spec.BoundaryInterval,
+		TickInterval:     spec.TickInterval,
+		StallTimeout:     spec.StallTimeout,
+		Client: TopologyClient{
+			Stream: "t1",
+			Delay:  50 * vtime.Millisecond,
+			Record: spec.RecordClient,
+		},
 	}
-	mk := func(name string) *operator.SUnion {
-		return operator.NewSUnion(name, operator.SUnionConfig{
-			Ports:      2,
-			BucketSize: spec.BucketSize,
-			Delay:      spec.Delay,
+	var inputs []string
+	for i := 0; i < 4; i++ {
+		stream := fmt.Sprintf("s%d", i+1)
+		inputs = append(inputs, stream)
+		top.Sources = append(top.Sources, TopologySource{
+			ID:     fmt.Sprintf("src%d", i+1),
+			Stream: stream,
+			Rate:   spec.Rate / 4,
 		})
 	}
-	b := diagram.NewBuilder()
-	b.Add(mk("su1"))
-	b.Add(mk("su2"))
-	b.Add(mk("su3"))
-	b.Add(operator.NewSOutput("sout"))
-	b.Connect("su1", "su2", 0)
-	b.Connect("su2", "su3", 0)
-	b.Connect("su3", "sout", 0)
-	b.Input("s1", "su1", 0)
-	b.Input("s2", "su1", 1)
-	b.Input("s3", "su2", 1)
-	b.Input("s4", "su3", 1)
-	b.Output("t1", "sout")
-	d, err := b.Build()
-	if err != nil {
-		return nil, err
-	}
-	ups := map[string][]string{}
-	for i, sid := range srcIDs {
-		ups[fmt.Sprintf("s%d", i+1)] = []string{sid}
-	}
-	n, err := node.New(sim, net, d, node.Config{
-		ID:                  "n1a",
+	top.Groups = []NodeGroup{{
+		Name:                "n1",
+		Output:              "t1",
+		Inputs:              inputs,
+		Cascade:             true,
+		Delay:               spec.Delay,
 		Capacity:            spec.Capacity,
 		FailurePolicy:       spec.FailurePolicy,
 		StabilizationPolicy: spec.StabilizationPolicy,
-		StallTimeout:        spec.StallTimeout,
-		Upstreams:           ups,
-		Downstreams:         map[string][]string{"t1": {"client"}},
-	})
-	if err != nil {
-		return nil, err
-	}
-	dep.Nodes = [][]*node.Node{{n}}
-	cl, err := client.New(sim, net, client.Config{
-		ID:        "client",
-		Stream:    "t1",
-		Upstreams: []string{"n1a"},
-		Delay:     50 * vtime.Millisecond,
-		Record:    spec.RecordClient,
-	})
-	if err != nil {
-		return nil, err
-	}
-	dep.Client = cl
-	return dep, nil
+	}}
+	return BuildTopology(top)
 }

@@ -1,0 +1,573 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"borealis/internal/deploy"
+	"borealis/internal/node"
+	"borealis/internal/operator"
+	"borealis/internal/source"
+	"borealis/internal/tuple"
+	"borealis/internal/vtime"
+)
+
+// splitmix64 is the scenario PRNG: tiny, fully deterministic across
+// platforms, and stateless enough that each consumer derives its own
+// stream from (seed, index) without ordering coupling.
+type splitmix64 struct{ state uint64 }
+
+func newPRNG(seed, stream int64) *splitmix64 {
+	return &splitmix64{state: uint64(seed) ^ (uint64(stream) * 0x9E3779B97F4A7C15)}
+}
+
+func (p *splitmix64) next() uint64 {
+	p.state += 0x9E3779B97F4A7C15
+	z := p.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// float64 returns a uniform draw in [0, 1).
+func (p *splitmix64) float64() float64 { return float64(p.next()>>11) / (1 << 53) }
+
+// run is one compiled scenario instance: a deployment plus everything the
+// report needs that the deployment does not know (bound, fault horizon,
+// per-delivery counters).
+type run struct {
+	spec       *Spec
+	dep        *deploy.Deployment
+	quick      bool
+	durationUS int64
+	boundUS    int64
+	// lastHealUS is the latest instant at which an injected fault heals
+	// (restart, reconnect, partition heal); -1 without faults.
+	lastHealUS int64
+
+	// Per-delivery metrics, collected through the client hook.
+	maxSTime      int64
+	violations    uint64
+	maxExcessUS   int64
+	lastRecDoneUS int64
+}
+
+// quickDuration resolves the run length.
+func quickDuration(s *Spec, quick bool) int64 {
+	if !quick {
+		return seconds(s.DurationS)
+	}
+	if s.QuickDurationS > 0 {
+		return seconds(s.QuickDurationS)
+	}
+	return seconds(math.Min(s.DurationS, 20))
+}
+
+// memberRates splits a source group's aggregate rate across its members:
+// uniform, or zipf-weighted (w_i ∝ 1/i^skew) for the skewed-rate shape.
+func memberRates(ss *SourceSpec) []float64 {
+	members := ss.members()
+	rates := make([]float64, len(members))
+	if ss.Distribution == "zipf" && len(members) > 1 {
+		skew := ss.Skew
+		if skew == 0 {
+			skew = 1
+		}
+		var total float64
+		w := make([]float64, len(members))
+		for i := range w {
+			w[i] = 1 / math.Pow(float64(i+1), skew)
+			total += w[i]
+		}
+		for i := range rates {
+			rates[i] = ss.Rate * w[i] / total
+		}
+		return rates
+	}
+	for i := range rates {
+		rates[i] = ss.Rate / float64(len(members))
+	}
+	return rates
+}
+
+// nodeStream names a node's output stream.
+func nodeStream(name string) string { return name + ".out" }
+
+// expandInputs resolves a node's declared inputs into concrete stream
+// names (source groups expand to every member).
+func (s *Spec) expandInputs(n *NodeSpec) []string {
+	byName := map[string]*SourceSpec{}
+	for i := range s.Sources {
+		byName[s.Sources[i].Name] = &s.Sources[i]
+	}
+	nodeNames := map[string]bool{}
+	for i := range s.Nodes {
+		nodeNames[s.Nodes[i].Name] = true
+	}
+	var out []string
+	for _, in := range n.Inputs {
+		switch {
+		case nodeNames[in]:
+			out = append(out, nodeStream(in))
+		case byName[in] != nil:
+			out = append(out, byName[in].members()...)
+		default:
+			out = append(out, in) // an individual expanded member
+		}
+	}
+	return out
+}
+
+// compileOperators builds the per-replica operator factory for one node.
+func compileOperators(n *NodeSpec, inputCount int) func() []operator.Operator {
+	if len(n.Operators) == 0 {
+		return nil
+	}
+	specs := append([]OperatorSpec(nil), n.Operators...)
+	return func() []operator.Operator {
+		ops := make([]operator.Operator, 0, len(specs))
+		for i, op := range specs {
+			name := fmt.Sprintf("%s%d", op.Kind, i+1)
+			switch op.Kind {
+			case "filter":
+				field, mod := op.Field, op.Modulo
+				if mod == 0 {
+					mod = 2
+				}
+				ops = append(ops, operator.NewFilter(name, func(t tuple.Tuple) bool {
+					return t.Field(field)%mod == 0
+				}))
+			case "map":
+				field, scale := op.Field, op.Scale
+				if scale == 0 {
+					scale = 2
+				}
+				ops = append(ops, operator.NewMap(name, func(d []int64) []int64 {
+					out := append([]int64(nil), d...)
+					if field < len(out) {
+						out[field] *= scale
+					}
+					return out
+				}))
+			case "aggregate":
+				fn := operator.AggCount
+				if op.Fn != "" {
+					fn, _ = parseAggFn(op.Fn)
+				}
+				slide := millis(op.SlideMS)
+				if slide <= 0 {
+					slide = millis(op.WindowMS)
+				}
+				group := -1
+				if op.GroupField != nil {
+					group = *op.GroupField
+				}
+				ops = append(ops, operator.NewAggregate(name, operator.AggregateConfig{
+					Size:       millis(op.WindowMS),
+					Slide:      slide,
+					Fn:         fn,
+					ValueField: op.Field,
+					GroupField: group,
+				}))
+			case "join":
+				left := op.LeftInputs
+				if left <= 0 {
+					left = inputCount / 2
+				}
+				l32 := int32(left)
+				ops = append(ops, operator.NewSJoin(name, operator.JoinConfig{
+					Window:   millis(op.WindowMS),
+					LeftKey:  op.LeftKey,
+					RightKey: op.RightKey,
+					IsLeft:   func(src int32) bool { return src < l32 },
+				}))
+			}
+		}
+		return ops
+	}
+}
+
+func parseBufferMode(s string) node.BufferMode {
+	switch s {
+	case "block":
+		return node.BufferBlock
+	case "slide":
+		return node.BufferSlide
+	}
+	return node.BufferUnbounded
+}
+
+// compile validates nothing (call Validate first); it builds the
+// deployment, installs workload schedules, and — when withFaults is set —
+// the fault timeline. The reference run for the consistency audit compiles
+// with withFaults=false and is otherwise identical.
+func compile(s *Spec, quick, withFaults bool) (*run, error) {
+	rt := &run{
+		spec:       s,
+		quick:      quick,
+		durationUS: quickDuration(s, quick),
+		lastHealUS: -1,
+		maxSTime:   -1,
+	}
+
+	top := deploy.TopologySpec{
+		BucketSize:       millis(s.Defaults.BucketMS),
+		BoundaryInterval: millis(s.Defaults.BoundaryMS),
+		TickInterval:     millis(s.Defaults.TickMS),
+		StallTimeout:     millis(s.Defaults.StallTimeoutMS),
+		KeepAlive:        millis(s.Defaults.KeepAliveMS),
+		AckInterval:      millis(s.Defaults.AckIntervalMS),
+		Client: deploy.TopologyClient{
+			Stream:              nodeStream(s.clientInput()),
+			BucketSize:          millis(s.Client.BucketMS),
+			Delay:               millis(s.Client.DelayMS),
+			TentativeWait:       millis(s.Client.TentativeWaitMS),
+			TentativeBoundaries: s.Client.TentativeBoundaries,
+		},
+	}
+	for i := range s.Sources {
+		ss := &s.Sources[i]
+		rates := memberRates(ss)
+		for mi, m := range ss.members() {
+			top.Sources = append(top.Sources, deploy.TopologySource{
+				ID:               m,
+				Stream:           m,
+				Rate:             rates[mi],
+				BoundaryInterval: millis(ss.BoundaryMS),
+				LogCap:           ss.LogCap,
+			})
+		}
+	}
+	for i := range s.Nodes {
+		n := &s.Nodes[i]
+		inputs := s.expandInputs(n)
+		var capacity float64
+		if n.Capacity != nil {
+			capacity = *n.Capacity
+		} else {
+			capacity = s.Defaults.Capacity
+		}
+		fail, _ := parsePolicy(firstNonEmpty(n.FailurePolicy, s.Defaults.FailurePolicy), "")
+		stab, _ := parsePolicy(firstNonEmpty(n.Stabilization, s.Defaults.Stabilization), "")
+		top.Groups = append(top.Groups, deploy.NodeGroup{
+			Name:                n.Name,
+			Output:              nodeStream(n.Name),
+			Inputs:              inputs,
+			Replicas:            s.replicasOf(n),
+			Delay:               seconds(s.delayOf(n)),
+			Cascade:             n.Cascade,
+			Operators:           compileOperators(n, len(inputs)),
+			Capacity:            capacity,
+			FailurePolicy:       fail,
+			StabilizationPolicy: stab,
+			TentativeWait:       millis(n.TentativeWaitMS),
+			TentativeBoundaries: n.TentativeBoundaries,
+			FineGrained:         n.FineGrained,
+			BufferMode:          parseBufferMode(n.BufferMode),
+			BufferCap:           n.BufferCap,
+		})
+	}
+
+	dep, err := deploy.BuildTopology(top)
+	if err != nil {
+		return nil, err
+	}
+	rt.dep = dep
+	rt.boundUS = rt.availabilityBound()
+	rt.installWorkloads()
+	if withFaults {
+		if err := rt.installFaults(); err != nil {
+			return nil, err
+		}
+	}
+	rt.hookClient()
+	return rt, nil
+}
+
+func firstNonEmpty(a, b string) string {
+	if a != "" {
+		return a
+	}
+	return b
+}
+
+// availabilityBound derives the report's bound: the worst source→client
+// path sum of SUnion delays, plus the client's own slack, plus the
+// scenario's processing slack.
+func (rt *run) availabilityBound() int64 {
+	s := rt.spec
+	nodes := map[string]*NodeSpec{}
+	for i := range s.Nodes {
+		nodes[s.Nodes[i].Name] = &s.Nodes[i]
+	}
+	memo := map[string]float64{}
+	var path func(name string) float64
+	path = func(name string) float64 {
+		if v, ok := memo[name]; ok {
+			return v
+		}
+		n := nodes[name]
+		var worst float64
+		for _, in := range n.Inputs {
+			if nodes[in] != nil {
+				if v := path(in); v > worst {
+					worst = v
+				}
+			}
+		}
+		// A cascade node chains len(inputs)-1 SUnions in series, each
+		// with bound D; a plain node has a single SUnion.
+		sunions := 1.0
+		if n.Cascade {
+			if k := len(s.expandInputs(n)); k > 2 {
+				sunions = float64(k - 1)
+			}
+		}
+		v := worst + s.delayOf(n)*sunions
+		memo[name] = v
+		return v
+	}
+	slack := s.AvailabilitySlackS
+	if slack <= 0 {
+		slack = 1
+	}
+	clientDelay := s.Client.DelayMS / 1e3
+	if clientDelay <= 0 {
+		clientDelay = 0.05
+	}
+	return seconds(path(s.clientInput()) + clientDelay + slack)
+}
+
+// installWorkloads schedules the rate modulation of every source. Each
+// member derives its own PRNG stream from (seed, member ordinal) so adding
+// jitter to one source never perturbs another.
+func (rt *run) installWorkloads() {
+	ordinal := int64(0)
+	for i := range rt.spec.Sources {
+		ss := &rt.spec.Sources[i]
+		for _, m := range ss.members() {
+			src := rt.dep.SourceByID(m)
+			base := src.Rate()
+			prng := newPRNG(rt.spec.Seed, ordinal)
+			ordinal++
+			switch ss.Workload.Kind {
+			case "bursty":
+				rt.installBurst(src, ss, base, prng)
+			case "ramp":
+				rt.installRamp(src, ss, base)
+			}
+		}
+	}
+}
+
+// installBurst alternates the rate between factor×base (for duty×period)
+// and a floor chosen so the mean rate stays at base.
+func (rt *run) installBurst(src *source.Source, ss *SourceSpec, base float64, prng *splitmix64) {
+	period := seconds(ss.Workload.PeriodS)
+	if period <= 0 {
+		period = 5 * vtime.Second
+	}
+	factor := ss.Workload.Factor
+	if factor == 0 {
+		factor = 4
+	}
+	duty := ss.Workload.Duty
+	if duty == 0 {
+		duty = 0.25
+	}
+	high := base * factor
+	low := base * (1 - duty*factor) / (1 - duty)
+	if low < 0 {
+		low = 0
+	}
+	var offset int64
+	if ss.Workload.JitterPhase {
+		offset = int64(prng.float64() * float64(period))
+	}
+	up := int64(duty * float64(period))
+	// The phase is cyclic: burst windows start at t ≡ offset (mod
+	// period), so t=0 sits mid-cycle when offset > 0. Derive the initial
+	// rate from the cycle position and only schedule toggles at positive
+	// times — the jittered mean stays at base from t=0 on.
+	start := offset % period
+	if start != 0 {
+		start -= period // most recent burst start ≤ 0
+	}
+	if -start < up {
+		src.SetRate(high) // t=0 falls inside a burst window
+	} else {
+		src.SetRate(low)
+	}
+	for t := start; t < rt.durationUS; t += period {
+		if t > 0 {
+			rt.dep.Sim.At(t, func() { src.SetRate(high) })
+		}
+		if tl := t + up; tl > 0 {
+			rt.dep.Sim.At(tl, func() { src.SetRate(low) })
+		}
+	}
+}
+
+// installRamp moves the rate linearly from base to to_rate over over_s.
+// Events stop once the ramp completes (or the run ends); one final event
+// lands exactly on the ramp end so the target rate is hit precisely.
+func (rt *run) installRamp(src *source.Source, ss *SourceSpec, base float64) {
+	over := seconds(ss.Workload.OverS)
+	if over <= 0 {
+		over = rt.durationUS
+	}
+	step := millis(ss.Workload.StepMS)
+	if step <= 0 {
+		step = 250 * vtime.Millisecond
+	}
+	to := ss.Workload.ToRate
+	end := over
+	if end > rt.durationUS {
+		end = rt.durationUS
+	}
+	rate := func(t int64) float64 {
+		frac := float64(t) / float64(over)
+		if frac > 1 {
+			frac = 1
+		}
+		return base + (to-base)*frac
+	}
+	for t := step; t < end; t += step {
+		r := rate(t)
+		rt.dep.Sim.At(t, func() { src.SetRate(r) })
+	}
+	rEnd := rate(end)
+	rt.dep.Sim.At(end, func() { src.SetRate(rEnd) })
+}
+
+// endpointSet resolves a partition endpoint spec into network endpoints.
+func (rt *run) endpointSet(ep string) ([]string, error) {
+	if ep == "client" {
+		return []string{"client"}, nil
+	}
+	if name, rep, ok := strings.Cut(ep, "/"); ok {
+		r, err := strconv.Atoi(rep)
+		if err != nil {
+			return nil, errf("bad endpoint %q", ep)
+		}
+		row := rt.dep.Group(name)
+		if row == nil || r < 0 || r >= len(row) {
+			return nil, errf("bad endpoint %q", ep)
+		}
+		return []string{deploy.GroupReplicaID(name, r)}, nil
+	}
+	if row := rt.dep.Group(ep); row != nil {
+		eps := make([]string, len(row))
+		for r := range row {
+			eps[r] = deploy.GroupReplicaID(ep, r)
+		}
+		return eps, nil
+	}
+	if ids := rt.sourceIDs(ep); ids != nil {
+		return ids, nil
+	}
+	return nil, errf("unknown endpoint %q", ep)
+}
+
+// sourceIDs resolves a source reference: an expanded member name, or a
+// group name covering every member.
+func (rt *run) sourceIDs(name string) []string {
+	if rt.dep.SourceByID(name) != nil {
+		return []string{name}
+	}
+	for i := range rt.spec.Sources {
+		if rt.spec.Sources[i].Name == name && rt.spec.Sources[i].Count > 1 {
+			return rt.spec.Sources[i].members()
+		}
+	}
+	return nil
+}
+
+// heal records a fault-heal instant for the stabilization metric. Heals
+// scheduled past the run horizon never happen and are ignored.
+func (rt *run) heal(atUS int64) {
+	if atUS <= rt.durationUS && atUS > rt.lastHealUS {
+		rt.lastHealUS = atUS
+	}
+}
+
+// installFaults schedules the timed fault timeline on the simulator.
+func (rt *run) installFaults() error {
+	for i := range rt.spec.Faults {
+		f := &rt.spec.Faults[i]
+		at := seconds(f.AtS)
+		dur := seconds(f.DurationS)
+		if at >= rt.durationUS {
+			continue // beyond the (possibly quick) horizon; never fires
+		}
+		switch f.Kind {
+		case "crash":
+			if err := rt.dep.CrashGroup(f.Node, f.Replica, at); err != nil {
+				return err
+			}
+			if dur > 0 {
+				if err := rt.dep.RestartGroup(f.Node, f.Replica, at+dur); err != nil {
+					return err
+				}
+				rt.heal(at + dur)
+			}
+		case "restart":
+			if err := rt.dep.RestartGroup(f.Node, f.Replica, at); err != nil {
+				return err
+			}
+			rt.heal(at)
+		case "flap":
+			period := seconds(f.PeriodS)
+			count := f.Count
+			if count <= 0 {
+				count = 3
+			}
+			down := dur
+			if down <= 0 {
+				down = period / 2
+			}
+			for k := 0; k < count; k++ {
+				t := at + int64(k)*period
+				if err := rt.dep.CrashGroup(f.Node, f.Replica, t); err != nil {
+					return err
+				}
+				if err := rt.dep.RestartGroup(f.Node, f.Replica, t+down); err != nil {
+					return err
+				}
+				rt.heal(t + down)
+			}
+		case "disconnect":
+			for _, id := range rt.sourceIDs(f.Source) {
+				src := rt.dep.SourceByID(id)
+				rt.dep.Sim.At(at, src.Disconnect)
+				rt.dep.Sim.At(at+dur, src.Reconnect)
+			}
+			rt.heal(at + dur)
+		case "stall_boundaries":
+			for _, id := range rt.sourceIDs(f.Source) {
+				src := rt.dep.SourceByID(id)
+				rt.dep.Sim.At(at, src.StallBoundaries)
+				rt.dep.Sim.At(at+dur, src.ResumeBoundaries)
+			}
+			rt.heal(at + dur)
+		case "partition":
+			from, err := rt.endpointSet(f.From)
+			if err != nil {
+				return err
+			}
+			to, err := rt.endpointSet(f.To)
+			if err != nil {
+				return err
+			}
+			for _, a := range from {
+				for _, b := range to {
+					rt.dep.Partition(a, b, at, dur)
+				}
+			}
+			rt.heal(at + dur)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,70 @@
+package scenario
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the scenario golden files")
+
+// TestGoldenScenarios runs every curated spec in scenarios/ under -quick
+// and compares the canonical JSON report byte-for-byte against its golden
+// file. Regenerate after an intentional behavior change with:
+//
+//	go test ./internal/scenario -run TestGolden -update
+func TestGoldenScenarios(t *testing.T) {
+	paths, err := filepath.Glob("../../scenarios/*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no curated scenarios found")
+	}
+	for _, path := range paths {
+		name := strings.TrimSuffix(filepath.Base(path), ".json")
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			spec, err := Load(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if spec.Name != name {
+				t.Fatalf("spec name %q does not match file name %q", spec.Name, name)
+			}
+			rep, err := Run(spec, Options{Quick: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := rep.JSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			golden := filepath.Join("testdata", name+".golden.json")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(golden, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("%v (run with -update to regenerate)", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("report drifted from golden file %s\n--- got ---\n%s\n--- want ---\n%s\n(run with -update if intentional)",
+					golden, got, want)
+			}
+			// Every curated scenario must audit clean.
+			if rep.Consistency != nil && !rep.Consistency.OK {
+				t.Fatalf("eventual consistency violated: %s", rep.Consistency.Reason)
+			}
+		})
+	}
+}

@@ -1,0 +1,239 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"borealis/internal/client"
+	"borealis/internal/tuple"
+	"borealis/internal/vtime"
+)
+
+// Report is the structured result of one scenario run. Every field derives
+// deterministically from the spec and seed, so the canonical JSON rendering
+// is bit-identical across runs — golden files and the determinism tests
+// rely on this. Slices are used instead of maps to keep field order stable.
+type Report struct {
+	Scenario    string `json:"scenario"`
+	Description string `json:"description,omitempty"`
+	Seed        int64  `json:"seed"`
+	// Quick marks a reduced -quick run; its numbers are not comparable
+	// with a full run of the same scenario.
+	Quick     bool    `json:"quick"`
+	DurationS float64 `json:"duration_s"`
+
+	Availability  AvailabilityReport  `json:"availability"`
+	Client        ClientReport        `json:"client"`
+	Stabilization StabilizationReport `json:"stabilization"`
+	Sources       []SourceReport      `json:"sources"`
+	Nodes         []NodeReport        `json:"nodes"`
+	Consistency   *ConsistencyReport  `json:"consistency,omitempty"`
+}
+
+// AvailabilityReport checks deliveries against the availability bound D:
+// the worst source→client path sum of SUnion delays plus slack.
+type AvailabilityReport struct {
+	BoundS float64 `json:"bound_s"`
+	// Violations counts new-information deliveries whose processing
+	// latency exceeded the bound; MaxExcessS is the worst overshoot.
+	Violations    uint64  `json:"violations"`
+	ViolationRate float64 `json:"violation_rate"`
+	MaxExcessS    float64 `json:"max_excess_s"`
+}
+
+// ClientReport summarizes what the client observed (§2.3 metrics).
+type ClientReport struct {
+	NewTuples          uint64  `json:"new_tuples"`
+	ThroughputTPS      float64 `json:"throughput_tps"`
+	MaxLatencyS        float64 `json:"max_latency_s"`
+	MeanLatencyS       float64 `json:"mean_latency_s"`
+	Tentative          uint64  `json:"tentative"`
+	MaxTentativeStreak uint64  `json:"max_tentative_streak"`
+	Undos              uint64  `json:"undos"`
+	RecDones           uint64  `json:"rec_dones"`
+	StableDuplicates   uint64  `json:"stable_duplicates"`
+}
+
+// StabilizationReport measures how long corrections lagged the last heal:
+// the time between the final fault healing and the final REC_DONE reaching
+// the client. Zero latency means stabilization finished instantly or no
+// fault was injected.
+type StabilizationReport struct {
+	LastFaultHealS float64 `json:"last_fault_heal_s"`
+	LastRecDoneS   float64 `json:"last_rec_done_s"`
+	LatencyS       float64 `json:"latency_s"`
+}
+
+// SourceReport summarizes one source endpoint.
+type SourceReport struct {
+	Name       string  `json:"name"`
+	Produced   uint64  `json:"produced"`
+	DroppedLog uint64  `json:"dropped_log,omitempty"`
+	FinalRate  float64 `json:"final_rate"`
+}
+
+// NodeReport summarizes one replica endpoint at the end of the run.
+type NodeReport struct {
+	Node            string `json:"node"`
+	Replica         string `json:"replica"`
+	State           string `json:"state"`
+	Down            bool   `json:"down"`
+	Reconciliations uint64 `json:"reconciliations"`
+	Switches        uint64 `json:"switches"`
+}
+
+// ConsistencyReport is the Definition 1 audit against a fault-free
+// reference run of the same spec and seed.
+type ConsistencyReport struct {
+	OK       bool   `json:"ok"`
+	Compared int    `json:"compared"`
+	Reason   string `json:"reason,omitempty"`
+}
+
+// secs renders a µs duration in seconds, rounded to the µs so the JSON
+// stays compact and stable.
+func secs(us int64) float64 { return float64(us) / float64(vtime.Second) }
+
+// round3 keeps derived rates readable without losing determinism.
+func round3(v float64) float64 { return math.Round(v*1e3) / 1e3 }
+
+// hookClient registers the per-delivery collector: availability-bound
+// violations over new-information tuples and the REC_DONE high-water mark.
+func (rt *run) hookClient() {
+	rt.dep.Client.OnDeliver(func(d client.Delivery) {
+		t := d.Tuple
+		switch {
+		case t.IsData():
+			if t.STime > rt.maxSTime {
+				rt.maxSTime = t.STime
+				if lat := d.At - t.STime; lat > rt.boundUS {
+					rt.violations++
+					if lat-rt.boundUS > rt.maxExcessUS {
+						rt.maxExcessUS = lat - rt.boundUS
+					}
+				}
+			}
+		case t.Type == tuple.RecDone:
+			rt.lastRecDoneUS = d.At
+		}
+	})
+}
+
+// report assembles the Report after the simulation has run.
+func (rt *run) report() *Report {
+	st := rt.dep.Client.Stats()
+	durS := secs(rt.durationUS)
+	rep := &Report{
+		Scenario:    rt.spec.Name,
+		Description: rt.spec.Description,
+		Seed:        rt.spec.Seed,
+		Quick:       rt.quick,
+		DurationS:   durS,
+		Availability: AvailabilityReport{
+			BoundS:     secs(rt.boundUS),
+			Violations: rt.violations,
+			MaxExcessS: secs(rt.maxExcessUS),
+		},
+		Client: ClientReport{
+			NewTuples:          st.NewTuples,
+			ThroughputTPS:      round3(float64(st.NewTuples) / durS),
+			MaxLatencyS:        secs(st.MaxLatency),
+			MeanLatencyS:       round3(st.MeanLatency / float64(vtime.Second)),
+			Tentative:          st.Tentative,
+			MaxTentativeStreak: st.MaxTentativeStreak,
+			Undos:              st.Undos,
+			RecDones:           st.RecDones,
+			StableDuplicates:   st.StableDuplicates,
+		},
+	}
+	if st.NewTuples > 0 {
+		rep.Availability.ViolationRate = round3(float64(rt.violations) / float64(st.NewTuples))
+	}
+	if rt.lastHealUS >= 0 {
+		rep.Stabilization.LastFaultHealS = secs(rt.lastHealUS)
+		if rt.lastRecDoneUS > 0 {
+			rep.Stabilization.LastRecDoneS = secs(rt.lastRecDoneUS)
+			if lag := rt.lastRecDoneUS - rt.lastHealUS; lag > 0 {
+				rep.Stabilization.LatencyS = secs(lag)
+			}
+		}
+	}
+	for _, src := range rt.dep.Sources {
+		rep.Sources = append(rep.Sources, SourceReport{
+			Name:       src.ID(),
+			Produced:   src.Produced,
+			DroppedLog: src.DroppedLog,
+			FinalRate:  round3(src.Rate()),
+		})
+	}
+	for gi, name := range rt.dep.GroupNames() {
+		for _, n := range rt.dep.Nodes[gi] {
+			rep.Nodes = append(rep.Nodes, NodeReport{
+				Node:            name,
+				Replica:         n.ID(),
+				State:           n.State().String(),
+				Down:            n.Down(),
+				Reconciliations: n.Reconciliations,
+				Switches:        n.CM().Switches,
+			})
+		}
+	}
+	return rep
+}
+
+// JSON renders the canonical (golden-file) form: two-space indented JSON
+// with a trailing newline.
+func (r *Report) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// Print renders a human-readable summary.
+func (r *Report) Print(w io.Writer) {
+	mode := ""
+	if r.Quick {
+		mode = " (quick)"
+	}
+	fmt.Fprintf(w, "scenario %s%s — seed %d, %.0fs simulated\n", r.Scenario, mode, r.Seed, r.DurationS)
+	if r.Description != "" {
+		fmt.Fprintf(w, "  %s\n", r.Description)
+	}
+	c := &r.Client
+	fmt.Fprintf(w, "  new tuples        %8d   (%.1f tuples/s)\n", c.NewTuples, c.ThroughputTPS)
+	fmt.Fprintf(w, "  latency           max %.3fs  mean %.3fs\n", c.MaxLatencyS, c.MeanLatencyS)
+	fmt.Fprintf(w, "  availability      bound %.2fs, %d violations (rate %.3f, worst excess %.3fs)\n",
+		r.Availability.BoundS, r.Availability.Violations, r.Availability.ViolationRate, r.Availability.MaxExcessS)
+	fmt.Fprintf(w, "  tentative         %d (max streak %d), undos %d, rec_done %d, stable dups %d\n",
+		c.Tentative, c.MaxTentativeStreak, c.Undos, c.RecDones, c.StableDuplicates)
+	if r.Stabilization.LastFaultHealS > 0 || r.Stabilization.LastRecDoneS > 0 {
+		fmt.Fprintf(w, "  stabilization     last heal %.2fs, last rec_done %.2fs, latency %.3fs\n",
+			r.Stabilization.LastFaultHealS, r.Stabilization.LastRecDoneS, r.Stabilization.LatencyS)
+	}
+	for _, n := range r.Nodes {
+		state := n.State
+		if n.Down {
+			state = "CRASHED"
+		}
+		fmt.Fprintf(w, "  node %-10s %-13s reconciliations=%d switches=%d\n",
+			n.Replica, state, n.Reconciliations, n.Switches)
+	}
+	for _, s := range r.Sources {
+		fmt.Fprintf(w, "  source %-8s produced=%d final_rate=%.1f", s.Name, s.Produced, s.FinalRate)
+		if s.DroppedLog > 0 {
+			fmt.Fprintf(w, " dropped_log=%d", s.DroppedLog)
+		}
+		fmt.Fprintln(w)
+	}
+	if r.Consistency != nil {
+		if r.Consistency.OK {
+			fmt.Fprintf(w, "  consistency       ok (%d stable tuples compared)\n", r.Consistency.Compared)
+		} else {
+			fmt.Fprintf(w, "  consistency       FAILED: %s\n", r.Consistency.Reason)
+		}
+	}
+}

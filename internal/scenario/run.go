@@ -1,0 +1,56 @@
+package scenario
+
+import "borealis/internal/deploy"
+
+// Options tunes a scenario run.
+type Options struct {
+	// Quick substitutes the spec's quick duration (smoke tests, CI).
+	Quick bool
+	// SkipConsistency suppresses the reference run even when the spec
+	// asks for the audit (halves the runtime of a smoke run).
+	SkipConsistency bool
+}
+
+// Run executes a validated spec on the virtual-time simulator and returns
+// its metrics report. Same spec + same seed ⇒ bit-identical report.
+func Run(s *Spec, opts Options) (*Report, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	rt, err := compile(s, opts.Quick, true)
+	if err != nil {
+		return nil, err
+	}
+	rt.dep.Start()
+	rt.dep.RunFor(rt.durationUS)
+	rep := rt.report()
+	if s.VerifyConsistency && !opts.SkipConsistency {
+		ref, err := compile(s, opts.Quick, false)
+		if err != nil {
+			return nil, err
+		}
+		ref.dep.Start()
+		ref.dep.RunFor(ref.durationUS)
+		audit := rt.dep.Client.VerifyEventualConsistency(ref.dep.Client.View())
+		rep.Consistency = &ConsistencyReport{
+			OK:       audit.OK,
+			Compared: audit.Compared,
+			Reason:   audit.Reason,
+		}
+	}
+	return rep, nil
+}
+
+// Build compiles a spec into a deployment without running it, for callers
+// that want to drive the simulation themselves (custom probes, tracing).
+// Workloads and faults are installed; call Start on the result.
+func Build(s *Spec, opts Options) (*deploy.Deployment, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	rt, err := compile(s, opts.Quick, true)
+	if err != nil {
+		return nil, err
+	}
+	return rt.dep, nil
+}

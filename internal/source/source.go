@@ -107,6 +107,18 @@ func (s *Source) Start() {
 	s.ticker = s.sim.NewTicker(s.cfg.TickInterval, s.tick)
 }
 
+// SetRate changes the production rate in tuples/second, effective from the
+// next tick. Workload shapes (bursts, ramps) are driven through this.
+func (s *Source) SetRate(r float64) {
+	if r < 0 {
+		r = 0
+	}
+	s.cfg.Rate = r
+}
+
+// Rate returns the current production rate.
+func (s *Source) Rate() float64 { return s.cfg.Rate }
+
 // Stop halts production permanently (fail-stop of a data source).
 func (s *Source) Stop() {
 	if s.ticker != nil {
@@ -197,7 +209,7 @@ func (s *Source) flush() {
 			continue
 		}
 		lo := sub.pos - s.logBase
-		batch := s.log[lo : len(s.log) : len(s.log)]
+		batch := s.log[lo:len(s.log):len(s.log)]
 		sub.pos = end
 		sub.seq++
 		s.net.Send(s.cfg.ID, ep, node.DataMsg{Stream: s.cfg.Stream, Seq: sub.seq, Tuples: batch})
