@@ -40,34 +40,98 @@ import (
 	"borealis/internal/netsim"
 	"borealis/internal/node"
 	"borealis/internal/operator"
+	"borealis/internal/runtime"
 	"borealis/internal/scenario"
 	"borealis/internal/source"
 	"borealis/internal/tuple"
 	"borealis/internal/vtime"
 )
 
-// Time units, in microseconds of virtual time.
+// Time units, in microseconds of clock time (virtual or scaled wall).
 const (
 	Microsecond = vtime.Microsecond
 	Millisecond = vtime.Millisecond
 	Second      = vtime.Second
 )
 
-// Virtual time and network fabric.
+// Execution substrate: the Clock scheduling seam and its two runtimes.
 type (
-	// Sim is the deterministic discrete-event simulator driving every
-	// component.
+	// Clock is the scheduling interface every component runs against;
+	// see docs/RUNTIME.md for the contract.
+	Clock = runtime.Clock
+	// Timer is a cancelable scheduled callback.
+	Timer = runtime.Timer
+	// Ticker is a periodic callback.
+	Ticker = runtime.Ticker
+	// VirtualClock is the deterministic simulation runtime.
+	VirtualClock = runtime.VirtualClock
+	// WallClock is the real-time runtime (optionally time-scaled).
+	WallClock = runtime.WallClock
+	// Sim is the underlying discrete-event simulator of a VirtualClock.
 	Sim = vtime.Sim
 	// Net is the simulated network: reliable in-order links with
 	// partitions and crash failures.
 	Net = netsim.Net
 )
 
+// Runtime is the entry point tying a clock to the build/run surface: the
+// same topology specs and scenario files execute on either substrate.
+//
+//	rt := borealis.NewSimRuntime()            // deterministic, instant
+//	rt := borealis.NewRealtimeRuntime(100)    // wall clock at 100×
+//	dep, err := rt.BuildTopology(spec)
+//	rep, err := rt.RunScenario(scn, opts)
+type Runtime struct {
+	rt runtime.Runtime
+}
+
+// NewSimRuntime returns a virtual-time runtime: runs are deterministic,
+// bit-identical across repetitions, and execute as fast as the CPU allows.
+func NewSimRuntime() *Runtime { return &Runtime{rt: runtime.NewVirtual()} }
+
+// NewRealtimeRuntime returns a wall-clock runtime. Speed scales time:
+// 1 is true real time, 100 packs 100 virtual seconds into one wall second,
+// 0 means 1. Scheduling stays single-threaded through the run loop; see
+// docs/RUNTIME.md for the wall-clock caveats.
+func NewRealtimeRuntime(speed float64) *Runtime {
+	return &Runtime{rt: runtime.NewWall(speed)}
+}
+
+// Clock exposes the runtime's scheduling surface.
+func (r *Runtime) Clock() Clock { return r.rt }
+
+// RunFor drives the runtime for d microseconds of clock time.
+func (r *Runtime) RunFor(d int64) { r.rt.RunFor(d) }
+
+// BuildTopology assembles a deployment on this runtime's clock.
+func (r *Runtime) BuildTopology(spec TopologySpec) (*Deployment, error) {
+	return deploy.BuildTopologyOn(r.rt, spec)
+}
+
+// RunScenario executes a scenario on this runtime. On a sim runtime the
+// report is deterministic (same spec + seed ⇒ identical report); on a
+// realtime runtime the run is paced against the wall and the consistency
+// reference still executes on a private virtual clock. Scenarios schedule
+// from t=0, so the runtime must not have been driven yet — one Runtime
+// per scenario run; a reused clock is rejected with an error.
+func (r *Runtime) RunScenario(s *Scenario, opts ScenarioOptions) (*ScenarioReport, error) {
+	opts.Runtime = r.rt
+	return scenario.Run(s, opts)
+}
+
 // NewSim returns a fresh simulator.
+//
+// Deprecated: use NewSimRuntime, which carries the same simulator behind
+// the Clock interface; Sim remains for direct event-queue access.
 func NewSim() *Sim { return vtime.New() }
 
 // NewNet returns a network fabric on the simulator.
-func NewNet(sim *Sim) *Net { return netsim.New(sim) }
+//
+// Deprecated: use NewNetOn with a Clock; this shim wraps the simulator.
+func NewNet(sim *Sim) *Net { return netsim.New(runtime.Virtual(sim)) }
+
+// NewNetOn returns a network fabric scheduling on the given clock.
+func NewNetOn(clk Clock) *Net { return netsim.New(clk) }
 
 // Data model (§4.1 of the paper).
 type (
@@ -188,18 +252,39 @@ const (
 )
 
 // NewNode builds a processing node on the network.
+//
+// Deprecated: use NewNodeOn with a Clock; this shim wraps the simulator.
 func NewNode(sim *Sim, net *Net, d *Diagram, cfg NodeConfig) (*Node, error) {
-	return node.New(sim, net, d, cfg)
+	return node.New(runtime.Virtual(sim), net, d, cfg)
+}
+
+// NewNodeOn builds a processing node scheduling on the given clock.
+func NewNodeOn(clk Clock, net *Net, d *Diagram, cfg NodeConfig) (*Node, error) {
+	return node.New(clk, net, d, cfg)
 }
 
 // NewSource builds a data source.
+//
+// Deprecated: use NewSourceOn with a Clock; this shim wraps the simulator.
 func NewSource(sim *Sim, net *Net, cfg SourceConfig) *Source {
-	return source.New(sim, net, cfg)
+	return source.New(runtime.Virtual(sim), net, cfg)
+}
+
+// NewSourceOn builds a data source scheduling on the given clock.
+func NewSourceOn(clk Clock, net *Net, cfg SourceConfig) *Source {
+	return source.New(clk, net, cfg)
 }
 
 // NewClient builds a client and its DPC proxy node.
+//
+// Deprecated: use NewClientOn with a Clock; this shim wraps the simulator.
 func NewClient(sim *Sim, net *Net, cfg ClientConfig) (*Client, error) {
-	return client.New(sim, net, cfg)
+	return client.New(runtime.Virtual(sim), net, cfg)
+}
+
+// NewClientOn builds a client and proxy scheduling on the given clock.
+func NewClientOn(clk Clock, net *Net, cfg ClientConfig) (*Client, error) {
+	return client.New(clk, net, cfg)
 }
 
 // Deployments.

@@ -1,13 +1,16 @@
 // Command borealis-sim runs the paper's experiments and prints the tables
 // and figure series of the evaluation (§5-§7), and executes declarative
 // scenario files (arbitrary topologies + failure schedules) from the
-// scenarios/ directory or anywhere else.
+// scenarios/ directory or anywhere else — on the deterministic simulator,
+// paced against the wall clock, or swept across a parameter range.
 //
 // Usage:
 //
 //	borealis-sim [-quick] <experiment>...
 //	borealis-sim [-quick] all
 //	borealis-sim [-quick] [-json] [-no-audit] scenario <file.json>...
+//	borealis-sim [-quick] [-json] [-no-audit] [-speed N] realtime <file.json>...
+//	borealis-sim [-quick] [-json] [-no-audit] -field F -from A -to B [-steps N] sweep <file.json>
 //
 // Experiments: fig11a fig11b table3 fig13 fig15 fig16 fig18 fig19 fig20
 // table4 table5 switchover ablate-buffers ablate-tb
@@ -19,9 +22,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"time"
 
 	"borealis/internal/experiment"
+	"borealis/internal/runtime"
 	"borealis/internal/scenario"
 )
 
@@ -78,6 +83,11 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced sweeps (seconds instead of minutes)")
 	asJSON := flag.Bool("json", false, "scenario mode: emit the canonical JSON report")
 	noAudit := flag.Bool("no-audit", false, "scenario mode: skip the consistency reference run")
+	speed := flag.Float64("speed", 100, "realtime mode: time-scale factor (1 = true real time)")
+	field := flag.String("field", "", "sweep mode: scenario field to vary (delay|rate|fault_duration)")
+	from := flag.String("from", "", "sweep mode: range start (duration like 1s, or a number)")
+	to := flag.String("to", "", "sweep mode: range end")
+	steps := flag.Int("steps", 4, "sweep mode: number of evenly spaced points")
 	flag.Usage = usage
 	flag.Parse()
 	args := flag.Args()
@@ -85,12 +95,28 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
-	if args[0] == "scenario" {
+	switch args[0] {
+	case "scenario":
 		if len(args) < 2 {
 			fmt.Fprintf(os.Stderr, "usage: borealis-sim [-quick] [-json] [-no-audit] scenario <file.json>...\n")
 			os.Exit(2)
 		}
-		runScenarios(args[1:], scenario.Options{Quick: *quick, SkipConsistency: *noAudit}, *asJSON)
+		runScenarios(args[1:], scenario.Options{Quick: *quick, SkipConsistency: *noAudit}, *asJSON, nil)
+		return
+	case "realtime":
+		if len(args) < 2 {
+			fmt.Fprintf(os.Stderr, "usage: borealis-sim [-quick] [-json] [-no-audit] [-speed N] realtime <file.json>...\n")
+			os.Exit(2)
+		}
+		mk := func() runtime.Runtime { return runtime.NewWall(*speed) }
+		runScenarios(args[1:], scenario.Options{Quick: *quick, SkipConsistency: *noAudit}, *asJSON, mk)
+		return
+	case "sweep":
+		if len(args) != 2 || *field == "" || *from == "" || *to == "" {
+			fmt.Fprintf(os.Stderr, "usage: borealis-sim [-quick] [-json] [-no-audit] -field F -from A -to B [-steps N] sweep <file.json>\n")
+			os.Exit(2)
+		}
+		runSweep(args[1], *field, *from, *to, *steps, scenario.Options{Quick: *quick, SkipConsistency: *noAudit}, *asJSON)
 		return
 	}
 	opts := experiment.Options{Quick: *quick}
@@ -136,8 +162,10 @@ func main() {
 // failed eventual-consistency audit makes the whole invocation exit
 // non-zero so CI smoke runs catch regressions. With -json, one file emits
 // a single report object (the golden-file form); several files emit one
-// JSON array so the output stays machine-parseable.
-func runScenarios(paths []string, opts scenario.Options, asJSON bool) {
+// JSON array so the output stays machine-parseable. A non-nil mkRuntime
+// supplies a fresh execution substrate per file (realtime mode: one wall
+// clock per run, since a clock cannot be rewound).
+func runScenarios(paths []string, opts scenario.Options, asJSON bool, mkRuntime func() runtime.Runtime) {
 	auditFailed := false
 	var reports []*scenario.Report
 	for i, path := range paths {
@@ -145,6 +173,9 @@ func runScenarios(paths []string, opts scenario.Options, asJSON bool) {
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "borealis-sim: %v\n", err)
 			os.Exit(1)
+		}
+		if mkRuntime != nil {
+			opts.Runtime = mkRuntime()
 		}
 		start := time.Now()
 		rep, err := scenario.Run(spec, opts)
@@ -188,9 +219,67 @@ func runScenarios(paths []string, opts scenario.Options, asJSON bool) {
 	}
 }
 
+// parseSweepBound reads a sweep range endpoint: a Go duration ("1s",
+// "250ms") converted to seconds, or a bare number.
+func parseSweepBound(s string) (float64, error) {
+	if d, err := time.ParseDuration(s); err == nil {
+		return d.Seconds(), nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad sweep bound %q: want a duration (1s) or a number", s)
+	}
+	return v, nil
+}
+
+// runSweep varies one field of a scenario across a range and prints the
+// per-step metrics table (or, with -json, the rows with full reports).
+func runSweep(path, field, fromS, toS string, steps int, opts scenario.Options, asJSON bool) {
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "borealis-sim: %v\n", err)
+		os.Exit(1)
+	}
+	spec, err := scenario.Load(path)
+	if err != nil {
+		fail(err)
+	}
+	from, err := parseSweepBound(fromS)
+	if err != nil {
+		fail(err)
+	}
+	to, err := parseSweepBound(toS)
+	if err != nil {
+		fail(err)
+	}
+	start := time.Now()
+	rows, err := scenario.Sweep(spec, scenario.SweepSpec{Field: field, From: from, To: to, Steps: steps}, opts)
+	if err != nil {
+		fail(err)
+	}
+	if asJSON {
+		b, err := json.MarshalIndent(rows, "", "  ")
+		if err != nil {
+			fail(err)
+		}
+		os.Stdout.Write(append(b, '\n'))
+	} else {
+		fmt.Printf("sweep %s: %s from %s to %s in %d steps\n", spec.Name, field, fromS, toS, steps)
+		scenario.PrintSweep(os.Stdout, field, rows)
+		fmt.Printf("(%d runs in %.1fs wall time)\n", len(rows), time.Since(start).Seconds())
+	}
+	for _, r := range rows {
+		if r.Report.Consistency != nil && !r.Report.Consistency.OK {
+			fmt.Fprintf(os.Stderr, "borealis-sim: eventual-consistency audit FAILED at %s=%g\n", field, r.Value)
+			os.Exit(1)
+		}
+	}
+}
+
 func usage() {
 	fmt.Fprintf(os.Stderr, "usage: borealis-sim [-quick] <experiment>...|all\n")
-	fmt.Fprintf(os.Stderr, "       borealis-sim [-quick] [-json] [-no-audit] scenario <file.json>...\n\nexperiments:\n")
+	fmt.Fprintf(os.Stderr, "       borealis-sim [-quick] [-json] [-no-audit] scenario <file.json>...\n")
+	fmt.Fprintf(os.Stderr, "       borealis-sim [-quick] [-json] [-no-audit] [-speed N] realtime <file.json>...\n")
+	fmt.Fprintf(os.Stderr, "       borealis-sim [-quick] [-json] [-no-audit] -field F -from A -to B [-steps N] sweep <file.json>\n\nexperiments:\n")
 	for _, e := range experiments {
 		fmt.Fprintf(os.Stderr, "  %-16s %s\n", e.name, e.desc)
 	}

@@ -11,8 +11,10 @@
 // replay, the node reconciles via checkpoint/redo, and the administrator
 // eventually sees the complete, corrected list of alerts.
 //
-// This example assembles the deployment from the low-level public API:
-// custom diagram, explicit replicas, explicit client.
+// This example assembles the deployment from the low-level public API —
+// custom diagram, explicit replicas, explicit client — on a Runtime, so
+// switching the last line from NewSimRuntime to NewRealtimeRuntime runs
+// the identical system paced against the wall clock (docs/RUNTIME.md).
 //
 // Run: go run ./examples/netmon
 package main
@@ -62,8 +64,9 @@ func alertDiagram() (*borealis.Diagram, error) {
 }
 
 func main() {
-	sim := borealis.NewSim()
-	net := borealis.NewNet(sim)
+	rt := borealis.NewSimRuntime() // NewRealtimeRuntime(100) runs it live
+	clk := rt.Clock()
+	net := borealis.NewNetOn(clk)
 
 	// Monitors: score = a deterministic pseudo-random function of the
 	// sequence number, so every run (and every replica) agrees.
@@ -71,7 +74,7 @@ func main() {
 	for i := 0; i < monitors; i++ {
 		id := fmt.Sprintf("monsrc%d", i+1)
 		monID := int64(i + 1)
-		src := borealis.NewSource(sim, net, borealis.SourceConfig{
+		src := borealis.NewSourceOn(clk, net, borealis.SourceConfig{
 			ID:     id,
 			Stream: fmt.Sprintf("mon%d", i+1),
 			Rate:   rate,
@@ -98,7 +101,7 @@ func main() {
 		if id == "nodeB" {
 			peer = "nodeA"
 		}
-		n, err := borealis.NewNode(sim, net, d, borealis.NodeConfig{
+		n, err := borealis.NewNodeOn(clk, net, d, borealis.NodeConfig{
 			ID:                  id,
 			Peers:               []string{peer},
 			Upstreams:           upstreams,
@@ -112,7 +115,7 @@ func main() {
 		n.Start()
 	}
 
-	admin, err := borealis.NewClient(sim, net, borealis.ClientConfig{
+	admin, err := borealis.NewClientOn(clk, net, borealis.ClientConfig{
 		ID:        "admin",
 		Stream:    "alerts",
 		Upstreams: []string{"nodeA", "nodeB"},
@@ -130,14 +133,14 @@ func main() {
 	admin.Start()
 
 	// Partition monitor 2 away from both replicas between t=8s and t=20s.
-	sim.At(8*borealis.Second, func() {
+	clk.At(8*borealis.Second, func() {
 		net.PartitionGroups([]string{"monsrc2"}, []string{"nodeA", "nodeB"})
 	})
-	sim.At(20*borealis.Second, func() {
+	clk.At(20*borealis.Second, func() {
 		net.HealGroups([]string{"monsrc2"}, []string{"nodeA", "nodeB"})
 	})
 
-	sim.RunFor(60 * borealis.Second)
+	rt.RunFor(60 * borealis.Second)
 
 	st := admin.Stats()
 	fmt.Println("Network monitoring under a 12s monitor partition")

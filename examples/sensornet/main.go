@@ -67,13 +67,14 @@ func reading(kind int64) func(uint64) []int64 {
 }
 
 func main() {
-	sim := borealis.NewSim()
-	net := borealis.NewNet(sim)
+	rt := borealis.NewSimRuntime() // NewRealtimeRuntime(100) runs it live
+	clk := rt.Clock()
+	net := borealis.NewNetOn(clk)
 
-	temp := borealis.NewSource(sim, net, borealis.SourceConfig{
+	temp := borealis.NewSourceOn(clk, net, borealis.SourceConfig{
 		ID: "tempsrc", Stream: "temp", Rate: 400, Payload: reading(0),
 	})
-	gas := borealis.NewSource(sim, net, borealis.SourceConfig{
+	gas := borealis.NewSourceOn(clk, net, borealis.SourceConfig{
 		ID: "gassrc", Stream: "gas", Rate: 400, Payload: reading(1),
 	})
 	ups := map[string][]string{"temp": {"tempsrc"}, "gas": {"gassrc"}}
@@ -87,7 +88,7 @@ func main() {
 		if id == "nodeB" {
 			peer = "nodeA"
 		}
-		n, err := borealis.NewNode(sim, net, d, borealis.NodeConfig{
+		n, err := borealis.NewNodeOn(clk, net, d, borealis.NodeConfig{
 			ID:          id,
 			Peers:       []string{peer},
 			Upstreams:   ups,
@@ -103,7 +104,7 @@ func main() {
 		n.Start()
 	}
 
-	ops, err := borealis.NewClient(sim, net, borealis.ClientConfig{
+	ops, err := borealis.NewClientOn(clk, net, borealis.ClientConfig{
 		ID: "ops", Stream: "alerts", Upstreams: []string{"nodeA", "nodeB"},
 	})
 	if err != nil {
@@ -112,12 +113,12 @@ func main() {
 	ops.Start()
 
 	// The gas sensor uplink drops for 8 seconds.
-	sim.At(10*borealis.Second, gas.Disconnect)
-	sim.At(18*borealis.Second, gas.Reconnect)
+	clk.At(10*borealis.Second, gas.Disconnect)
+	clk.At(18*borealis.Second, gas.Reconnect)
 
 	temp.Start()
 	gas.Start()
-	sim.RunFor(60 * borealis.Second)
+	rt.RunFor(60 * borealis.Second)
 
 	st := ops.Stats()
 	fmt.Println("Sensor monitoring: 8s gas-sensor uplink failure (Delay & Delay)")
@@ -134,28 +135,29 @@ func main() {
 
 	// Compare the final stable alerts with an uninterrupted run: every
 	// tentative alert was either confirmed or revoked.
-	refSim := borealis.NewSim()
-	refNet := borealis.NewNet(refSim)
-	rt := borealis.NewSource(refSim, refNet, borealis.SourceConfig{
+	refRT := borealis.NewSimRuntime()
+	refClk := refRT.Clock()
+	refNet := borealis.NewNetOn(refClk)
+	rtemp := borealis.NewSourceOn(refClk, refNet, borealis.SourceConfig{
 		ID: "tempsrc", Stream: "temp", Rate: 400, Payload: reading(0)})
-	rg := borealis.NewSource(refSim, refNet, borealis.SourceConfig{
+	rg := borealis.NewSourceOn(refClk, refNet, borealis.SourceConfig{
 		ID: "gassrc", Stream: "gas", Rate: 400, Payload: reading(1)})
 	d, _ := sensorDiagram()
-	rn, err := borealis.NewNode(refSim, refNet, d, borealis.NodeConfig{
+	rn, err := borealis.NewNodeOn(refClk, refNet, d, borealis.NodeConfig{
 		ID: "nodeA", Upstreams: ups,
 		Downstreams: map[string][]string{"alerts": {"ops"}},
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	refOps, _ := borealis.NewClient(refSim, refNet, borealis.ClientConfig{
+	refOps, _ := borealis.NewClientOn(refClk, refNet, borealis.ClientConfig{
 		ID: "ops", Stream: "alerts", Upstreams: []string{"nodeA"},
 	})
 	rn.Start()
 	refOps.Start()
-	rt.Start()
+	rtemp.Start()
 	rg.Start()
-	refSim.RunFor(60 * borealis.Second)
+	refRT.RunFor(60 * borealis.Second)
 
 	audit := ops.VerifyEventualConsistency(refOps.View())
 	if audit.OK {

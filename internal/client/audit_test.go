@@ -5,11 +5,11 @@ import (
 
 	"borealis/internal/netsim"
 	"borealis/internal/node"
+	"borealis/internal/runtime"
 	"borealis/internal/tuple"
-	"borealis/internal/vtime"
 )
 
-func auditClient(t *testing.T) (*vtime.Sim, *fakeUpstream, *Client) {
+func auditClient(t *testing.T) (*runtime.VirtualClock, *fakeUpstream, *Client) {
 	t.Helper()
 	return setup(t)
 }
@@ -116,7 +116,7 @@ func TestClientProxyReconcilesOwnState(t *testing.T) {
 func TestClientHandlesUpstreamVanishing(t *testing.T) {
 	// The only upstream crashes: the client stalls but must not corrupt
 	// its view; the stream resumes when the upstream returns.
-	sim := vtime.New()
+	sim := runtime.NewVirtual()
 	net := netsim.New(sim)
 	up := newFakeUpstream(sim, net, "n1")
 	c, err := New(sim, net, Config{

@@ -24,6 +24,7 @@ import (
 	"borealis/internal/netsim"
 	"borealis/internal/node"
 	"borealis/internal/operator"
+	"borealis/internal/runtime"
 	"borealis/internal/tuple"
 	"borealis/internal/vtime"
 )
@@ -87,7 +88,7 @@ type Stats struct {
 // Client consumes one output stream through a DPC proxy node.
 type Client struct {
 	cfg   Config
-	sim   *vtime.Sim
+	clk   runtime.Clock
 	proxy *node.Node
 
 	// Undo-compacted view of the delivered stream.
@@ -116,7 +117,7 @@ type Client struct {
 }
 
 // New builds a client and its proxy node.
-func New(sim *vtime.Sim, net *netsim.Net, cfg Config) (*Client, error) {
+func New(clk runtime.Clock, net *netsim.Net, cfg Config) (*Client, error) {
 	if cfg.BucketSize <= 0 {
 		cfg.BucketSize = 100 * vtime.Millisecond
 	}
@@ -141,7 +142,7 @@ func New(sim *vtime.Sim, net *netsim.Net, cfg Config) (*Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("client: %w", err)
 	}
-	proxy, err := node.New(sim, net, d, node.Config{
+	proxy, err := node.New(clk, net, d, node.Config{
 		ID:           cfg.ID,
 		Upstreams:    map[string][]string{cfg.Stream: cfg.Upstreams},
 		StallTimeout: cfg.StallTimeout,
@@ -153,7 +154,7 @@ func New(sim *vtime.Sim, net *netsim.Net, cfg Config) (*Client, error) {
 	}
 	c := &Client{
 		cfg:        cfg,
-		sim:        sim,
+		clk:        clk,
 		proxy:      proxy,
 		maxSTime:   -1,
 		latMin:     math.MaxInt64,
@@ -174,7 +175,7 @@ func (c *Client) OnDeliver(fn func(Delivery)) { c.onDeliver = fn }
 
 // consume processes one tuple delivered by the proxy.
 func (c *Client) consume(t tuple.Tuple) {
-	now := c.sim.Now()
+	now := c.clk.Now()
 	if c.cfg.Record {
 		if len(c.trace) == cap(c.trace) && len(c.trace) >= 1024 {
 			nt := make([]Delivery, len(c.trace), 2*cap(c.trace))

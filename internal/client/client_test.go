@@ -5,6 +5,7 @@ import (
 
 	"borealis/internal/netsim"
 	"borealis/internal/node"
+	"borealis/internal/runtime"
 	"borealis/internal/tuple"
 	"borealis/internal/vtime"
 )
@@ -17,14 +18,14 @@ const (
 // fakeUpstream is a minimal endpoint that answers keep-alives as STABLE and
 // pushes whatever the test wants to its subscriber.
 type fakeUpstream struct {
-	sim *vtime.Sim
+	sim *runtime.VirtualClock
 	net *netsim.Net
 	id  string
 	sub string
 	seq uint64
 }
 
-func newFakeUpstream(sim *vtime.Sim, net *netsim.Net, id string) *fakeUpstream {
+func newFakeUpstream(sim *runtime.VirtualClock, net *netsim.Net, id string) *fakeUpstream {
 	f := &fakeUpstream{sim: sim, net: net, id: id}
 	net.Register(id, func(from string, msg any) {
 		switch msg.(type) {
@@ -48,9 +49,9 @@ func (f *fakeUpstream) push(ts ...tuple.Tuple) {
 	}
 }
 
-func setup(t *testing.T) (*vtime.Sim, *fakeUpstream, *Client) {
+func setup(t *testing.T) (*runtime.VirtualClock, *fakeUpstream, *Client) {
 	t.Helper()
-	sim := vtime.New()
+	sim := runtime.NewVirtual()
 	net := netsim.New(sim)
 	up := newFakeUpstream(sim, net, "n1")
 	c, err := New(sim, net, Config{

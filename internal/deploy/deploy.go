@@ -14,6 +14,7 @@ import (
 	"borealis/internal/netsim"
 	"borealis/internal/node"
 	"borealis/internal/operator"
+	"borealis/internal/runtime"
 	"borealis/internal/source"
 	"borealis/internal/vtime"
 )
@@ -110,6 +111,15 @@ func (s *ChainSpec) normalize() error {
 
 // Deployment is a running system.
 type Deployment struct {
+	// RT is the runtime the deployment schedules and runs on: a
+	// *runtime.VirtualClock for deterministic simulation, or a
+	// *runtime.WallClock for paced real-time execution.
+	RT runtime.Runtime
+	// Sim is the underlying simulator when RT is virtual, nil on a wall
+	// clock.
+	//
+	// Deprecated: drive the deployment through RT (or RunFor); Sim
+	// remains for pre-Clock call sites that schedule on it directly.
 	Sim     *vtime.Sim
 	Net     *netsim.Net
 	Sources []*source.Source
@@ -234,42 +244,43 @@ func (d *Deployment) Start() {
 	}
 }
 
-// RunFor advances virtual time.
-func (d *Deployment) RunFor(dur int64) { d.Sim.RunFor(dur) }
+// RunFor drives the deployment's runtime for dur microseconds: virtual
+// time on a simulator, scaled wall time on a wall clock.
+func (d *Deployment) RunFor(dur int64) { d.RT.RunFor(dur) }
 
 // DisconnectSource injects the Table III failure at virtual-time offsets:
 // source i disconnects at `at` and reconnects (with full replay) at
 // `at+duration`.
 func (d *Deployment) DisconnectSource(i int, at, duration int64) {
 	s := d.Sources[i]
-	d.Sim.At(at, s.Disconnect)
-	d.Sim.At(at+duration, s.Reconnect)
+	d.RT.At(at, s.Disconnect)
+	d.RT.At(at+duration, s.Reconnect)
 }
 
 // StallSourceBoundaries injects the Fig. 15/16 failure: source i keeps
 // sending data but stops producing boundary tuples for the window.
 func (d *Deployment) StallSourceBoundaries(i int, at, duration int64) {
 	s := d.Sources[i]
-	d.Sim.At(at, s.StallBoundaries)
-	d.Sim.At(at+duration, s.ResumeBoundaries)
+	d.RT.At(at, s.StallBoundaries)
+	d.RT.At(at+duration, s.ResumeBoundaries)
 }
 
 // CrashNode fail-stops replica r of a level at the given time.
 func (d *Deployment) CrashNode(level, replica int, at int64) {
 	n := d.Nodes[level-1][replica]
-	d.Sim.At(at, n.Crash)
+	d.RT.At(at, n.Crash)
 }
 
 // RestartNode recovers a crashed replica at the given time (§4.5).
 func (d *Deployment) RestartNode(level, replica int, at int64) {
 	n := d.Nodes[level-1][replica]
-	d.Sim.At(at, n.Restart)
+	d.RT.At(at, n.Restart)
 }
 
 // Partition severs the network between two endpoints for a window.
 func (d *Deployment) Partition(a, b string, at, duration int64) {
-	d.Sim.At(at, func() { d.Net.Partition(a, b) })
-	d.Sim.At(at+duration, func() { d.Net.Heal(a, b) })
+	d.RT.At(at, func() { d.Net.Partition(a, b) })
+	d.RT.At(at+duration, func() { d.Net.Heal(a, b) })
 }
 
 // SUnionTreeSpec describes the Fig. 10 diagram: four input streams merged

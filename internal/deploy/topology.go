@@ -13,6 +13,7 @@ import (
 	"borealis/internal/netsim"
 	"borealis/internal/node"
 	"borealis/internal/operator"
+	"borealis/internal/runtime"
 	"borealis/internal/source"
 	"borealis/internal/tuple"
 	"borealis/internal/vtime"
@@ -304,9 +305,18 @@ func buildGroupDiagram(s *TopologySpec, g *NodeGroup) (*diagram.Diagram, error) 
 	return d, nil
 }
 
-// BuildTopology assembles a deployment from an arbitrary DAG spec. Call
-// Start on the result to begin.
+// BuildTopology assembles a deployment from an arbitrary DAG spec on a
+// fresh virtual-time runtime — the deterministic default. Call Start on
+// the result to begin.
 func BuildTopology(spec TopologySpec) (*Deployment, error) {
+	return BuildTopologyOn(runtime.NewVirtual(), spec)
+}
+
+// BuildTopologyOn assembles a deployment from an arbitrary DAG spec on the
+// given runtime: every source, node and client schedules exclusively
+// through it, so the same spec runs deterministically on a virtual clock
+// or paced against real time on a wall clock. Call Start on the result.
+func BuildTopologyOn(rt runtime.Runtime, spec TopologySpec) (*Deployment, error) {
 	if err := spec.normalize(); err != nil {
 		return nil, err
 	}
@@ -314,14 +324,16 @@ func BuildTopology(spec TopologySpec) (*Deployment, error) {
 	if err != nil {
 		return nil, err
 	}
-	sim := vtime.New()
-	net := netsim.New(sim)
+	net := netsim.New(rt)
 	dep := &Deployment{
-		Sim:         sim,
+		RT:          rt,
 		Net:         net,
 		Topology:    &spec,
 		groupIndex:  make(map[string]int, len(spec.Groups)),
 		sourceIndex: make(map[string]int, len(spec.Sources)),
+	}
+	if vc, ok := rt.(*runtime.VirtualClock); ok {
+		dep.Sim = vc.Sim
 	}
 
 	for i, ss := range spec.Sources {
@@ -335,7 +347,7 @@ func BuildTopology(spec TopologySpec) (*Deployment, error) {
 				return p
 			}
 		}
-		dep.Sources = append(dep.Sources, source.New(sim, net, source.Config{
+		dep.Sources = append(dep.Sources, source.New(rt, net, source.Config{
 			ID:               ss.ID,
 			Stream:           ss.Stream,
 			Rate:             ss.Rate,
@@ -397,7 +409,7 @@ func BuildTopology(spec TopologySpec) (*Deployment, error) {
 			for _, in := range g.Inputs {
 				ups[in] = producersOf(in)
 			}
-			n, err := node.New(sim, net, d, node.Config{
+			n, err := node.New(rt, net, d, node.Config{
 				ID:                  GroupReplicaID(g.Name, r),
 				Capacity:            g.Capacity,
 				FailurePolicy:       g.FailurePolicy,
@@ -421,7 +433,7 @@ func BuildTopology(spec TopologySpec) (*Deployment, error) {
 		dep.groupIndex[g.Name] = gi
 	}
 
-	cl, err := client.New(sim, net, client.Config{
+	cl, err := client.New(rt, net, client.Config{
 		ID:                  "client",
 		Stream:              spec.Client.Stream,
 		Upstreams:           producersOf(spec.Client.Stream),
@@ -479,7 +491,7 @@ func (d *Deployment) CrashGroup(group string, replica int, at int64) error {
 	if err != nil {
 		return err
 	}
-	d.Sim.At(at, n.Crash)
+	d.RT.At(at, n.Crash)
 	return nil
 }
 
@@ -489,7 +501,7 @@ func (d *Deployment) RestartGroup(group string, replica int, at int64) error {
 	if err != nil {
 		return err
 	}
-	d.Sim.At(at, n.Restart)
+	d.RT.At(at, n.Restart)
 	return nil
 }
 

@@ -5,8 +5,8 @@ import (
 	"testing"
 
 	"borealis/internal/operator"
+	"borealis/internal/runtime"
 	"borealis/internal/tuple"
-	"borealis/internal/vtime"
 )
 
 func passAll(tuple.Tuple) bool { return true }
@@ -261,7 +261,7 @@ func TestDiagramExecutesEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sim := vtime.New()
+	sim := runtime.NewVirtual()
 	var results []tuple.Tuple
 	for _, name := range d.Ops() {
 		name := name

@@ -5,6 +5,7 @@ import (
 
 	"borealis/internal/diagram"
 	"borealis/internal/operator"
+	"borealis/internal/runtime"
 	"borealis/internal/tuple"
 	"borealis/internal/vtime"
 )
@@ -33,7 +34,7 @@ func benchDiagram(b *testing.B) *diagram.Diagram {
 // BenchmarkEngineDispatch pushes batches through Ingest → service queue →
 // dispatch → diagram, the end-to-end per-tuple data plane of one node.
 func BenchmarkEngineDispatch(b *testing.B) {
-	sim := vtime.New()
+	sim := runtime.NewVirtual()
 	e := New(sim, benchDiagram(b), Config{})
 	outs := 0
 	e.OnOutput(func(string, tuple.Tuple) { outs++ })
@@ -58,7 +59,7 @@ func BenchmarkEngineDispatch(b *testing.B) {
 // BenchmarkEngineDispatchCapacity adds the service-queue timer path
 // (Capacity > 0), which every experiment node exercises.
 func BenchmarkEngineDispatchCapacity(b *testing.B) {
-	sim := vtime.New()
+	sim := runtime.NewVirtual()
 	e := New(sim, benchDiagram(b), Config{Capacity: 1e9})
 	outs := 0
 	e.OnOutput(func(string, tuple.Tuple) { outs++ })

@@ -31,6 +31,7 @@ import (
 
 	"borealis/internal/diagram"
 	"borealis/internal/operator"
+	"borealis/internal/runtime"
 	"borealis/internal/tuple"
 	"borealis/internal/vtime"
 )
@@ -61,9 +62,9 @@ type Snapshot struct {
 	ops map[string]any
 }
 
-// Engine runs a diagram on a virtual-time simulator.
+// Engine runs a diagram on a runtime clock (virtual or wall).
 type Engine struct {
-	sim *vtime.Sim
+	clk runtime.Clock
 	d   *diagram.Diagram
 	cfg Config
 
@@ -78,9 +79,12 @@ type Engine struct {
 	qhead   int
 	qlen    int
 	nextSeq uint64
+	// maxQueue is the high-water mark of qlen, a capacity-pressure probe
+	// surfaced in scenario reports.
+	maxQueue int
 
 	busy      bool
-	svcTimer  *vtime.Timer
+	svcTimer  runtime.Timer
 	svcDoneFn func(any) // bound once; service completion allocates nothing
 	inService work
 	diverged  bool
@@ -100,8 +104,8 @@ type Engine struct {
 }
 
 // New builds an engine for the diagram and wires every operator.
-func New(sim *vtime.Sim, d *diagram.Diagram, cfg Config) *Engine {
-	e := &Engine{sim: sim, d: d, cfg: cfg}
+func New(clk runtime.Clock, d *diagram.Diagram, cfg Config) *Engine {
+	e := &Engine{clk: clk, d: d, cfg: cfg}
 	e.svcDoneFn = e.svcDone
 	e.wire()
 	return e
@@ -126,6 +130,10 @@ func (e *Engine) Diverged() bool { return e.diverged }
 
 // QueueLen returns the number of queued, unserviced batches.
 func (e *Engine) QueueLen() int { return e.qlen }
+
+// MaxQueueLen returns the high-water mark of the service queue over the
+// engine's lifetime (replays included).
+func (e *Engine) MaxQueueLen() int { return e.maxQueue }
 
 // Idle reports whether no batch is queued or in service.
 func (e *Engine) Idle() bool { return !e.busy && e.qlen == 0 }
@@ -171,8 +179,8 @@ func (e *Engine) wire() {
 			}
 		}
 		env := &operator.Env{
-			Now:   e.sim.Now,
-			After: e.sim.After,
+			Now:   e.clk.Now,
+			After: e.clk.After,
 			Emit:  emit,
 			Signal: func(s operator.Signal) {
 				if e.onSignal != nil {
@@ -227,6 +235,9 @@ func (e *Engine) pushWork(w work) {
 	}
 	e.queue[(e.qhead+e.qlen)%len(e.queue)] = w
 	e.qlen++
+	if e.qlen > e.maxQueue {
+		e.maxQueue = e.qlen
+	}
 }
 
 // popWork removes and returns the front batch, releasing the slot's tuple
@@ -282,7 +293,7 @@ func (e *Engine) kick() {
 		svc = int64(float64(n) / e.cfg.Capacity * float64(vtime.Second))
 	}
 	e.inService = batch
-	e.svcTimer = e.sim.AfterCall(svc, e.svcDoneFn, nil)
+	e.svcTimer = e.clk.AfterCall(svc, e.svcDoneFn, nil)
 }
 
 // svcDone fires when the in-service batch's processing time has elapsed.
@@ -359,7 +370,7 @@ func (e *Engine) Restore(s *Snapshot) {
 func (e *Engine) ScheduleRecDone() {
 	e.recDonePending = true
 	if e.Idle() {
-		e.sim.After(0, func() {
+		e.clk.After(0, func() {
 			if e.recDonePending && e.Idle() {
 				e.recDonePending = false
 				e.injectRecDone()
@@ -372,7 +383,7 @@ func (e *Engine) ScheduleRecDone() {
 // multi-port SUnions forward a single marker once every path has delivered
 // one, so exactly one REC_DONE reaches each output stream.
 func (e *Engine) injectRecDone() {
-	rd := tuple.NewRecDone(e.sim.Now())
+	rd := tuple.NewRecDone(e.clk.Now())
 	for _, in := range e.d.Inputs() {
 		e.d.Op(in.Op).Process(in.Port, rd)
 	}
@@ -414,10 +425,24 @@ func (e *Engine) SetPolicyFed(input string, p operator.DelayPolicy) {
 	}
 }
 
+// HoldsTentative reports whether any SUnion still buffers tentative
+// tuples in a pending bucket. Such buckets can never stabilize on their
+// own (the tentative content is only removed by rolling the operator
+// back), so the node controller must not treat a heal as masked while
+// this is true, even when nothing tentative ever left the node.
+func (e *Engine) HoldsTentative() bool {
+	for _, su := range e.sunions {
+		if su.HasPendingTentative() {
+			return true
+		}
+	}
+	return false
+}
+
 // OldestPendingArrival returns the earliest arrival time buffered in any
 // SUnion, used by the node controller to anchor availability bookkeeping.
 func (e *Engine) OldestPendingArrival() int64 {
-	oldest := e.sim.Now()
+	oldest := e.clk.Now()
 	for _, su := range e.sunions {
 		if su.PendingBuckets() > 0 {
 			if a := su.OldestPendingArrival(); a < oldest {

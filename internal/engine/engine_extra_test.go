@@ -4,14 +4,14 @@ import (
 	"testing"
 
 	"borealis/internal/operator"
+	"borealis/internal/runtime"
 	"borealis/internal/tuple"
-	"borealis/internal/vtime"
 )
 
 func TestEngineFreshCountCostModel(t *testing.T) {
 	// Tuples behind the input SUnion's cursor are dropped in O(1) and
 	// must not consume service capacity.
-	sim := vtime.New()
+	sim := runtime.NewVirtual()
 	e := New(sim, mergeDiagram(t, 2*sec), Config{Capacity: 1000}) // 1ms/tuple
 	// Advance the cursor: boundaries cover [0, 1s).
 	e.Ingest("in1", []tuple.Tuple{tuple.NewBoundary(1 * sec)})
@@ -42,7 +42,7 @@ func TestEngineFreshCountCostModel(t *testing.T) {
 }
 
 func TestEngineResetToPristine(t *testing.T) {
-	sim := vtime.New()
+	sim := runtime.NewVirtual()
 	e := New(sim, mergeDiagram(t, 2*sec), Config{})
 	var c capture
 	c.bind(sim, e)
@@ -82,7 +82,7 @@ func TestEngineResetToPristine(t *testing.T) {
 }
 
 func TestEngineProcessedCounter(t *testing.T) {
-	sim := vtime.New()
+	sim := runtime.NewVirtual()
 	e := New(sim, mergeDiagram(t, 2*sec), Config{})
 	e.Ingest("in1", []tuple.Tuple{tuple.NewInsertion(1, 1), tuple.NewBoundary(100)})
 	sim.Run()
@@ -92,7 +92,7 @@ func TestEngineProcessedCounter(t *testing.T) {
 }
 
 func TestEngineOldestPendingArrival(t *testing.T) {
-	sim := vtime.New()
+	sim := runtime.NewVirtual()
 	e := New(sim, mergeDiagram(t, 2*sec), Config{})
 	sim.RunUntil(1 * sec)
 	if got := e.OldestPendingArrival(); got != 1*sec {

@@ -5,6 +5,7 @@ import (
 
 	"borealis/internal/diagram"
 	"borealis/internal/operator"
+	"borealis/internal/runtime"
 	"borealis/internal/tuple"
 	"borealis/internal/vtime"
 )
@@ -39,7 +40,7 @@ type capture struct {
 	signals []operator.Signal
 }
 
-func (c *capture) bind(sim *vtime.Sim, e *Engine) {
+func (c *capture) bind(sim *runtime.VirtualClock, e *Engine) {
 	e.OnOutput(func(_ string, t tuple.Tuple) {
 		c.tuples = append(c.tuples, t)
 		c.times = append(c.times, sim.Now())
@@ -68,7 +69,7 @@ func (c *capture) ofType(ty tuple.Type) []tuple.Tuple {
 }
 
 func TestEngineEndToEndStableFlow(t *testing.T) {
-	sim := vtime.New()
+	sim := runtime.NewVirtual()
 	e := New(sim, mergeDiagram(t, 2*sec), Config{})
 	var c capture
 	c.bind(sim, e)
@@ -88,7 +89,7 @@ func TestEngineEndToEndStableFlow(t *testing.T) {
 }
 
 func TestEngineCapacityDelaysDispatch(t *testing.T) {
-	sim := vtime.New()
+	sim := runtime.NewVirtual()
 	e := New(sim, mergeDiagram(t, 2*sec), Config{Capacity: 1000}) // 1ms/tuple
 	var c capture
 	c.bind(sim, e)
@@ -110,7 +111,7 @@ func TestEngineCapacityDelaysDispatch(t *testing.T) {
 }
 
 func TestEngineUnknownStreamPanics(t *testing.T) {
-	sim := vtime.New()
+	sim := runtime.NewVirtual()
 	e := New(sim, mergeDiagram(t, 2*sec), Config{})
 	defer func() {
 		if recover() == nil {
@@ -121,7 +122,7 @@ func TestEngineUnknownStreamPanics(t *testing.T) {
 }
 
 func TestEngineDivergenceOnTentativeFlush(t *testing.T) {
-	sim := vtime.New()
+	sim := runtime.NewVirtual()
 	e := New(sim, mergeDiagram(t, 2*sec), Config{})
 	var c capture
 	c.bind(sim, e)
@@ -141,7 +142,7 @@ func TestEngineDivergenceOnTentativeFlush(t *testing.T) {
 }
 
 func TestEngineCheckpointRestoreReplayCorrects(t *testing.T) {
-	sim := vtime.New()
+	sim := runtime.NewVirtual()
 	e := New(sim, mergeDiagram(t, 2*sec), Config{})
 	var c capture
 	c.bind(sim, e)
@@ -211,7 +212,7 @@ func TestEngineCheckpointRestoreReplayCorrects(t *testing.T) {
 }
 
 func TestEngineCheckpointWaitsForPreRequestBatches(t *testing.T) {
-	sim := vtime.New()
+	sim := runtime.NewVirtual()
 	e := New(sim, mergeDiagram(t, 2*sec), Config{Capacity: 1000})
 	var c capture
 	c.bind(sim, e)
@@ -239,7 +240,7 @@ func TestEngineCheckpointWaitsForPreRequestBatches(t *testing.T) {
 }
 
 func TestEngineRestoreDiscardsQueuedWork(t *testing.T) {
-	sim := vtime.New()
+	sim := runtime.NewVirtual()
 	e := New(sim, mergeDiagram(t, 2*sec), Config{Capacity: 100}) // slow: 10ms/tuple
 	var c capture
 	c.bind(sim, e)
@@ -261,7 +262,7 @@ func TestEngineRestoreDiscardsQueuedWork(t *testing.T) {
 }
 
 func TestEngineRecDoneWaitsForQueueDrain(t *testing.T) {
-	sim := vtime.New()
+	sim := runtime.NewVirtual()
 	e := New(sim, mergeDiagram(t, 2*sec), Config{Capacity: 100})
 	var c capture
 	c.bind(sim, e)
@@ -299,7 +300,7 @@ func TestEngineSetPolicyFedIsScoped(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sim := vtime.New()
+	sim := runtime.NewVirtual()
 	e := New(sim, d, Config{})
 	e.SetPolicyFed("in1", operator.PolicyProcess)
 	if got := d.Op("su1").(*operator.SUnion).Policy(); got != operator.PolicyProcess {
@@ -311,7 +312,7 @@ func TestEngineSetPolicyFedIsScoped(t *testing.T) {
 }
 
 func TestEngineIdleCallback(t *testing.T) {
-	sim := vtime.New()
+	sim := runtime.NewVirtual()
 	e := New(sim, mergeDiagram(t, 2*sec), Config{Capacity: 1000})
 	idles := 0
 	e.OnIdle(func() { idles++ })
@@ -323,7 +324,7 @@ func TestEngineIdleCallback(t *testing.T) {
 }
 
 func TestEngineDoubleCheckpointPanics(t *testing.T) {
-	sim := vtime.New()
+	sim := runtime.NewVirtual()
 	e := New(sim, mergeDiagram(t, 2*sec), Config{Capacity: 10})
 	e.Ingest("in1", []tuple.Tuple{tuple.NewInsertion(10*ms, 1)})
 	e.RequestCheckpoint(func(*Snapshot) {})

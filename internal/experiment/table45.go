@@ -8,6 +8,7 @@ import (
 	"borealis/internal/netsim"
 	"borealis/internal/node"
 	"borealis/internal/operator"
+	"borealis/internal/runtime"
 	"borealis/internal/source"
 	"borealis/internal/vtime"
 )
@@ -63,7 +64,7 @@ func overheadSweep(varyBucket bool, opts Options) OverheadResult {
 // Fig. 22 client, without a DPC proxy, so the measured delay isolates the
 // serialization overhead of the one SUnion+SOutput node.
 type latencySink struct {
-	sim        *vtime.Sim
+	sim        *runtime.VirtualClock
 	count      int
 	min, max   int64
 	sum, sumSq float64
@@ -113,7 +114,7 @@ func (ls *latencySink) row(param int64) OverheadRow {
 // overheadRun builds the Fig. 22 pipeline. A zero bucket builds the
 // baseline (plain Union, no boundaries, Fig. 22(b)).
 func overheadRun(param, bucket, interval, runSecs int64) OverheadRow {
-	sim := vtime.New()
+	sim := runtime.NewVirtual()
 	net := netsim.New(sim)
 
 	baseline := bucket == 0 || interval == 0

@@ -3,14 +3,14 @@ package netsim
 import (
 	"testing"
 
-	"borealis/internal/vtime"
+	"borealis/internal/runtime"
 )
 
 // BenchmarkNetsimSend measures the per-message cost of the fabric: schedule
 // a delivery, fire it, invoke the handler. Every tuple batch, ack,
 // keep-alive, and subscription in the system crosses this path.
 func BenchmarkNetsimSend(b *testing.B) {
-	sim := vtime.New()
+	sim := runtime.NewVirtual()
 	n := New(sim)
 	got := 0
 	n.Register("a", func(string, any) {})
@@ -30,7 +30,7 @@ func BenchmarkNetsimSend(b *testing.B) {
 // BenchmarkNetsimSendBurst sends bursts of messages per sim drain, the
 // pattern of a node flushing batches to several subscribers.
 func BenchmarkNetsimSendBurst(b *testing.B) {
-	sim := vtime.New()
+	sim := runtime.NewVirtual()
 	n := New(sim)
 	got := 0
 	n.Register("a", func(string, any) {})

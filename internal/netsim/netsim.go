@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sort"
 
+	"borealis/internal/runtime"
 	"borealis/internal/vtime"
 )
 
@@ -55,7 +56,7 @@ type delivery struct {
 
 // Net is the simulated network fabric.
 type Net struct {
-	sim         *vtime.Sim
+	clk         runtime.Clock
 	endpoints   map[string]*endpoint
 	latency     map[pair]int64
 	partitioned map[pair]bool
@@ -72,10 +73,12 @@ type Net struct {
 	Dropped   uint64
 }
 
-// New returns a network fabric driven by sim.
-func New(sim *vtime.Sim) *Net {
+// New returns a network fabric driven by the given clock — the virtual
+// simulator for deterministic runs, or a wall clock for paced real-time
+// execution (latencies then consume real microseconds).
+func New(clk runtime.Clock) *Net {
 	n := &Net{
-		sim:         sim,
+		clk:         clk,
 		endpoints:   make(map[string]*endpoint),
 		latency:     make(map[pair]int64),
 		partitioned: make(map[pair]bool),
@@ -194,7 +197,7 @@ func (n *Net) Send(from, to string, msg any) {
 		n.Dropped++
 		return
 	}
-	at := n.sim.Now() + n.Latency(from, to)
+	at := n.clk.Now() + n.Latency(from, to)
 	// FIFO: never deliver before a message sent earlier on this link.
 	if prev := dst.lastArrival[from]; at < prev {
 		at = prev
@@ -208,7 +211,7 @@ func (n *Net) Send(from, to string, msg any) {
 		d.next = nil
 	}
 	d.from, d.to, d.src, d.dst, d.msg = from, to, src, dst, msg
-	n.sim.AtCall(at, n.deliverFn, d)
+	n.clk.AtCall(at, n.deliverFn, d)
 }
 
 // deliver consumes one pooled delivery record at its scheduled time.

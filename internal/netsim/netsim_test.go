@@ -4,6 +4,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"borealis/internal/runtime"
 	"borealis/internal/vtime"
 )
 
@@ -13,8 +14,8 @@ type rec struct {
 	at   int64
 }
 
-func setup() (*vtime.Sim, *Net, map[string]*[]rec) {
-	sim := vtime.New()
+func setup() (*runtime.VirtualClock, *Net, map[string]*[]rec) {
+	sim := runtime.NewVirtual()
 	n := New(sim)
 	boxes := make(map[string]*[]rec)
 	for _, id := range []string{"a", "b", "c"} {
@@ -195,7 +196,7 @@ func TestEndpointsSorted(t *testing.T) {
 }
 
 func TestReregisterReplacesHandler(t *testing.T) {
-	sim := vtime.New()
+	sim := runtime.NewVirtual()
 	n := New(sim)
 	var first, second int
 	n.Register("x", func(string, any) { first++ })
@@ -211,7 +212,7 @@ func TestReregisterReplacesHandler(t *testing.T) {
 // Property: any interleaving of sends on one link is received in send order.
 func TestQuickFIFO(t *testing.T) {
 	f := func(lat []uint8) bool {
-		sim := vtime.New()
+		sim := runtime.NewVirtual()
 		n := New(sim)
 		n.Register("s", func(string, any) {})
 		var got []int

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"borealis/internal/runtime"
 	"borealis/internal/vtime"
 )
 
@@ -66,7 +67,7 @@ type CM struct {
 	ups  map[string]*upstreamView
 	rng  *rand.Rand
 
-	ticker *vtime.Ticker
+	ticker runtime.Ticker
 
 	// confirming tracks an in-flight probe of a switch-to-STABLE
 	// candidate, per stream: both replicas of an upstream typically
@@ -79,8 +80,8 @@ type CM struct {
 	wantReconcile bool
 	awaiting      string // peer asked, awaiting response
 	grantedTo     string // peer we promised not to reconcile under
-	grantTimer    *vtime.Timer
-	retryTimer    *vtime.Timer
+	grantTimer    runtime.Timer
+	retryTimer    runtime.Timer
 
 	// Switches counts upstream replica switches (reported in §5.1).
 	Switches uint64
@@ -122,12 +123,12 @@ func (cm *CM) start() {
 		first := up.replicas[0]
 		for _, r := range up.replicas {
 			up.states[r] = StateStable
-			up.lastResp[r] = cm.node.sim.Now()
+			up.lastResp[r] = cm.node.clk.Now()
 		}
 		cm.subscribe(stream, first, true, false)
 		cm.node.inputs[stream].StartMonitoring()
 	}
-	cm.ticker = cm.node.sim.NewTicker(cm.cfg.KeepAlive, cm.tick)
+	cm.ticker = cm.node.clk.NewTicker(cm.cfg.KeepAlive, cm.tick)
 }
 
 func (cm *CM) stop() {
@@ -163,7 +164,7 @@ func (cm *CM) reset() {
 
 // tick sends keep-alive probes and times out silent replicas.
 func (cm *CM) tick() {
-	now := cm.node.sim.Now()
+	now := cm.node.clk.Now()
 	for _, stream := range cm.node.inputOrder {
 		up := cm.ups[stream]
 		if up == nil {
@@ -191,7 +192,7 @@ func (cm *CM) tick() {
 
 // onKeepAlive records a keep-alive response and re-evaluates switching.
 func (cm *CM) onKeepAlive(from string, resp KeepAliveResp) {
-	now := cm.node.sim.Now()
+	now := cm.node.clk.Now()
 	for _, stream := range cm.node.inputOrder {
 		up := cm.ups[stream]
 		if up == nil || !contains(up.replicas, from) {
@@ -410,7 +411,7 @@ func (cm *CM) tryRequest() {
 	cm.awaiting = peer
 	cm.node.send(peer, ReconcileReq{})
 	// A silent peer (crashed, partitioned) must not wedge us.
-	cm.node.sim.After(cm.cfg.RetryInterval*2, func() {
+	cm.node.clk.After(cm.cfg.RetryInterval*2, func() {
 		if cm.awaiting == peer {
 			cm.awaiting = ""
 			cm.scheduleRetry()
@@ -422,7 +423,7 @@ func (cm *CM) scheduleRetry() {
 	if cm.retryTimer != nil {
 		return
 	}
-	cm.retryTimer = cm.node.sim.After(cm.cfg.RetryInterval, func() {
+	cm.retryTimer = cm.node.clk.After(cm.cfg.RetryInterval, func() {
 		cm.retryTimer = nil
 		cm.tryRequest()
 	})
@@ -449,7 +450,7 @@ func (cm *CM) onReconcileReq(from string) {
 	if cm.grantTimer != nil {
 		cm.grantTimer.Stop()
 	}
-	cm.grantTimer = cm.node.sim.After(cm.cfg.GrantTimeout, func() {
+	cm.grantTimer = cm.node.clk.After(cm.cfg.GrantTimeout, func() {
 		cm.grantTimer = nil
 		if cm.grantedTo == from {
 			cm.grantedTo = ""

@@ -6,8 +6,8 @@ import (
 	"borealis/internal/diagram"
 	"borealis/internal/netsim"
 	"borealis/internal/operator"
+	"borealis/internal/runtime"
 	"borealis/internal/tuple"
-	"borealis/internal/vtime"
 )
 
 // passDiagram builds the minimal DPC diagram: in → SUnion → SOutput → out.
@@ -28,7 +28,7 @@ func passDiagram(t *testing.T, in, out string) *diagram.Diagram {
 	return d
 }
 
-func mkNode(t *testing.T, sim *vtime.Sim, net *netsim.Net, id string, peers []string) *Node {
+func mkNode(t *testing.T, sim *runtime.VirtualClock, net *netsim.Net, id string, peers []string) *Node {
 	t.Helper()
 	n, err := New(sim, net, passDiagram(t, "in", "out."+id), Config{
 		ID:        id,
@@ -46,7 +46,7 @@ func TestStaggerProtocolPairTieBreak(t *testing.T) {
 	// grant; the other is rejected by the tie-break (lower id rejects
 	// the higher id's request when it wants to reconcile itself...
 	// i.e. the higher id grants, the lower id reconciles first).
-	sim := vtime.New()
+	sim := runtime.NewVirtual()
 	net := netsim.New(sim)
 	net.Register("up", func(string, any) {})
 	a := mkNode(t, sim, net, "a", []string{"b"})
@@ -73,7 +73,7 @@ func TestStaggerProtocolPairTieBreak(t *testing.T) {
 }
 
 func TestReconcileReqRejectedDuringStabilization(t *testing.T) {
-	sim := vtime.New()
+	sim := runtime.NewVirtual()
 	net := netsim.New(sim)
 	net.Register("up", func(string, any) {})
 	a := mkNode(t, sim, net, "a", []string{"b"})
@@ -92,7 +92,7 @@ func TestReconcileReqRejectedDuringStabilization(t *testing.T) {
 }
 
 func TestReconcileReqTieBreakByID(t *testing.T) {
-	sim := vtime.New()
+	sim := runtime.NewVirtual()
 	net := netsim.New(sim)
 	net.Register("up", func(string, any) {})
 	a := mkNode(t, sim, net, "a", []string{"b"})
@@ -120,7 +120,7 @@ func TestReconcileReqTieBreakByID(t *testing.T) {
 }
 
 func TestGrantReleasedByReconcileDone(t *testing.T) {
-	sim := vtime.New()
+	sim := runtime.NewVirtual()
 	net := netsim.New(sim)
 	net.Register("up", func(string, any) {})
 	a := mkNode(t, sim, net, "a", []string{"b"})
@@ -138,7 +138,7 @@ func TestGrantReleasedByReconcileDone(t *testing.T) {
 }
 
 func TestKeepAliveTimeoutMarksReplicaFailed(t *testing.T) {
-	sim := vtime.New()
+	sim := runtime.NewVirtual()
 	net := netsim.New(sim)
 	net.Register("up", func(string, any) {})
 	n := mkNode(t, sim, net, "a", nil)
@@ -152,7 +152,7 @@ func TestKeepAliveTimeoutMarksReplicaFailed(t *testing.T) {
 }
 
 func TestKeepAliveResponseTracksAdvertisedState(t *testing.T) {
-	sim := vtime.New()
+	sim := runtime.NewVirtual()
 	net := netsim.New(sim)
 	// An upstream that advertises UP_FAILURE.
 	net.Register("up", func(from string, msg any) {
@@ -173,7 +173,7 @@ func TestKeepAliveResponseTracksAdvertisedState(t *testing.T) {
 
 func TestNodeAdvertisesPerStreamStatesWhenFineGrained(t *testing.T) {
 	// Two disjoint paths; a failure on in1 must leave out2 STABLE.
-	sim := vtime.New()
+	sim := runtime.NewVirtual()
 	net := netsim.New(sim)
 	net.Register("up1", func(string, any) {})
 	net.Register("up2", func(string, any) {})
@@ -218,7 +218,7 @@ func TestNodeAdvertisesPerStreamStatesWhenFineGrained(t *testing.T) {
 }
 
 func TestNodeChecksAndCountsFailedInputs(t *testing.T) {
-	sim := vtime.New()
+	sim := runtime.NewVirtual()
 	net := netsim.New(sim)
 	net.Register("up", func(string, any) {})
 	n := mkNode(t, sim, net, "a", nil)
@@ -244,7 +244,7 @@ func TestNodeChecksAndCountsFailedInputs(t *testing.T) {
 }
 
 func TestCrashedNodeIsSilent(t *testing.T) {
-	sim := vtime.New()
+	sim := runtime.NewVirtual()
 	net := netsim.New(sim)
 	net.Register("up", func(string, any) {})
 	n := mkNode(t, sim, net, "a", nil)

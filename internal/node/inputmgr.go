@@ -1,8 +1,8 @@
 package node
 
 import (
+	"borealis/internal/runtime"
 	"borealis/internal/tuple"
-	"borealis/internal/vtime"
 )
 
 // FailKind classifies how an input stream failed.
@@ -47,14 +47,14 @@ type inputHooks struct {
 // correcting mode the moment an UNDO arrives on it and back to live mode at
 // REC_DONE.
 type InputManager struct {
-	sim    *vtime.Sim
+	clk    runtime.Clock
 	stream string
 	hooks  inputHooks
 
 	// stallTimeout declares the input failed after this much boundary
 	// silence; zero disables stall detection (protocol unit tests).
 	stallTimeout int64
-	stallTimer   *vtime.Timer
+	stallTimer   runtime.Timer
 
 	// live and corr are the endpoints currently serving this stream.
 	live, corr string
@@ -106,9 +106,9 @@ type connSeq struct {
 }
 
 // newInputManager builds a manager for one input stream.
-func newInputManager(sim *vtime.Sim, stream string, stallTimeout int64, hooks inputHooks) *InputManager {
+func newInputManager(clk runtime.Clock, stream string, stallTimeout int64, hooks inputHooks) *InputManager {
 	return &InputManager{
-		sim:               sim,
+		clk:               clk,
 		stream:            stream,
 		stallTimeout:      stallTimeout,
 		hooks:             hooks,
@@ -212,7 +212,7 @@ func (im *InputManager) SetConnections(live, corr string, seamless bool) {
 		im.correcting = false
 	}
 	// A (re)connection restarts the boundary-silence clock.
-	im.lastBoundaryArrival = im.sim.Now()
+	im.lastBoundaryArrival = im.clk.Now()
 	im.armStallTimer()
 }
 
@@ -296,7 +296,7 @@ func (im *InputManager) Handle(from string, seq uint64, ts []tuple.Tuple) {
 				if !forwardAsIs && !fromCorr && !im.correcting {
 					liveOut = append(liveOut, t)
 				}
-				im.lastBoundaryArrival = im.sim.Now()
+				im.lastBoundaryArrival = im.clk.Now()
 				im.armStallTimer()
 				continue
 			}
@@ -374,7 +374,7 @@ func (im *InputManager) touchBoundary(stime int64) {
 	if stime > im.lastBoundarySTime {
 		im.lastBoundarySTime = stime
 	}
-	im.lastBoundaryArrival = im.sim.Now()
+	im.lastBoundaryArrival = im.clk.Now()
 	im.armStallTimer()
 }
 
@@ -385,7 +385,7 @@ func (im *InputManager) armStallTimer() {
 	if im.stallTimer != nil {
 		im.stallTimer.Stop()
 	}
-	im.stallTimer = im.sim.After(im.stallTimeout, func() {
+	im.stallTimer = im.clk.After(im.stallTimeout, func() {
 		im.stallTimer = nil
 		if im.failKind == FailNone && !im.correcting {
 			im.declareFailed(FailStall)
@@ -401,7 +401,7 @@ func (im *InputManager) Reset() {
 		im.stallTimer = nil
 	}
 	*im = InputManager{
-		sim:               im.sim,
+		clk:               im.clk,
 		stream:            im.stream,
 		stallTimeout:      im.stallTimeout,
 		hooks:             im.hooks,
@@ -413,7 +413,7 @@ func (im *InputManager) Reset() {
 // StartMonitoring arms stall detection; the node calls it once the first
 // subscription is active.
 func (im *InputManager) StartMonitoring() {
-	im.lastBoundaryArrival = im.sim.Now()
+	im.lastBoundaryArrival = im.clk.Now()
 	im.armStallTimer()
 }
 

@@ -3,6 +3,7 @@ package node
 import (
 	"testing"
 
+	"borealis/internal/runtime"
 	"borealis/internal/tuple"
 	"borealis/internal/vtime"
 )
@@ -13,7 +14,7 @@ const (
 )
 
 type imHarness struct {
-	sim       *vtime.Sim
+	sim       *runtime.VirtualClock
 	seqs      map[string]uint64
 	im        *InputManager
 	failures  []FailKind
@@ -22,7 +23,7 @@ type imHarness struct {
 }
 
 func newIMHarness(stallTimeout int64) *imHarness {
-	h := &imHarness{sim: vtime.New()}
+	h := &imHarness{sim: runtime.NewVirtual()}
 	h.im = newInputManager(h.sim, "s", stallTimeout, inputHooks{
 		onFailed: func(_ string, k FailKind) { h.failures = append(h.failures, k) },
 		onHealed: func(string) { h.heals++ },

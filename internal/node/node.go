@@ -8,6 +8,7 @@ import (
 	"borealis/internal/engine"
 	"borealis/internal/netsim"
 	"borealis/internal/operator"
+	"borealis/internal/runtime"
 	"borealis/internal/tuple"
 	"borealis/internal/vtime"
 )
@@ -56,7 +57,7 @@ type Config struct {
 // consistency manager + the Fig. 5 state machine.
 type Node struct {
 	cfg Config
-	sim *vtime.Sim
+	clk runtime.Clock
 	net *netsim.Net
 	eng *engine.Engine
 	d   *diagram.Diagram
@@ -80,7 +81,7 @@ type Node struct {
 	// it was requested in has ended.
 	cpSeq, cpWant uint64
 
-	ackTicker *vtime.Ticker
+	ackTicker runtime.Ticker
 	down      bool
 	onDeliver func(stream string, t tuple.Tuple)
 
@@ -88,11 +89,15 @@ type Node struct {
 	Reconciliations uint64
 	Checkpoints     uint64
 	UpFailureSigs   uint64
+	// reconStart anchors the in-progress reconciliation; reconDurations
+	// records each completed one, in clock µs (grant → REC_DONE).
+	reconStart     int64
+	reconDurations []int64
 }
 
 // New builds a node executing the given diagram and registers it on the
 // network. Call Start to subscribe to upstreams and begin probing.
-func New(sim *vtime.Sim, net *netsim.Net, d *diagram.Diagram, cfg Config) (*Node, error) {
+func New(clk runtime.Clock, net *netsim.Net, d *diagram.Diagram, cfg Config) (*Node, error) {
 	if cfg.ID == "" {
 		return nil, fmt.Errorf("node: empty ID")
 	}
@@ -108,7 +113,7 @@ func New(sim *vtime.Sim, net *netsim.Net, d *diagram.Diagram, cfg Config) (*Node
 	cfg.CM.Stagger = cfg.StabilizationPolicy != operator.PolicySuspend
 	n := &Node{
 		cfg:     cfg,
-		sim:     sim,
+		clk:     clk,
 		net:     net,
 		d:       d,
 		inputs:  make(map[string]*InputManager),
@@ -116,14 +121,14 @@ func New(sim *vtime.Sim, net *netsim.Net, d *diagram.Diagram, cfg Config) (*Node
 		failed:  make(map[string]bool),
 		state:   StateStable,
 	}
-	n.eng = engine.New(sim, d, engine.Config{Capacity: cfg.Capacity})
+	n.eng = engine.New(clk, d, engine.Config{Capacity: cfg.Capacity})
 	n.eng.OnOutput(n.publish)
 	n.eng.OnSignal(n.onSignal)
 	n.eng.OnIdle(func() { n.maybeFinishRecovery() })
 	for _, in := range d.Inputs() {
 		stream := in.Stream
 		n.inputOrder = append(n.inputOrder, stream)
-		n.inputs[stream] = newInputManager(sim, stream, cfg.StallTimeout, inputHooks{
+		n.inputs[stream] = newInputManager(clk, stream, cfg.StallTimeout, inputHooks{
 			onFailed: n.onInputFailed,
 			onHealed: n.onInputHealed,
 			onBroken: func(s, from string) { n.cm.onConnBroken(s, from) },
@@ -138,7 +143,7 @@ func New(sim *vtime.Sim, net *netsim.Net, d *diagram.Diagram, cfg Config) (*Node
 	for _, out := range d.Outputs() {
 		stream := out.Stream
 		n.outOrder = append(n.outOrder, stream)
-		n.outputs[stream] = NewOutputBuffer(sim, net, cfg.ID, stream, cfg.BufferMode, cfg.BufferCap, cfg.Downstreams[stream])
+		n.outputs[stream] = NewOutputBuffer(clk, net, cfg.ID, stream, cfg.BufferMode, cfg.BufferCap, cfg.Downstreams[stream])
 	}
 	sort.Strings(n.outOrder)
 	n.cm = newCM(n, cfg.CM)
@@ -161,6 +166,10 @@ func (n *Node) Engine() *engine.Engine { return n.eng }
 // CM exposes the consistency manager (tests and metrics).
 func (n *Node) CM() *CM { return n.cm }
 
+// ReconcileDurations returns each completed reconciliation's duration in
+// clock µs, grant to REC_DONE, in completion order (report probes).
+func (n *Node) ReconcileDurations() []int64 { return n.reconDurations }
+
 // Input returns the manager of an input stream.
 func (n *Node) Input(stream string) *InputManager { return n.inputs[stream] }
 
@@ -181,7 +190,7 @@ func (n *Node) FailedInputs() []string {
 func (n *Node) Start() {
 	n.cm.start()
 	if n.cfg.AckInterval > 0 {
-		n.ackTicker = n.sim.NewTicker(n.cfg.AckInterval, n.sendAcks)
+		n.ackTicker = n.clk.NewTicker(n.cfg.AckInterval, n.sendAcks)
 	}
 }
 
@@ -365,10 +374,17 @@ func (n *Node) onInputHealed(stream string) {
 	if n.state != StateUpFailure || len(n.failed) > 0 {
 		return
 	}
-	if !n.eng.Diverged() {
-		// The failure was masked: nothing tentative left the node, so
-		// the checkpoint can simply be dropped (§6.1: failures shorter
-		// than the suspension are masked entirely).
+	if !n.needsReconcile() {
+		// The failure was masked: nothing tentative left the node or
+		// remains buffered inside it, so the checkpoint can simply be
+		// dropped (§6.1: failures shorter than the suspension are
+		// masked entirely). The HoldsTentative part of the predicate
+		// matters when an upstream's correction healed this input
+		// before our own suspension expired: the SUnions may still
+		// hold tentative tuples that only the checkpoint restore +
+		// patched-log replay can roll back — dropping the epoch would
+		// leave a bucket no policy can ever flush, starving everything
+		// downstream.
 		n.discardEpoch()
 		n.state = StateStable
 		n.applyPolicies()
@@ -384,6 +400,14 @@ func (n *Node) onInputHealed(stream string) {
 	n.cm.requestReconcileAuth()
 }
 
+// needsReconcile reports whether a healed node must reconcile rather than
+// treat the failure as masked: its state diverged (tentative output left
+// the node), or a SUnion still buffers tentative tuples only a checkpoint
+// restore + patched-log replay can roll back.
+func (n *Node) needsReconcile() bool {
+	return n.eng.Diverged() || n.eng.HoldsTentative()
+}
+
 // onReconcileRejected marks this node as the replica that stays available
 // while its partner reconciles: from here on, new tuples are handled per
 // the stabilization-phase policy (§6.1's second policy dimension).
@@ -396,7 +420,7 @@ func (n *Node) onReconcileRejected() {
 
 // onReconcileGranted starts state reconciliation (§4.4.1-4.4.2).
 func (n *Node) onReconcileGranted() {
-	if n.state != StateUpFailure || len(n.failed) > 0 || !n.eng.Diverged() {
+	if n.state != StateUpFailure || len(n.failed) > 0 || !n.needsReconcile() {
 		n.cm.finishReconcile() // stale grant; release the peer
 		return
 	}
@@ -405,8 +429,8 @@ func (n *Node) onReconcileGranted() {
 		// batches: retry shortly (never synchronously — the self-
 		// granted path would recurse).
 		n.cm.finishReconcile()
-		n.sim.After(10*vtime.Millisecond, func() {
-			if n.state == StateUpFailure && len(n.failed) == 0 && n.eng.Diverged() {
+		n.clk.After(10*vtime.Millisecond, func() {
+			if n.state == StateUpFailure && len(n.failed) == 0 && n.needsReconcile() {
 				n.cm.requestReconcileAuth()
 			}
 		})
@@ -414,6 +438,7 @@ func (n *Node) onReconcileGranted() {
 	}
 	n.state = StateStabilization
 	n.Reconciliations++
+	n.reconStart = n.clk.Now()
 	n.eng.Restore(n.snap)
 	for _, stream := range n.inputOrder {
 		im := n.inputs[stream]
@@ -430,6 +455,7 @@ func (n *Node) onStabilizationComplete() {
 	if n.state != StateStabilization {
 		return
 	}
+	n.reconDurations = append(n.reconDurations, n.clk.Now()-n.reconStart)
 	n.cm.finishReconcile()
 	if len(n.failed) == 0 {
 		n.discardEpoch()
@@ -539,7 +565,7 @@ func (n *Node) Restart() {
 	n.down = false
 	n.net.SetDown(n.cfg.ID, false)
 	n.recovering = true
-	n.restartedAt = n.sim.Now()
+	n.restartedAt = n.clk.Now()
 	n.state = StateUpFailure // not advertised while recovering
 	n.failed = make(map[string]bool)
 	n.snap = nil

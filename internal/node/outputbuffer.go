@@ -4,8 +4,8 @@ import (
 	"sort"
 
 	"borealis/internal/netsim"
+	"borealis/internal/runtime"
 	"borealis/internal/tuple"
-	"borealis/internal/vtime"
 )
 
 // BufferMode selects what an output buffer does when it reaches capacity
@@ -55,9 +55,9 @@ type OutputBuffer struct {
 
 	// pending batches emissions of the same instant into one DataMsg.
 	pending    []tuple.Tuple
-	flushTimer *vtime.Timer
+	flushTimer runtime.Timer
 	flushFn    func() // bound once; scheduling a flush allocates no closure
-	sim        *vtime.Sim
+	clk        runtime.Clock
 	// subsSorted caches Subscribers() for the flush hot path; it is
 	// rebuilt whenever the subscription set changes.
 	subsSorted []string
@@ -74,14 +74,14 @@ type obSub struct {
 }
 
 // NewOutputBuffer builds a buffer for one output stream of endpoint self.
-func NewOutputBuffer(sim *vtime.Sim, net *netsim.Net, self, stream string, mode BufferMode, capTuples int, expected []string) *OutputBuffer {
+func NewOutputBuffer(clk runtime.Clock, net *netsim.Net, self, stream string, mode BufferMode, capTuples int, expected []string) *OutputBuffer {
 	ob := &OutputBuffer{
 		net:      net,
 		self:     self,
 		stream:   stream,
 		mode:     mode,
 		cap:      capTuples,
-		sim:      sim,
+		clk:      clk,
 		subs:     make(map[string]*obSub),
 		acks:     make(map[string]uint64),
 		expected: append([]string(nil), expected...),
@@ -199,7 +199,7 @@ func (ob *OutputBuffer) send(t tuple.Tuple) {
 	}
 	ob.pending = append(ob.pending, t)
 	if ob.flushTimer == nil {
-		ob.flushTimer = ob.sim.After(0, ob.flushFn)
+		ob.flushTimer = ob.clk.After(0, ob.flushFn)
 	}
 }
 

@@ -4,12 +4,12 @@ import (
 	"testing"
 
 	"borealis/internal/netsim"
+	"borealis/internal/runtime"
 	"borealis/internal/tuple"
-	"borealis/internal/vtime"
 )
 
-func obSetup(mode BufferMode, capTuples int, expected []string) (*vtime.Sim, *netsim.Net, *OutputBuffer, map[string]*[]tuple.Tuple) {
-	sim := vtime.New()
+func obSetup(mode BufferMode, capTuples int, expected []string) (*runtime.VirtualClock, *netsim.Net, *OutputBuffer, map[string]*[]tuple.Tuple) {
+	sim := runtime.NewVirtual()
 	net := netsim.New(sim)
 	net.Register("up", func(string, any) {})
 	boxes := make(map[string]*[]tuple.Tuple)

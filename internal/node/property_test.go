@@ -5,8 +5,8 @@ import (
 	"testing/quick"
 
 	"borealis/internal/netsim"
+	"borealis/internal/runtime"
 	"borealis/internal/tuple"
-	"borealis/internal/vtime"
 )
 
 // Property: the connection-sequence admission control accepts exactly the
@@ -14,7 +14,7 @@ import (
 // one broken-connection notification until a fresh subscription arrives.
 func TestQuickConnSeqAdmission(t *testing.T) {
 	f := func(seqs []uint8) bool {
-		sim := vtime.New()
+		sim := runtime.NewVirtual()
 		broken := 0
 		im := newInputManager(sim, "s", 0, inputHooks{
 			onBroken: func(string, string) { broken++ },
@@ -71,7 +71,7 @@ func TestQuickConnSeqAdmission(t *testing.T) {
 // that late subscribers see the corrected stream.
 func TestQuickOutputBufferReplayEqualsCompactedLive(t *testing.T) {
 	f := func(ops []uint8) bool {
-		sim := vtime.New()
+		sim := runtime.NewVirtual()
 		net := netsim.New(sim)
 		var live []tuple.Tuple
 		net.Register("live", func(_ string, msg any) {
@@ -136,7 +136,7 @@ func TestQuickOutputBufferReplayEqualsCompactedLive(t *testing.T) {
 // subscriber might still request (everything after the minimum ack stays).
 func TestQuickAckTruncationSafety(t *testing.T) {
 	f := func(acksA, acksB []uint8) bool {
-		sim := vtime.New()
+		sim := runtime.NewVirtual()
 		net := netsim.New(sim)
 		net.Register("up", func(string, any) {})
 		net.Register("a", func(string, any) {})

@@ -1,19 +1,19 @@
 package operator
 
 import (
+	"borealis/internal/runtime"
 	"borealis/internal/tuple"
-	"borealis/internal/vtime"
 )
 
 // collector is a test Env that records emissions and signals.
 type collector struct {
-	sim     *vtime.Sim
+	sim     *runtime.VirtualClock
 	out     []tuple.Tuple
 	signals []Signal
 	divergd bool
 }
 
-func newCollector(sim *vtime.Sim) *collector { return &collector{sim: sim} }
+func newCollector(sim *runtime.VirtualClock) *collector { return &collector{sim: sim} }
 
 func (c *collector) env() *Env {
 	e := &Env{
@@ -53,7 +53,7 @@ func (c *collector) ofType(typ tuple.Type) []tuple.Tuple {
 func (c *collector) reset() { c.out = nil; c.signals = nil }
 
 // attach wires an operator to a fresh collector.
-func attach(op Operator, sim *vtime.Sim) *collector {
+func attach(op Operator, sim *runtime.VirtualClock) *collector {
 	c := newCollector(sim)
 	op.Attach(c.env())
 	return c

@@ -16,8 +16,8 @@
 package operator
 
 import (
+	"borealis/internal/runtime"
 	"borealis/internal/tuple"
-	"borealis/internal/vtime"
 )
 
 // SignalKind identifies control signals sent by SUnion and SOutput to the
@@ -56,14 +56,15 @@ type Signal struct {
 
 // Env is the execution environment the engine hands each operator when the
 // query diagram is wired. Emit routes output tuples to the operator's
-// downstream consumers; Now/After give access to virtual time (used only by
-// SUnion's delay machinery); Signal reaches the Consistency Manager;
-// Diverged reports whether the node's state has diverged from the stable
-// execution, in which case SOutput labels everything tentative.
+// downstream consumers; Now/After give access to the runtime clock —
+// virtual or wall, the operator cannot tell (used only by SUnion's delay
+// machinery); Signal reaches the Consistency Manager; Diverged reports
+// whether the node's state has diverged from the stable execution, in
+// which case SOutput labels everything tentative.
 type Env struct {
 	Emit     func(tuple.Tuple)
 	Now      func() int64
-	After    func(d int64, fn func()) *vtime.Timer
+	After    func(d int64, fn func()) runtime.Timer
 	Signal   func(Signal)
 	Diverged func() bool
 }

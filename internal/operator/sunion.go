@@ -4,6 +4,7 @@ import (
 	"slices"
 	"sort"
 
+	"borealis/internal/runtime"
 	"borealis/internal/tuple"
 	"borealis/internal/vtime"
 )
@@ -134,7 +135,7 @@ type SUnion struct {
 	// so they are runtime state and reset on restore.
 	tentBounds    []int64
 	sentTentBound int64
-	timer         *vtime.Timer
+	timer         runtime.Timer
 	signaled      bool
 	pumping       bool
 	repump        bool
@@ -626,4 +627,19 @@ func (s *SUnion) Restore(snap any) {
 		s.tentBounds[i] = -1
 	}
 	s.sentTentBound = -1
+}
+
+// HasPendingTentative reports whether any pending bucket buffers
+// tentative content. The node controller consults this on heal: a bucket
+// holding tentative tuples can never be emitted stable, so even if
+// nothing tentative left the node (no divergence), the failure is not
+// maskable — only a checkpoint-restore-and-replay reconciliation rolls
+// the poisoned buckets back.
+func (s *SUnion) HasPendingTentative() bool {
+	for _, b := range s.buckets {
+		if b.HasTentative {
+			return true
+		}
+	}
+	return false
 }

@@ -3,6 +3,7 @@ package operator
 import (
 	"testing"
 
+	"borealis/internal/runtime"
 	"borealis/internal/tuple"
 	"borealis/internal/vtime"
 )
@@ -40,7 +41,7 @@ func BenchmarkSUnionPump(b *testing.B) {
 // paper's long-failure experiments.
 func BenchmarkSUnionPumpTentative(b *testing.B) {
 	const bucket = 100 * vtime.Millisecond
-	sim := vtime.New()
+	sim := runtime.NewVirtual()
 	su := NewSUnion("su", SUnionConfig{
 		Ports: 1, BucketSize: bucket,
 		Delay: vtime.Millisecond, TentativeWait: 50 * vtime.Millisecond,

@@ -13,6 +13,7 @@ import (
 	"sort"
 	"testing"
 
+	"borealis/internal/runtime"
 	"borealis/internal/tuple"
 	"borealis/internal/vtime"
 )
@@ -37,7 +38,7 @@ type refSUnion struct {
 	tentAllowedAt int64
 	tentBounds    []int64
 	sentTentBound int64
-	timer         *vtime.Timer
+	timer         runtime.Timer
 	signaled      bool
 	droppedLate   uint64
 	droppedUndo   uint64
@@ -397,7 +398,7 @@ func TestSUnionMatchesMapReference(t *testing.T) {
 			TentativeBoundaries: rng.Intn(2) == 0,
 		}
 
-		sim := vtime.New()
+		sim := runtime.NewVirtual()
 		newOut := []tuple.Tuple{}
 		refOut := []tuple.Tuple{}
 		su := NewSUnion("su", cfg)

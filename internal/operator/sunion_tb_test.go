@@ -3,11 +3,11 @@ package operator
 import (
 	"testing"
 
+	"borealis/internal/runtime"
 	"borealis/internal/tuple"
-	"borealis/internal/vtime"
 )
 
-func newTBSU(ports int, sim *vtime.Sim, emitTB bool) (*SUnion, *collector) {
+func newTBSU(ports int, sim *runtime.VirtualClock, emitTB bool) (*SUnion, *collector) {
 	s := NewSUnion("su", SUnionConfig{
 		Ports:               ports,
 		BucketSize:          100 * ms,
@@ -25,7 +25,7 @@ func tentBoundary(stime int64) tuple.Tuple {
 }
 
 func TestSUnionEmitsTentativeBoundaryWithFlush(t *testing.T) {
-	sim := vtime.New()
+	sim := runtime.NewVirtual()
 	s, c := newTBSU(2, sim, true)
 	s.Process(0, tuple.NewInsertion(10*ms, 1))
 	s.SetPolicy(PolicyProcess)
@@ -51,7 +51,7 @@ func TestSUnionEmitsTentativeBoundaryWithFlush(t *testing.T) {
 }
 
 func TestSUnionNoTentativeBoundaryWhenDisabled(t *testing.T) {
-	sim := vtime.New()
+	sim := runtime.NewVirtual()
 	s, c := newTBSU(2, sim, false)
 	s.Process(0, tuple.NewInsertion(10*ms, 1))
 	s.SetPolicy(PolicyProcess)
@@ -67,7 +67,7 @@ func TestSUnionTentativeBoundaryReleasesWithoutWait(t *testing.T) {
 	// A downstream SUnion holding a tentative bucket releases it as soon
 	// as tentative boundaries prove it complete — not after the fixed
 	// TentativeWait (footnote 5).
-	sim := vtime.New()
+	sim := runtime.NewVirtual()
 	s, c := newTBSU(1, sim, false)
 	s.SetPolicy(PolicyProcess)
 	// Let the initial 0.9·D suspension pass, as it would during a real
@@ -88,7 +88,7 @@ func TestSUnionTentativeBoundaryReleasesWithoutWait(t *testing.T) {
 func TestSUnionTentativeBoundaryDoesNotStabilize(t *testing.T) {
 	// Tentative boundaries bound progress but prove no stability: a
 	// bucket covered only by tentative watermarks must not emit stably.
-	sim := vtime.New()
+	sim := runtime.NewVirtual()
 	s, c := newTBSU(1, sim, false)
 	s.Process(0, tuple.NewInsertion(10*ms, 1))
 	s.Process(0, tentBoundary(500*ms))
@@ -104,7 +104,7 @@ func TestSUnionTentativeBoundaryDoesNotStabilize(t *testing.T) {
 }
 
 func TestSUnionTentativeWatermarkResetOnRestore(t *testing.T) {
-	sim := vtime.New()
+	sim := runtime.NewVirtual()
 	s, _ := newTBSU(1, sim, false)
 	snap := s.Checkpoint()
 	s.Process(0, tentBoundary(1*sec))
@@ -118,7 +118,7 @@ func TestSUnionTentativeWatermarkResetOnRestore(t *testing.T) {
 
 func TestSUnionInitialSuspensionStillAppliesWithTB(t *testing.T) {
 	// Tentative completeness cannot bypass the 0.9·D initial suspension.
-	sim := vtime.New()
+	sim := runtime.NewVirtual()
 	s, c := newTBSU(1, sim, false)
 	s.Process(0, tuple.NewTentative(10*ms, 1))
 	s.Process(0, tentBoundary(200*ms))
@@ -137,7 +137,7 @@ func TestSUnionDelayPolicyHoldsStableReadyBuckets(t *testing.T) {
 	// Under PolicyDelay even a stable-ready bucket waits 0.9·D from its
 	// first arrival: the §6 continuous-delay semantics that lets a
 	// reconciliation grant arrive before the data is ever emitted.
-	sim := vtime.New()
+	sim := runtime.NewVirtual()
 	s, c := newSU(1, sim)
 	s.SetPolicy(PolicyDelay)
 	s.Process(0, tuple.NewInsertion(10*ms, 1))

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"borealis/internal/runtime"
 	"borealis/internal/tuple"
 	"borealis/internal/vtime"
 )
@@ -13,7 +14,7 @@ const (
 	sec = vtime.Second
 )
 
-func newSU(ports int, sim *vtime.Sim) (*SUnion, *collector) {
+func newSU(ports int, sim *runtime.VirtualClock) (*SUnion, *collector) {
 	s := NewSUnion("su", SUnionConfig{
 		Ports:      ports,
 		BucketSize: 100 * ms,
@@ -24,7 +25,7 @@ func newSU(ports int, sim *vtime.Sim) (*SUnion, *collector) {
 }
 
 func TestSUnionStableEmissionWaitsForAllBoundaries(t *testing.T) {
-	sim := vtime.New()
+	sim := runtime.NewVirtual()
 	s, c := newSU(2, sim)
 	s.Process(0, tuple.NewInsertion(10*ms, 1))
 	s.Process(1, tuple.NewInsertion(20*ms, 2))
@@ -51,7 +52,7 @@ func TestSUnionStableEmissionWaitsForAllBoundaries(t *testing.T) {
 
 func TestSUnionDeterministicOrderAcrossArrivalInterleavings(t *testing.T) {
 	run := func(order [][2]int) []tuple.Tuple {
-		sim := vtime.New()
+		sim := runtime.NewVirtual()
 		s, c := newSU(2, sim)
 		for _, pt := range order {
 			tp := tuple.NewInsertion(int64(pt[1])*ms, int64(pt[1]))
@@ -75,7 +76,7 @@ func TestSUnionDeterministicOrderAcrossArrivalInterleavings(t *testing.T) {
 }
 
 func TestSUnionTieBreakBySrcThenID(t *testing.T) {
-	sim := vtime.New()
+	sim := runtime.NewVirtual()
 	s, c := newSU(2, sim)
 	t1 := tuple.NewInsertion(10*ms, 111)
 	t1.ID = 2
@@ -92,7 +93,7 @@ func TestSUnionTieBreakBySrcThenID(t *testing.T) {
 }
 
 func TestSUnionBucketsEmitInOrder(t *testing.T) {
-	sim := vtime.New()
+	sim := runtime.NewVirtual()
 	s, c := newSU(1, sim)
 	s.Process(0, tuple.NewInsertion(250*ms, 3)) // bucket [200,300)
 	s.Process(0, tuple.NewInsertion(50*ms, 1))  // bucket [0,100)
@@ -105,7 +106,7 @@ func TestSUnionBucketsEmitInOrder(t *testing.T) {
 }
 
 func TestSUnionEmptyBucketsAdvanceWatermark(t *testing.T) {
-	sim := vtime.New()
+	sim := runtime.NewVirtual()
 	s, c := newSU(1, sim)
 	s.Process(0, tuple.NewBoundary(500*ms))
 	bs := c.ofType(tuple.Boundary)
@@ -120,7 +121,7 @@ func TestSUnionEmptyBucketsAdvanceWatermark(t *testing.T) {
 }
 
 func TestSUnionSuspendPolicyHoldsEverything(t *testing.T) {
-	sim := vtime.New()
+	sim := runtime.NewVirtual()
 	s, c := newSU(2, sim)
 	s.Process(0, tuple.NewInsertion(10*ms, 1))
 	s.SetPolicy(PolicySuspend)
@@ -131,7 +132,7 @@ func TestSUnionSuspendPolicyHoldsEverything(t *testing.T) {
 }
 
 func TestSUnionDelayPolicyReleasesAt90PercentOfD(t *testing.T) {
-	sim := vtime.New()
+	sim := runtime.NewVirtual()
 	s, c := newSU(2, sim)
 	// Port 1 has failed: data arrives only on port 0, no boundaries on 1.
 	sim.RunUntil(1 * sec)
@@ -153,7 +154,7 @@ func TestSUnionDelayPolicyReleasesAt90PercentOfD(t *testing.T) {
 }
 
 func TestSUnionProcessPolicyInitialSuspensionThenShortWait(t *testing.T) {
-	sim := vtime.New()
+	sim := runtime.NewVirtual()
 	s, c := newSU(2, sim)
 	sim.RunUntil(1 * sec)
 	s.Process(0, tuple.NewInsertion(1*sec, 1))
@@ -182,7 +183,7 @@ func TestSUnionProcessPolicyInitialSuspensionThenShortWait(t *testing.T) {
 }
 
 func TestSUnionSignalsUpFailureOncePerEpisode(t *testing.T) {
-	sim := vtime.New()
+	sim := runtime.NewVirtual()
 	s, c := newSU(2, sim)
 	s.SetPolicy(PolicyProcess)
 	if len(c.signals) != 1 || c.signals[0].Kind != SigUpFailure {
@@ -204,7 +205,7 @@ func TestSUnionMaskedFailureEmitsNothingTentative(t *testing.T) {
 	// 0.9·D expires, so the bucket is emitted stable — the failure is
 	// fully masked (§6.1: "all techniques completely mask failures that
 	// last 2 seconds or less").
-	sim := vtime.New()
+	sim := runtime.NewVirtual()
 	s, c := newSU(2, sim)
 	s.Process(0, tuple.NewInsertion(10*ms, 1))
 	s.Process(0, tuple.NewBoundary(100*ms))
@@ -226,7 +227,7 @@ func TestSUnionMaskedFailureEmitsNothingTentative(t *testing.T) {
 }
 
 func TestSUnionTentativeInputBlocksStableEmission(t *testing.T) {
-	sim := vtime.New()
+	sim := runtime.NewVirtual()
 	s, c := newSU(1, sim)
 	s.Process(0, tuple.NewTentative(10*ms, 1))
 	s.Process(0, tuple.NewBoundary(200*ms))
@@ -242,7 +243,7 @@ func TestSUnionTentativeInputBlocksStableEmission(t *testing.T) {
 }
 
 func TestSUnionNoBoundaryDuringTentativeFlush(t *testing.T) {
-	sim := vtime.New()
+	sim := runtime.NewVirtual()
 	s, c := newSU(2, sim)
 	s.Process(0, tuple.NewInsertion(10*ms, 1))
 	s.SetPolicy(PolicyProcess)
@@ -253,7 +254,7 @@ func TestSUnionNoBoundaryDuringTentativeFlush(t *testing.T) {
 }
 
 func TestSUnionRecDoneWaitsAllPorts(t *testing.T) {
-	sim := vtime.New()
+	sim := runtime.NewVirtual()
 	s, c := newSU(2, sim)
 	s.Process(0, tuple.NewRecDone(0))
 	if len(c.ofType(tuple.RecDone)) != 0 {
@@ -266,7 +267,7 @@ func TestSUnionRecDoneWaitsAllPorts(t *testing.T) {
 }
 
 func TestSUnionUndoDroppedAndCounted(t *testing.T) {
-	sim := vtime.New()
+	sim := runtime.NewVirtual()
 	s, c := newSU(1, sim)
 	s.Process(0, tuple.NewUndo(3))
 	if len(c.out) != 0 || s.droppedUndo != 1 {
@@ -275,7 +276,7 @@ func TestSUnionUndoDroppedAndCounted(t *testing.T) {
 }
 
 func TestSUnionCheckpointRestoreRoundTrip(t *testing.T) {
-	sim := vtime.New()
+	sim := runtime.NewVirtual()
 	s, c := newSU(2, sim)
 	s.Process(0, tuple.NewInsertion(10*ms, 1))
 	s.Process(1, tuple.NewInsertion(20*ms, 2))
@@ -301,7 +302,7 @@ func TestSUnionCheckpointRestoreRoundTrip(t *testing.T) {
 }
 
 func TestSUnionCheckpointIsDeep(t *testing.T) {
-	sim := vtime.New()
+	sim := runtime.NewVirtual()
 	s, _ := newSU(1, sim)
 	s.Process(0, tuple.NewInsertion(10*ms, 1))
 	snap := s.Checkpoint()
@@ -319,7 +320,7 @@ func TestSUnionCheckpointIsDeep(t *testing.T) {
 }
 
 func TestSUnionOldestPendingArrival(t *testing.T) {
-	sim := vtime.New()
+	sim := runtime.NewVirtual()
 	s, _ := newSU(1, sim)
 	sim.RunUntil(5 * sec)
 	if got := s.OldestPendingArrival(); got != 5*sec {
@@ -334,7 +335,7 @@ func TestSUnionOldestPendingArrival(t *testing.T) {
 }
 
 func TestSUnionLateTupleAfterTentativeFlushDropped(t *testing.T) {
-	sim := vtime.New()
+	sim := runtime.NewVirtual()
 	s, _ := newSU(2, sim)
 	s.Process(0, tuple.NewInsertion(10*ms, 1))
 	s.SetPolicy(PolicyProcess)
@@ -347,7 +348,7 @@ func TestSUnionLateTupleAfterTentativeFlushDropped(t *testing.T) {
 
 func TestSUnionSingleDataBoundaryPerBatchKeepsLatencyLow(t *testing.T) {
 	// Serialization delay ≈ bucket size + boundary interval (§7).
-	sim := vtime.New()
+	sim := runtime.NewVirtual()
 	s, c := newSU(1, sim)
 	var emitted []int64
 	base := c.env()
@@ -397,7 +398,7 @@ func TestQuickSUnionSerializationDeterminism(t *testing.T) {
 			n = 30
 		}
 		mk := func(order []int) []tuple.Tuple {
-			sim := vtime.New()
+			sim := runtime.NewVirtual()
 			s := NewSUnion("su", SUnionConfig{Ports: 2, BucketSize: 64, Delay: 1000})
 			c := newCollector(sim)
 			s.Attach(c.env())
@@ -444,7 +445,7 @@ func TestQuickSUnionSerializationDeterminism(t *testing.T) {
 // non-decreasing in bucket index, for any mix of boundaries and data.
 func TestQuickSUnionMonotoneEmission(t *testing.T) {
 	f := func(events []uint16) bool {
-		sim := vtime.New()
+		sim := runtime.NewVirtual()
 		s := NewSUnion("su", SUnionConfig{Ports: 1, BucketSize: 32, Delay: 1000})
 		c := newCollector(sim)
 		s.Attach(c.env())

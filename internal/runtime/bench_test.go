@@ -1,0 +1,72 @@
+package runtime
+
+import (
+	"testing"
+
+	"borealis/internal/vtime"
+)
+
+// The benchmark guard for the Clock redesign: the PR 1 hot paths schedule
+// through AfterCall/AtCall (netsim deliveries, engine service timers), and
+// the interface seam must not add allocations or measurable latency over
+// calling the simulator directly. Compare:
+//
+//	go test ./internal/runtime -bench Dispatch -benchmem
+//
+// BenchmarkDirectSimDispatch is the PR 1 baseline; BenchmarkClockDispatch
+// is the same schedule-and-drain loop through the Clock interface. Both
+// must report 0 B/op in steady state.
+
+func benchDirect(b *testing.B, sim *vtime.Sim) {
+	fn := func(any) {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.AfterCall(1, fn, nil)
+		sim.Step()
+	}
+}
+
+func benchClock(b *testing.B, clk Clock, step func() bool) {
+	fn := func(any) {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clk.AfterCall(1, fn, nil)
+		step()
+	}
+}
+
+func BenchmarkDirectSimDispatch(b *testing.B) {
+	benchDirect(b, vtime.New())
+}
+
+func BenchmarkClockDispatch(b *testing.B) {
+	v := NewVirtual()
+	benchClock(b, v, v.Step)
+}
+
+// BenchmarkClockDispatchStopPath exercises the schedule-then-cancel path
+// (SUnion timer re-arms, stall-timer resets) through the interface.
+func BenchmarkClockDispatchStopPath(b *testing.B) {
+	v := NewVirtual()
+	var clk Clock = v
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tm := clk.After(1, fn)
+		tm.Stop()
+	}
+}
+
+func BenchmarkDirectSimStopPath(b *testing.B) {
+	sim := vtime.New()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tm := sim.After(1, fn)
+		tm.Stop()
+	}
+}

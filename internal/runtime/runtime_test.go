@@ -1,0 +1,182 @@
+package runtime
+
+import (
+	"testing"
+
+	"borealis/internal/vtime"
+)
+
+const ms = vtime.Millisecond
+
+// clocks returns both runtimes so every contract test runs against each.
+// The wall clock uses an aggressive speed so tests finish in microseconds
+// of real time.
+func clocks() map[string]Runtime {
+	return map[string]Runtime{
+		"virtual": NewVirtual(),
+		"wall":    NewWall(1e6),
+	}
+}
+
+func TestOrderingAndNow(t *testing.T) {
+	for name, clk := range clocks() {
+		t.Run(name, func(t *testing.T) {
+			var got []int
+			var times []int64
+			clk.At(20*ms, func() { got = append(got, 2); times = append(times, clk.Now()) })
+			clk.At(10*ms, func() { got = append(got, 1); times = append(times, clk.Now()) })
+			// Equal timestamps fire in scheduling order.
+			clk.At(30*ms, func() { got = append(got, 3) })
+			clk.At(30*ms, func() { got = append(got, 4) })
+			clk.Run()
+			want := []int{1, 2, 3, 4}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("order %v, want %v", got, want)
+				}
+			}
+			if times[0] != 10*ms || times[1] != 20*ms {
+				t.Fatalf("callback Now() = %v, want [10ms 20ms]", times)
+			}
+			if clk.Now() != 30*ms {
+				t.Fatalf("final Now() = %d, want %d", clk.Now(), 30*ms)
+			}
+		})
+	}
+}
+
+func TestAfterAndStop(t *testing.T) {
+	for name, clk := range clocks() {
+		t.Run(name, func(t *testing.T) {
+			fired := 0
+			keep := clk.After(5*ms, func() { fired++ })
+			stop := clk.After(5*ms, func() { fired++ })
+			if !stop.Stop() {
+				t.Fatal("Stop on a pending timer returned false")
+			}
+			if stop.Stop() {
+				t.Fatal("second Stop returned true")
+			}
+			clk.Run()
+			if fired != 1 {
+				t.Fatalf("fired %d callbacks, want 1", fired)
+			}
+			if keep.Stop() {
+				t.Fatal("Stop on a fired timer returned true")
+			}
+			if !stop.Stopped() {
+				t.Fatal("Stopped() false after Stop")
+			}
+		})
+	}
+}
+
+func TestAtCallSharedFunction(t *testing.T) {
+	for name, clk := range clocks() {
+		t.Run(name, func(t *testing.T) {
+			var got []int
+			fn := func(arg any) { got = append(got, arg.(int)) }
+			clk.AtCall(2*ms, fn, 2)
+			clk.AfterCall(1*ms, fn, 1)
+			clk.Run()
+			if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+				t.Fatalf("got %v, want [1 2]", got)
+			}
+		})
+	}
+}
+
+func TestTicker(t *testing.T) {
+	for name, clk := range clocks() {
+		t.Run(name, func(t *testing.T) {
+			var ticks []int64
+			var tk Ticker
+			tk = clk.NewTicker(10*ms, func() {
+				ticks = append(ticks, clk.Now())
+				if len(ticks) == 3 {
+					tk.Stop() // stop from inside the tick
+				}
+			})
+			clk.RunFor(100 * ms)
+			if len(ticks) != 3 {
+				t.Fatalf("ticked %d times, want 3", len(ticks))
+			}
+			for i, at := range ticks {
+				if want := int64(i+1) * 10 * ms; at != want {
+					t.Fatalf("tick %d at %d, want %d", i, at, want)
+				}
+			}
+		})
+	}
+}
+
+func TestRunUntilLeavesLaterEvents(t *testing.T) {
+	for name, clk := range clocks() {
+		t.Run(name, func(t *testing.T) {
+			fired := false
+			clk.At(50*ms, func() { fired = true })
+			clk.RunUntil(20 * ms)
+			if fired {
+				t.Fatal("event fired before its time")
+			}
+			if clk.Now() != 20*ms {
+				t.Fatalf("Now() = %d, want %d", clk.Now(), 20*ms)
+			}
+			if clk.Pending() != 1 {
+				t.Fatalf("Pending() = %d, want 1", clk.Pending())
+			}
+			clk.RunFor(40 * ms)
+			if !fired {
+				t.Fatal("event did not fire")
+			}
+		})
+	}
+}
+
+func TestCallbackSchedulesMore(t *testing.T) {
+	for name, clk := range clocks() {
+		t.Run(name, func(t *testing.T) {
+			depth := 0
+			var recur func()
+			recur = func() {
+				depth++
+				if depth < 5 {
+					clk.After(1*ms, recur)
+				}
+			}
+			clk.After(1*ms, recur)
+			clk.Run()
+			if depth != 5 {
+				t.Fatalf("depth %d, want 5", depth)
+			}
+			if clk.Now() != 5*ms {
+				t.Fatalf("Now() = %d, want %d", clk.Now(), 5*ms)
+			}
+		})
+	}
+}
+
+func TestVirtualSharesSim(t *testing.T) {
+	sim := vtime.New()
+	clk := Virtual(sim)
+	var order []string
+	sim.At(1*ms, func() { order = append(order, "sim") })
+	clk.At(1*ms, func() { order = append(order, "clk") })
+	clk.Run()
+	if len(order) != 2 || order[0] != "sim" || order[1] != "clk" {
+		t.Fatalf("order %v, want [sim clk]", order)
+	}
+}
+
+func TestWallClampsPastScheduling(t *testing.T) {
+	clk := NewWall(1e6)
+	clk.RunFor(10 * ms)
+	tm := clk.At(1*ms, func() {}) // in the past: clamps to now
+	if tm.When() != 10*ms {
+		t.Fatalf("When() = %d, want clamp to %d", tm.When(), 10*ms)
+	}
+	clk.Run()
+	if clk.Now() != 10*ms {
+		t.Fatalf("Now() = %d, want %d", clk.Now(), 10*ms)
+	}
+}

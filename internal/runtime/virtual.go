@@ -1,0 +1,50 @@
+package runtime
+
+import "borealis/internal/vtime"
+
+// VirtualClock adapts the deterministic discrete-event simulator to the
+// Clock/Runtime interfaces. It embeds the *vtime.Sim, so the simulator's
+// drive surface (Run, RunFor, RunUntil, Step, Pending, Processed) is
+// available directly; the scheduling methods are re-declared only to widen
+// their return types to the interfaces.
+//
+// The adaptation is free on the hot path: *vtime.Timer and *vtime.Ticker
+// satisfy Timer and Ticker, and wrapping a pointer in an interface value
+// does not allocate, so pooled timers stay pooled and the PR 1 zero-
+// allocation scheduling paths (netsim deliveries, engine service timers)
+// are preserved — see BenchmarkClockDispatch.
+type VirtualClock struct {
+	*vtime.Sim
+}
+
+var _ Runtime = (*VirtualClock)(nil)
+
+// NewVirtual returns a virtual runtime whose clock starts at 0.
+func NewVirtual() *VirtualClock { return &VirtualClock{vtime.New()} }
+
+// Virtual wraps an existing simulator, sharing its event queue and clock.
+// Components constructed on the wrapper and code scheduling on the bare
+// *vtime.Sim interleave in one deterministic order.
+func Virtual(s *vtime.Sim) *VirtualClock { return &VirtualClock{s} }
+
+// At schedules fn at absolute virtual time t.
+func (c *VirtualClock) At(t int64, fn func()) Timer { return c.Sim.At(t, fn) }
+
+// After schedules fn d microseconds from now.
+func (c *VirtualClock) After(d int64, fn func()) Timer { return c.Sim.After(d, fn) }
+
+// AtCall schedules fn(arg) at absolute virtual time t, allocation-free in
+// steady state.
+func (c *VirtualClock) AtCall(t int64, fn func(any), arg any) Timer {
+	return c.Sim.AtCall(t, fn, arg)
+}
+
+// AfterCall schedules fn(arg) d microseconds from now.
+func (c *VirtualClock) AfterCall(d int64, fn func(any), arg any) Timer {
+	return c.Sim.AfterCall(d, fn, arg)
+}
+
+// NewTicker schedules fn every interval microseconds.
+func (c *VirtualClock) NewTicker(interval int64, fn func()) Ticker {
+	return c.Sim.NewTicker(interval, fn)
+}

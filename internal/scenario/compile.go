@@ -9,6 +9,7 @@ import (
 	"borealis/internal/deploy"
 	"borealis/internal/node"
 	"borealis/internal/operator"
+	rtpkg "borealis/internal/runtime"
 	"borealis/internal/source"
 	"borealis/internal/tuple"
 	"borealis/internal/vtime"
@@ -203,7 +204,7 @@ func parseBufferMode(s string) node.BufferMode {
 // deployment, installs workload schedules, and — when withFaults is set —
 // the fault timeline. The reference run for the consistency audit compiles
 // with withFaults=false and is otherwise identical.
-func compile(s *Spec, quick, withFaults bool) (*run, error) {
+func compile(exec rtpkg.Runtime, s *Spec, quick, withFaults bool) (*run, error) {
 	rt := &run{
 		spec:       s,
 		quick:      quick,
@@ -270,7 +271,7 @@ func compile(s *Spec, quick, withFaults bool) (*run, error) {
 		})
 	}
 
-	dep, err := deploy.BuildTopology(top)
+	dep, err := deploy.BuildTopologyOn(exec, top)
 	if err != nil {
 		return nil, err
 	}
@@ -402,10 +403,10 @@ func (rt *run) installBurst(src *source.Source, ss *SourceSpec, base float64, pr
 	}
 	for t := start; t < rt.durationUS; t += period {
 		if t > 0 {
-			rt.dep.Sim.At(t, func() { src.SetRate(high) })
+			rt.dep.RT.At(t, func() { src.SetRate(high) })
 		}
 		if tl := t + up; tl > 0 {
-			rt.dep.Sim.At(tl, func() { src.SetRate(low) })
+			rt.dep.RT.At(tl, func() { src.SetRate(low) })
 		}
 	}
 }
@@ -436,10 +437,10 @@ func (rt *run) installRamp(src *source.Source, ss *SourceSpec, base float64) {
 	}
 	for t := step; t < end; t += step {
 		r := rate(t)
-		rt.dep.Sim.At(t, func() { src.SetRate(r) })
+		rt.dep.RT.At(t, func() { src.SetRate(r) })
 	}
 	rEnd := rate(end)
-	rt.dep.Sim.At(end, func() { src.SetRate(rEnd) })
+	rt.dep.RT.At(end, func() { src.SetRate(rEnd) })
 }
 
 // endpointSet resolves a partition endpoint spec into network endpoints.
@@ -541,15 +542,15 @@ func (rt *run) installFaults() error {
 		case "disconnect":
 			for _, id := range rt.sourceIDs(f.Source) {
 				src := rt.dep.SourceByID(id)
-				rt.dep.Sim.At(at, src.Disconnect)
-				rt.dep.Sim.At(at+dur, src.Reconnect)
+				rt.dep.RT.At(at, src.Disconnect)
+				rt.dep.RT.At(at+dur, src.Reconnect)
 			}
 			rt.heal(at + dur)
 		case "stall_boundaries":
 			for _, id := range rt.sourceIDs(f.Source) {
 				src := rt.dep.SourceByID(id)
-				rt.dep.Sim.At(at, src.StallBoundaries)
-				rt.dep.Sim.At(at+dur, src.ResumeBoundaries)
+				rt.dep.RT.At(at, src.StallBoundaries)
+				rt.dep.RT.At(at+dur, src.ResumeBoundaries)
 			}
 			rt.heal(at + dur)
 		case "partition":

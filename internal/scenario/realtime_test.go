@@ -1,0 +1,104 @@
+package scenario
+
+import (
+	"testing"
+
+	rtpkg "borealis/internal/runtime"
+)
+
+// TestRealtimeScenario is the acceptance proof for the Clock redesign: the
+// same curated spec that backs a virtual-clock golden file runs on a
+// WallClock — paced against real time at an aggressive speed so the test
+// stays fast — and still passes the Definition 1 eventual-consistency
+// audit against a virtual reference run. Because WallClock anchors Now to
+// each event's scheduled timestamp, the serialized stream content matches
+// the simulator's exactly; only the pacing differs.
+func TestRealtimeScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paces against the wall clock")
+	}
+	spec, err := Load("../../scenarios/chain-disconnect.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.VerifyConsistency = true
+	rep, err := Run(spec, Options{Quick: true, Runtime: rtpkg.NewWall(2000)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Consistency == nil {
+		t.Fatal("no consistency audit in the report")
+	}
+	if !rep.Consistency.OK {
+		t.Fatalf("realtime run failed the consistency audit: %s", rep.Consistency.Reason)
+	}
+	if rep.Consistency.Compared == 0 {
+		t.Fatal("audit compared zero stable tuples")
+	}
+	if rep.Client.NewTuples == 0 {
+		t.Fatal("realtime run delivered nothing")
+	}
+}
+
+// TestRealtimeMatchesVirtualThroughput runs a faultless mini-topology on
+// both substrates and requires identical tuple counts: the wall clock must
+// not lose, duplicate or re-time work relative to the simulator.
+func TestRealtimeMatchesVirtualThroughput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paces against the wall clock")
+	}
+	spec, err := Load("../../scenarios/fanin-aggregate-tree.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Faults = nil
+	spec.VerifyConsistency = false
+	spec.QuickDurationS = 5
+
+	virt, err := Run(spec, Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wall, err := Run(spec, Options{Quick: true, Runtime: rtpkg.NewWall(5000)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if virt.Client.NewTuples != wall.Client.NewTuples {
+		t.Fatalf("new-tuple counts diverge: virtual %d, wall %d",
+			virt.Client.NewTuples, wall.Client.NewTuples)
+	}
+	if virt.Client.Tentative != wall.Client.Tentative {
+		t.Fatalf("tentative counts diverge: virtual %d, wall %d",
+			virt.Client.Tentative, wall.Client.Tentative)
+	}
+}
+
+// TestRuntimeReuseRejected: scenarios schedule from t=0, so a runtime
+// that has already advanced must be rejected instead of silently clamping
+// the fault timeline to now.
+func TestRuntimeReuseRejected(t *testing.T) {
+	spec, err := Load("../../scenarios/chain-disconnect.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.VerifyConsistency = false
+	clk := rtpkg.NewWall(1e6)
+	if _, err := Run(spec, Options{Quick: true, Runtime: clk}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(spec, Options{Quick: true, Runtime: clk}); err == nil {
+		t.Fatal("reused wall runtime accepted")
+	}
+	if _, err := Build(spec, Options{Quick: true, Runtime: clk}); err == nil {
+		t.Fatal("reused wall runtime accepted by Build")
+	}
+	// A runtime that was only Built on (undriven, but with workload and
+	// fault timers already scheduled) must be rejected too.
+	clk2 := rtpkg.NewVirtual()
+	if _, err := Build(spec, Options{Quick: true, Runtime: clk2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(spec, Options{Quick: true, Runtime: clk2}); err == nil {
+		t.Fatal("runtime with pending events from a prior Build accepted")
+	}
+}

@@ -82,6 +82,14 @@ type NodeReport struct {
 	Down            bool   `json:"down"`
 	Reconciliations uint64 `json:"reconciliations"`
 	Switches        uint64 `json:"switches"`
+	// MaxQueueDepth is the high-water mark of the replica's service
+	// queue (batches): sustained depth means the workload exceeds the
+	// node's capacity, and reconciliation replays spike it.
+	MaxQueueDepth int `json:"max_queue_depth"`
+	// ReconcileDurationsS lists each completed reconciliation's duration
+	// in seconds, grant → REC_DONE, in completion order — the per-event
+	// series behind the aggregate stabilization latency.
+	ReconcileDurationsS []float64 `json:"reconcile_durations_s,omitempty"`
 }
 
 // ConsistencyReport is the Definition 1 audit against a fault-free
@@ -170,14 +178,19 @@ func (rt *run) report() *Report {
 	}
 	for gi, name := range rt.dep.GroupNames() {
 		for _, n := range rt.dep.Nodes[gi] {
-			rep.Nodes = append(rep.Nodes, NodeReport{
+			nr := NodeReport{
 				Node:            name,
 				Replica:         n.ID(),
 				State:           n.State().String(),
 				Down:            n.Down(),
 				Reconciliations: n.Reconciliations,
 				Switches:        n.CM().Switches,
-			})
+				MaxQueueDepth:   n.Engine().MaxQueueLen(),
+			}
+			for _, d := range n.ReconcileDurations() {
+				nr.ReconcileDurationsS = append(nr.ReconcileDurationsS, secs(d))
+			}
+			rep.Nodes = append(rep.Nodes, nr)
 		}
 	}
 	return rep
@@ -219,8 +232,12 @@ func (r *Report) Print(w io.Writer) {
 		if n.Down {
 			state = "CRASHED"
 		}
-		fmt.Fprintf(w, "  node %-10s %-13s reconciliations=%d switches=%d\n",
-			n.Replica, state, n.Reconciliations, n.Switches)
+		fmt.Fprintf(w, "  node %-10s %-13s reconciliations=%d switches=%d max_queue=%d",
+			n.Replica, state, n.Reconciliations, n.Switches, n.MaxQueueDepth)
+		if len(n.ReconcileDurationsS) > 0 {
+			fmt.Fprintf(w, " reconcile_s=%v", n.ReconcileDurationsS)
+		}
+		fmt.Fprintln(w)
 	}
 	for _, s := range r.Sources {
 		fmt.Fprintf(w, "  source %-8s produced=%d final_rate=%.1f", s.Name, s.Produced, s.FinalRate)

@@ -1,6 +1,9 @@
 package scenario
 
-import "borealis/internal/deploy"
+import (
+	"borealis/internal/deploy"
+	rtpkg "borealis/internal/runtime"
+)
 
 // Options tunes a scenario run.
 type Options struct {
@@ -9,15 +12,44 @@ type Options struct {
 	// SkipConsistency suppresses the reference run even when the spec
 	// asks for the audit (halves the runtime of a smoke run).
 	SkipConsistency bool
+	// Runtime selects the execution substrate for the main run: nil means
+	// a fresh virtual clock (deterministic, instant); a WallClock paces
+	// the scenario against real time. The consistency reference always
+	// runs on a private virtual clock — it is the deterministic yardstick
+	// the wall-clock run is audited against. A runtime must be fresh:
+	// scenarios schedule their workload and fault timelines from t=0, so
+	// a clock that has already advanced is rejected (a wall clock cannot
+	// be rewound; reuse would silently clamp every event to now).
+	Runtime rtpkg.Runtime
 }
 
-// Run executes a validated spec on the virtual-time simulator and returns
-// its metrics report. Same spec + same seed ⇒ bit-identical report.
+// freshRuntime resolves the substrate, rejecting a clock that has already
+// been driven or already carries scheduled events (e.g. a prior Build on
+// it): two deployments sharing one event heap interleave their timelines.
+func freshRuntime(opts Options) (rtpkg.Runtime, error) {
+	if opts.Runtime == nil {
+		return rtpkg.NewVirtual(), nil
+	}
+	if now := opts.Runtime.Now(); now != 0 {
+		return nil, errf("runtime already driven to t=%dµs; scenarios schedule from t=0 — use a fresh runtime per run", now)
+	}
+	if n := opts.Runtime.Pending(); n != 0 {
+		return nil, errf("runtime already has %d scheduled events; scenarios need a fresh runtime per run", n)
+	}
+	return opts.Runtime, nil
+}
+
+// Run executes a validated spec and returns its metrics report. On the
+// default virtual runtime, same spec + same seed ⇒ bit-identical report.
 func Run(s *Spec, opts Options) (*Report, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
-	rt, err := compile(s, opts.Quick, true)
+	exec, err := freshRuntime(opts)
+	if err != nil {
+		return nil, err
+	}
+	rt, err := compile(exec, s, opts.Quick, true)
 	if err != nil {
 		return nil, err
 	}
@@ -25,7 +57,7 @@ func Run(s *Spec, opts Options) (*Report, error) {
 	rt.dep.RunFor(rt.durationUS)
 	rep := rt.report()
 	if s.VerifyConsistency && !opts.SkipConsistency {
-		ref, err := compile(s, opts.Quick, false)
+		ref, err := compile(rtpkg.NewVirtual(), s, opts.Quick, false)
 		if err != nil {
 			return nil, err
 		}
@@ -48,7 +80,11 @@ func Build(s *Spec, opts Options) (*deploy.Deployment, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
-	rt, err := compile(s, opts.Quick, true)
+	exec, err := freshRuntime(opts)
+	if err != nil {
+		return nil, err
+	}
+	rt, err := compile(exec, s, opts.Quick, true)
 	if err != nil {
 		return nil, err
 	}

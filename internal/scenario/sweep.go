@@ -1,0 +1,147 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// SweepSpec varies one numeric field of a scenario across a range: the
+// minimal version of the ROADMAP "scenario sweeps" item, replacing bespoke
+// experiment code for one-dimensional studies (Procnew vs D, overload
+// onset vs rate, stabilization cost vs failure duration).
+type SweepSpec struct {
+	// Field selects what varies:
+	//   delay          — the SUnion availability bound D, seconds,
+	//                    applied to every node (per-node overrides are
+	//                    cleared so the sweep takes effect everywhere);
+	//   rate           — the aggregate input rate in tuples/second,
+	//                    split across sources proportionally to their
+	//                    spec rates;
+	//   fault_duration — every fault's duration_s, seconds.
+	Field string
+	// From and To are the inclusive range endpoints; Steps ≥ 1 points
+	// are evenly spaced across it (Steps == 1 runs From only).
+	From, To float64
+	Steps    int
+}
+
+// SweepRow is one step of a sweep.
+type SweepRow struct {
+	Value  float64 `json:"value"`
+	Report *Report `json:"report"`
+}
+
+// Values returns the swept points.
+func (sw *SweepSpec) Values() []float64 {
+	if sw.Steps <= 1 {
+		return []float64{sw.From}
+	}
+	out := make([]float64, sw.Steps)
+	step := (sw.To - sw.From) / float64(sw.Steps-1)
+	for i := range out {
+		out[i] = sw.From + float64(i)*step
+	}
+	return out
+}
+
+func (sw *SweepSpec) validate() error {
+	switch sw.Field {
+	case "delay", "rate", "fault_duration":
+	default:
+		return errf("sweep: unknown field %q (want delay|rate|fault_duration)", sw.Field)
+	}
+	if sw.Steps < 1 {
+		return errf("sweep: steps must be ≥ 1")
+	}
+	if sw.From < 0 || sw.To < 0 {
+		return errf("sweep: negative range")
+	}
+	return nil
+}
+
+// apply returns a deep copy of the spec with the swept field set to v.
+func (sw *SweepSpec) apply(base *Spec, v float64) (*Spec, error) {
+	raw, err := json.Marshal(base)
+	if err != nil {
+		return nil, err
+	}
+	var s Spec
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return nil, err
+	}
+	switch sw.Field {
+	case "delay":
+		s.Defaults.DelayS = v
+		for i := range s.Nodes {
+			s.Nodes[i].DelayS = nil
+		}
+	case "rate":
+		var total float64
+		for i := range s.Sources {
+			total += s.Sources[i].Rate
+		}
+		if total <= 0 {
+			return nil, errf("sweep: spec has no positive source rate to scale")
+		}
+		for i := range s.Sources {
+			s.Sources[i].Rate *= v / total
+		}
+	case "fault_duration":
+		if len(s.Faults) == 0 {
+			return nil, errf("sweep: spec has no faults to vary")
+		}
+		for i := range s.Faults {
+			s.Faults[i].DurationS = v
+		}
+	}
+	return &s, nil
+}
+
+// Sweep runs the spec once per swept value and collects the reports. Each
+// step executes on its own fresh virtual runtime, so rows are independent
+// and individually deterministic; a caller-supplied Options.Runtime is
+// rejected rather than silently ignored (one clock cannot host N runs
+// that each schedule from t=0).
+func Sweep(base *Spec, sw SweepSpec, opts Options) ([]SweepRow, error) {
+	if err := sw.validate(); err != nil {
+		return nil, err
+	}
+	if opts.Runtime != nil {
+		return nil, errf("sweep: steps run on fresh virtual runtimes; Options.Runtime must be nil")
+	}
+	rows := make([]SweepRow, 0, sw.Steps)
+	for _, v := range sw.Values() {
+		s, err := sw.apply(base, v)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := Run(s, opts)
+		if err != nil {
+			return nil, fmt.Errorf("sweep %s=%v: %w", sw.Field, v, err)
+		}
+		rows = append(rows, SweepRow{Value: v, Report: rep})
+	}
+	return rows, nil
+}
+
+// PrintSweep renders the rows as an aligned metrics table.
+func PrintSweep(w io.Writer, field string, rows []SweepRow) {
+	fmt.Fprintf(w, "%-14s %10s %10s %9s %9s %10s %8s %8s %11s %9s\n",
+		field, "new_tuples", "tput_tps", "max_lat_s", "mean_lat", "tentative", "undos", "viols", "stabiliz_s", "audit")
+	for _, r := range rows {
+		c := &r.Report.Client
+		audit := "-"
+		if r.Report.Consistency != nil {
+			if r.Report.Consistency.OK {
+				audit = "ok"
+			} else {
+				audit = "FAIL"
+			}
+		}
+		fmt.Fprintf(w, "%-14.4g %10d %10.1f %9.3f %9.3f %10d %8d %8d %11.3f %9s\n",
+			r.Value, c.NewTuples, c.ThroughputTPS, c.MaxLatencyS, c.MeanLatencyS,
+			c.Tentative, c.Undos, r.Report.Availability.Violations,
+			r.Report.Stabilization.LatencyS, audit)
+	}
+}

@@ -1,0 +1,127 @@
+package scenario
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	rtpkg "borealis/internal/runtime"
+)
+
+func TestSweepValues(t *testing.T) {
+	sw := SweepSpec{Field: "delay", From: 1, To: 8, Steps: 4}
+	got := sw.Values()
+	want := []float64{1, 1 + 7.0/3, 1 + 14.0/3, 8}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if diff := got[i] - want[i]; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("values %v, want %v", got, want)
+		}
+	}
+	one := SweepSpec{Field: "rate", From: 100, To: 400, Steps: 1}
+	if v := one.Values(); len(v) != 1 || v[0] != 100 {
+		t.Fatalf("steps=1 values %v, want [100]", v)
+	}
+}
+
+func TestSweepValidate(t *testing.T) {
+	if _, err := Sweep(&Spec{}, SweepSpec{Field: "bogus", Steps: 2}, Options{}); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	if _, err := Sweep(&Spec{}, SweepSpec{Field: "delay", Steps: 0}, Options{}); err == nil {
+		t.Fatal("zero steps accepted")
+	}
+	if _, err := Sweep(&Spec{}, SweepSpec{Field: "delay", From: 1, To: 2, Steps: 2},
+		Options{Runtime: rtpkg.NewWall(100)}); err == nil {
+		t.Fatal("caller-supplied runtime silently accepted")
+	}
+}
+
+// TestSweepDelay sweeps D on a curated scenario and checks the mechanics:
+// one row per step, swept values applied, and the base spec not mutated.
+func TestSweepDelay(t *testing.T) {
+	spec, err := Load("../../scenarios/chain-disconnect.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.VerifyConsistency = false
+	origDelay := spec.Defaults.DelayS
+
+	rows, err := Sweep(spec, SweepSpec{Field: "delay", From: 1, To: 3, Steps: 3}, Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows, want 3", len(rows))
+	}
+	for i, r := range rows {
+		if r.Report.Client.NewTuples == 0 {
+			t.Fatalf("row %d delivered nothing", i)
+		}
+		// The availability bound follows the swept D: larger D, larger
+		// bound (worst path = 2 node SUnions + client slack).
+		if i > 0 && rows[i].Report.Availability.BoundS <= rows[i-1].Report.Availability.BoundS {
+			t.Fatalf("bound did not grow with D: %v then %v",
+				rows[i-1].Report.Availability.BoundS, rows[i].Report.Availability.BoundS)
+		}
+	}
+	if spec.Defaults.DelayS != origDelay {
+		t.Fatal("sweep mutated the base spec")
+	}
+
+	var buf bytes.Buffer
+	PrintSweep(&buf, "delay", rows)
+	out := buf.String()
+	if !strings.Contains(out, "new_tuples") || strings.Count(out, "\n") != 4 {
+		t.Fatalf("unexpected table:\n%s", out)
+	}
+}
+
+// TestSweepRate scales the aggregate input rate proportionally across
+// sources.
+func TestSweepRate(t *testing.T) {
+	spec, err := Load("../../scenarios/replica-flap-skew.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := SweepSpec{Field: "rate", From: 100, To: 200, Steps: 2}
+	stepped, err := sw.apply(spec, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var origTotal, newTotal float64
+	for i := range spec.Sources {
+		origTotal += spec.Sources[i].Rate
+		newTotal += stepped.Sources[i].Rate
+	}
+	if newTotal < 199.99 || newTotal > 200.01 {
+		t.Fatalf("scaled total %v, want 200 (from %v)", newTotal, origTotal)
+	}
+	// Proportions preserved.
+	for i := range spec.Sources {
+		wantShare := spec.Sources[i].Rate / origTotal
+		gotShare := stepped.Sources[i].Rate / newTotal
+		if d := wantShare - gotShare; d > 1e-9 || d < -1e-9 {
+			t.Fatalf("source %d share drifted: %v → %v", i, wantShare, gotShare)
+		}
+	}
+}
+
+func TestSweepFaultDuration(t *testing.T) {
+	spec, err := Load("../../scenarios/chain-disconnect.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := SweepSpec{Field: "fault_duration", From: 2, To: 2, Steps: 1}
+	stepped, err := sw.apply(spec, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range stepped.Faults {
+		if f.DurationS != 2 {
+			t.Fatalf("fault %d duration %v, want 2", i, f.DurationS)
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 
 	"borealis/internal/netsim"
 	"borealis/internal/node"
+	"borealis/internal/runtime"
 	"borealis/internal/tuple"
 	"borealis/internal/vtime"
 )
@@ -44,7 +45,7 @@ type subscriber struct {
 // Source is a data source endpoint on the simulated network.
 type Source struct {
 	cfg Config
-	sim *vtime.Sim
+	clk runtime.Clock
 	net *netsim.Net
 
 	log     []tuple.Tuple
@@ -62,7 +63,7 @@ type Source struct {
 	disconnected bool
 	stallBounds  bool
 
-	ticker *vtime.Ticker
+	ticker runtime.Ticker
 
 	// Produced counts data tuples generated; DroppedLog counts tuples
 	// evicted from a bounded log.
@@ -72,7 +73,7 @@ type Source struct {
 
 // New builds a source and registers its endpoint. Call Start to begin
 // producing.
-func New(sim *vtime.Sim, net *netsim.Net, cfg Config) *Source {
+func New(clk runtime.Clock, net *netsim.Net, cfg Config) *Source {
 	if cfg.TickInterval <= 0 {
 		cfg.TickInterval = 10 * vtime.Millisecond
 	}
@@ -87,7 +88,7 @@ func New(sim *vtime.Sim, net *netsim.Net, cfg Config) *Source {
 			return p
 		}
 	}
-	s := &Source{cfg: cfg, sim: sim, net: net, subs: make(map[string]*subscriber)}
+	s := &Source{cfg: cfg, clk: clk, net: net, subs: make(map[string]*subscriber)}
 	net.Register(cfg.ID, s.handle)
 	return s
 }
@@ -103,8 +104,8 @@ func (s *Source) LogLen() int { return len(s.log) }
 
 // Start begins ticking.
 func (s *Source) Start() {
-	s.nextBoundary = s.sim.Now() + s.cfg.BoundaryInterval
-	s.ticker = s.sim.NewTicker(s.cfg.TickInterval, s.tick)
+	s.nextBoundary = s.clk.Now() + s.cfg.BoundaryInterval
+	s.ticker = s.clk.NewTicker(s.cfg.TickInterval, s.tick)
 }
 
 // SetRate changes the production rate in tuples/second, effective from the
@@ -146,7 +147,7 @@ func (s *Source) ResumeBoundaries() { s.stallBounds = false }
 
 // tick produces this interval's tuples and flushes subscribers.
 func (s *Source) tick() {
-	now := s.sim.Now()
+	now := s.clk.Now()
 	s.acc += s.cfg.Rate * float64(s.cfg.TickInterval) / float64(vtime.Second)
 	n := int(s.acc)
 	s.acc -= float64(n)

@@ -5,6 +5,7 @@ import (
 
 	"borealis/internal/netsim"
 	"borealis/internal/node"
+	"borealis/internal/runtime"
 	"borealis/internal/tuple"
 	"borealis/internal/vtime"
 )
@@ -18,8 +19,8 @@ type sink struct {
 	tuples []tuple.Tuple
 }
 
-func setup(cfg Config) (*vtime.Sim, *netsim.Net, *Source, *sink) {
-	sim := vtime.New()
+func setup(cfg Config) (*runtime.VirtualClock, *netsim.Net, *Source, *sink) {
+	sim := runtime.NewVirtual()
 	net := netsim.New(sim)
 	cfg.ID = "src"
 	cfg.Stream = "s"
@@ -33,7 +34,7 @@ func setup(cfg Config) (*vtime.Sim, *netsim.Net, *Source, *sink) {
 	return sim, net, s, k
 }
 
-func subscribe(net *netsim.Net, sim *vtime.Sim, from uint64) {
+func subscribe(net *netsim.Net, sim *runtime.VirtualClock, from uint64) {
 	net.Send("dn", "src", node.SubscribeMsg{Stream: "s", FromID: from})
 	sim.RunFor(10 * ms)
 }

@@ -1,0 +1,118 @@
+package vtime
+
+// Edge cases locked in before the runtime.Clock wrapper was layered on
+// top of the simulator: the Clock contract (internal/runtime) promises
+// exactly these semantics for any implementation, so the wrapped source
+// of truth must pin them first.
+
+import "testing"
+
+// TestStopOnFiredTimerIsInertBeforeReuse: the pooled-handle contract says
+// a dead handle's Stop is a no-op until the object is reused. Firing t1,
+// then scheduling t2 (which recycles t1's storage) and stopping via the
+// STALE t1 handle must cancel t2 — the documented reason stale handles
+// must not be retained — but stopping the dead handle while the pool slot
+// is unreused must do nothing to other timers.
+func TestStopOnFiredTimerIsInertBeforeReuse(t *testing.T) {
+	s := New()
+	fired := 0
+	t1 := s.At(10, func() { fired++ })
+	other := s.At(20, func() { fired++ })
+	s.RunUntil(10)
+	if got := t1.Stop(); got {
+		t.Fatal("Stop on a fired timer reported true")
+	}
+	if other.Stopped() {
+		t.Fatal("dead-handle Stop leaked into a live timer")
+	}
+	s.Run()
+	if fired != 2 {
+		t.Fatalf("fired %d, want 2", fired)
+	}
+}
+
+// TestStopStoppedTimerOnce: double Stop reports prevented-once semantics
+// and releases exactly one pending slot.
+func TestStopStoppedTimerOnce(t *testing.T) {
+	s := New()
+	tm := s.At(10, func() { t.Fatal("stopped timer fired") })
+	s.At(20, func() {})
+	if !tm.Stop() {
+		t.Fatal("first Stop reported false")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop reported true")
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("pending %d after double Stop, want 1", s.Pending())
+	}
+	s.Run()
+}
+
+// TestTickerStopInsideTickPoolSafe: stopping a ticker from inside its own
+// tick exercises the fired-timer Stop path (the tick's timer is mid-fire
+// when Stop runs). The pool must stay coherent: no residual events, and a
+// new ticker reusing the recycled timer must tick normally.
+func TestTickerStopInsideTickPoolSafe(t *testing.T) {
+	s := New()
+	var tk *Ticker
+	ticks := 0
+	tk = s.NewTicker(10, func() {
+		ticks++
+		tk.Stop()
+	})
+	s.Run()
+	if ticks != 1 {
+		t.Fatalf("ticked %d times after in-tick Stop, want 1", ticks)
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("%d events left pending by a stopped ticker", s.Pending())
+	}
+	// The stopped ticker's timer is back in the pool; a fresh ticker must
+	// reuse it cleanly.
+	ticks2 := 0
+	var tk2 *Ticker
+	tk2 = s.NewTicker(5, func() {
+		ticks2++
+		if ticks2 == 3 {
+			tk2.Stop()
+		}
+	})
+	s.Run()
+	if ticks2 != 3 {
+		t.Fatalf("recycled ticker ticked %d times, want 3", ticks2)
+	}
+}
+
+// TestRunUntilEqualTimestampFIFO: events scheduled exactly at the horizon
+// fire inside RunUntil, in scheduling order, interleaved correctly with
+// events the callbacks themselves add at the same timestamp.
+func TestRunUntilEqualTimestampFIFO(t *testing.T) {
+	s := New()
+	var order []int
+	s.At(100, func() { order = append(order, 1) })
+	s.At(100, func() {
+		order = append(order, 2)
+		// Same-instant event added mid-drain: still before the horizon,
+		// still after everything already queued at t=100.
+		s.At(100, func() { order = append(order, 4) })
+	})
+	s.At(100, func() { order = append(order, 3) })
+	s.At(101, func() { order = append(order, 99) })
+	s.RunUntil(100)
+	want := []int{1, 2, 3, 4}
+	if len(order) != len(want) {
+		t.Fatalf("order %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order %v, want %v", order, want)
+		}
+	}
+	if s.Now() != 100 {
+		t.Fatalf("Now() = %d, want 100", s.Now())
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("pending %d, want the t=101 event only", s.Pending())
+	}
+}

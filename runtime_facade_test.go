@@ -1,0 +1,73 @@
+package borealis_test
+
+import (
+	"testing"
+
+	"borealis"
+)
+
+// topologySpec is a small two-group DAG shared by the substrate tests.
+func topologySpec() borealis.TopologySpec {
+	return borealis.TopologySpec{
+		Sources: []borealis.TopologySource{
+			{ID: "src1", Stream: "s1", Rate: 100},
+			{ID: "src2", Stream: "s2", Rate: 100},
+		},
+		Groups: []borealis.NodeGroup{
+			{Name: "n1", Inputs: []string{"s1", "s2"}, Replicas: 2, Delay: 1 * borealis.Second},
+			{Name: "n2", Inputs: []string{"n1.out"}, Replicas: 2, Delay: 1 * borealis.Second},
+		},
+	}
+}
+
+// TestRuntimeSurfaceParity is the redesign's core promise at the facade:
+// the same TopologySpec builds and runs on NewSimRuntime and
+// NewRealtimeRuntime, and both substrates deliver the same tuple stream.
+func TestRuntimeSurfaceParity(t *testing.T) {
+	run := func(rt *borealis.Runtime) borealis.ClientStats {
+		dep, err := rt.BuildTopology(topologySpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		dep.Start()
+		dep.RunFor(10 * borealis.Second)
+		return dep.Client.Stats()
+	}
+	sim := run(borealis.NewSimRuntime())
+	real := run(borealis.NewRealtimeRuntime(5000)) // 10 clock s ≈ 2 ms wall
+	if sim.NewTuples == 0 {
+		t.Fatal("sim runtime delivered nothing")
+	}
+	if sim.NewTuples != real.NewTuples || sim.Tentative != real.Tentative {
+		t.Fatalf("substrates diverge: sim %+v, realtime %+v", sim, real)
+	}
+}
+
+// TestRuntimeClock checks the facade clock is live and usable directly.
+func TestRuntimeClock(t *testing.T) {
+	rt := borealis.NewSimRuntime()
+	fired := false
+	rt.Clock().After(1*borealis.Second, func() { fired = true })
+	rt.RunFor(2 * borealis.Second)
+	if !fired {
+		t.Fatal("facade clock did not fire")
+	}
+	if now := rt.Clock().Now(); now != 2*borealis.Second {
+		t.Fatalf("Now() = %d, want %d", now, 2*borealis.Second)
+	}
+}
+
+// TestRuntimeScenario runs a scenario through the facade runtime.
+func TestRuntimeScenario(t *testing.T) {
+	scn, err := borealis.LoadScenario("scenarios/chain-disconnect.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := borealis.NewSimRuntime().RunScenario(scn, borealis.ScenarioOptions{Quick: true, SkipConsistency: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Client.NewTuples == 0 {
+		t.Fatal("scenario delivered nothing")
+	}
+}
