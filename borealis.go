@@ -332,6 +332,14 @@ type (
 	ScenarioOptions = scenario.Options
 	// ScenarioReport is the structured, deterministic metrics report.
 	ScenarioReport = scenario.Report
+	// SweepSpec varies one numeric scenario field across a range.
+	SweepSpec = scenario.SweepSpec
+	// SweepRow is one step of a sweep: the applied value and its report.
+	SweepRow = scenario.SweepRow
+	// GridSpec crosses two sweeps into a Steps₁ × Steps₂ run family.
+	GridSpec = scenario.GridSpec
+	// GridCell is one cell of a grid: both applied values and the report.
+	GridCell = scenario.GridCell
 )
 
 // LoadScenario reads and validates a scenario file.
@@ -351,3 +359,33 @@ func RunScenario(s *Scenario, opts ScenarioOptions) (*ScenarioReport, error) {
 func BuildScenario(s *Scenario, opts ScenarioOptions) (*Deployment, error) {
 	return scenario.Build(s, opts)
 }
+
+// RunMany executes N independent scenario runs across a worker pool
+// (ScenarioOptions.Parallelism; 0 = one worker per core) and returns the
+// reports in input order. Each run owns a private virtual clock, so the
+// results are byte-identical regardless of worker count.
+func RunMany(specs []*Scenario, opts ScenarioOptions) ([]*ScenarioReport, error) {
+	return scenario.RunMany(specs, opts)
+}
+
+// Sweep varies one scenario field across a range, fanning the steps over
+// the RunMany pool, and returns one row per swept value.
+func Sweep(base *Scenario, sw SweepSpec, opts ScenarioOptions) ([]SweepRow, error) {
+	return scenario.Sweep(base, sw, opts)
+}
+
+// Grid crosses two sweeps into a Steps₁ × Steps₂ family of independent
+// runs — the paper's two-parameter surfaces (Fig. 19's delay × duration)
+// from one call — returned row-major: cell (i, j) at index i·Steps₂ + j.
+func Grid(base *Scenario, g GridSpec, opts ScenarioOptions) ([]GridCell, error) {
+	return scenario.Grid(base, g, opts)
+}
+
+// ReportMetric extracts one scalar metric from a scenario report by name;
+// ReportMetricNames lists the valid names.
+func ReportMetric(r *ScenarioReport, name string) (float64, error) {
+	return scenario.Metric(r, name)
+}
+
+// ReportMetricNames are the metric names ReportMetric resolves.
+var ReportMetricNames = scenario.MetricNames

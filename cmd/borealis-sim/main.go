@@ -10,7 +10,14 @@
 //	borealis-sim [-quick] all
 //	borealis-sim [-quick] [-json] [-no-audit] scenario <file.json>...
 //	borealis-sim [-quick] [-json] [-no-audit] [-speed N] realtime <file.json>...
-//	borealis-sim [-quick] [-json] [-no-audit] -field F -from A -to B [-steps N] sweep <file.json>
+//	borealis-sim [-quick] [-json] [-no-audit] [-parallel N] -field F -from A -to B [-steps N] sweep <file.json>
+//	borealis-sim ... -field F -from A -to B -field2 G -from2 C -to2 D [-steps2 M] [-metric M] sweep <file.json>
+//
+// Adding -field2 turns a sweep into a two-dimensional grid (Steps ×
+// Steps2 independent runs, e.g. the paper's Fig. 19 delay × duration
+// surface) rendered as a matrix of one report metric (-metric). Both
+// sweep and grid fan their runs across -parallel worker goroutines with
+// byte-identical output regardless of worker count.
 //
 // Experiments: fig11a fig11b table3 fig13 fig15 fig16 fig18 fig19 fig20
 // table4 table5 switchover ablate-buffers ablate-tb
@@ -88,6 +95,12 @@ func main() {
 	from := flag.String("from", "", "sweep mode: range start (duration like 1s, or a number)")
 	to := flag.String("to", "", "sweep mode: range end")
 	steps := flag.Int("steps", 4, "sweep mode: number of evenly spaced points")
+	field2 := flag.String("field2", "", "grid mode: second field to vary (turns the sweep into a 2-D grid)")
+	from2 := flag.String("from2", "", "grid mode: second-field range start")
+	to2 := flag.String("to2", "", "grid mode: second-field range end")
+	steps2 := flag.Int("steps2", 4, "grid mode: second-field point count")
+	metric := flag.String("metric", "tentative", "grid mode: report metric rendered in the matrix")
+	parallel := flag.Int("parallel", 1, "sweep/grid: concurrent virtual runs (0 = one per core, 1 = serial)")
 	flag.Usage = usage
 	flag.Parse()
 	args := flag.Args()
@@ -113,10 +126,22 @@ func main() {
 		return
 	case "sweep":
 		if len(args) != 2 || *field == "" || *from == "" || *to == "" {
-			fmt.Fprintf(os.Stderr, "usage: borealis-sim [-quick] [-json] [-no-audit] -field F -from A -to B [-steps N] sweep <file.json>\n")
+			fmt.Fprintf(os.Stderr, "usage: borealis-sim [-quick] [-json] [-no-audit] [-parallel N] -field F -from A -to B [-steps N] [-field2 G -from2 C -to2 D [-steps2 M] [-metric M]] sweep <file.json>\n")
 			os.Exit(2)
 		}
-		runSweep(args[1], *field, *from, *to, *steps, scenario.Options{Quick: *quick, SkipConsistency: *noAudit}, *asJSON)
+		opts := scenario.Options{Quick: *quick, SkipConsistency: *noAudit, Parallelism: *parallel}
+		if *field2 != "" {
+			if *from2 == "" || *to2 == "" {
+				fmt.Fprintf(os.Stderr, "borealis-sim: -field2 needs -from2 and -to2\n")
+				os.Exit(2)
+			}
+			runGrid(args[1],
+				sweepAxis{*field, *from, *to, *steps},
+				sweepAxis{*field2, *from2, *to2, *steps2},
+				*metric, opts, *asJSON)
+			return
+		}
+		runSweep(args[1], *field, *from, *to, *steps, opts, *asJSON)
 		return
 	}
 	opts := experiment.Options{Quick: *quick}
@@ -275,11 +300,84 @@ func runSweep(path, field, fromS, toS string, steps int, opts scenario.Options, 
 	}
 }
 
+// sweepAxis bundles one sweep dimension's raw flag values.
+type sweepAxis struct {
+	field, from, to string
+	steps           int
+}
+
+// parse resolves the axis's range bounds into a SweepSpec.
+func (a sweepAxis) parse() (scenario.SweepSpec, error) {
+	from, err := parseSweepBound(a.from)
+	if err != nil {
+		return scenario.SweepSpec{}, err
+	}
+	to, err := parseSweepBound(a.to)
+	if err != nil {
+		return scenario.SweepSpec{}, err
+	}
+	return scenario.SweepSpec{Field: a.field, From: from, To: to, Steps: a.steps}, nil
+}
+
+// runGrid crosses two sweep axes into a Steps×Steps2 grid of independent
+// runs and renders one report metric as a 2-D matrix (or, with -json, the
+// row-major cells with full reports).
+func runGrid(path string, ax1, ax2 sweepAxis, metric string, opts scenario.Options, asJSON bool) {
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "borealis-sim: %v\n", err)
+		os.Exit(1)
+	}
+	spec, err := scenario.Load(path)
+	if err != nil {
+		fail(err)
+	}
+	var g scenario.GridSpec
+	if g.Field1, err = ax1.parse(); err != nil {
+		fail(err)
+	}
+	if g.Field2, err = ax2.parse(); err != nil {
+		fail(err)
+	}
+	// Reject a typoed -metric before burning minutes of grid compute.
+	if !asJSON {
+		if _, err := scenario.Metric(&scenario.Report{}, metric); err != nil {
+			fail(err)
+		}
+	}
+	start := time.Now()
+	cells, err := scenario.Grid(spec, g, opts)
+	if err != nil {
+		fail(err)
+	}
+	if asJSON {
+		b, err := json.MarshalIndent(cells, "", "  ")
+		if err != nil {
+			fail(err)
+		}
+		os.Stdout.Write(append(b, '\n'))
+	} else {
+		fmt.Printf("grid %s: %s × %s (%d × %d cells)\n",
+			spec.Name, ax1.field, ax2.field, ax1.steps, ax2.steps)
+		if err := scenario.PrintGrid(os.Stdout, g, cells, metric); err != nil {
+			fail(err)
+		}
+		fmt.Printf("(%d runs in %.1fs wall time)\n", len(cells), time.Since(start).Seconds())
+	}
+	for _, c := range cells {
+		if c.Report.Consistency != nil && !c.Report.Consistency.OK {
+			fmt.Fprintf(os.Stderr, "borealis-sim: eventual-consistency audit FAILED at %s=%g %s=%g\n",
+				ax1.field, c.Value1, ax2.field, c.Value2)
+			os.Exit(1)
+		}
+	}
+}
+
 func usage() {
 	fmt.Fprintf(os.Stderr, "usage: borealis-sim [-quick] <experiment>...|all\n")
 	fmt.Fprintf(os.Stderr, "       borealis-sim [-quick] [-json] [-no-audit] scenario <file.json>...\n")
 	fmt.Fprintf(os.Stderr, "       borealis-sim [-quick] [-json] [-no-audit] [-speed N] realtime <file.json>...\n")
-	fmt.Fprintf(os.Stderr, "       borealis-sim [-quick] [-json] [-no-audit] -field F -from A -to B [-steps N] sweep <file.json>\n\nexperiments:\n")
+	fmt.Fprintf(os.Stderr, "       borealis-sim [-quick] [-json] [-no-audit] [-parallel N] -field F -from A -to B [-steps N] sweep <file.json>\n")
+	fmt.Fprintf(os.Stderr, "       borealis-sim ... -field F -from A -to B -field2 G -from2 C -to2 D [-steps2 M] [-metric M] sweep <file.json>\n\nexperiments:\n")
 	for _, e := range experiments {
 		fmt.Fprintf(os.Stderr, "  %-16s %s\n", e.name, e.desc)
 	}

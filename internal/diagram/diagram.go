@@ -320,8 +320,15 @@ func (d *Diagram) computeReachability() {
 // Op returns the named operator, or nil.
 func (d *Diagram) Op(name string) operator.Operator { return d.ops[name] }
 
-// Ops returns operator names in topological order.
+// Ops returns operator names in topological order (a defensive copy; use
+// TopoOrder on per-event paths).
 func (d *Diagram) Ops() []string { return append([]string(nil), d.topo...) }
+
+// TopoOrder returns the diagram's own topological-order slice, shared and
+// read-only: callers must not mutate it. The engine walks it at wire time
+// and on every checkpoint snapshot/restore, where Ops' per-call copy was
+// a measurable allocation source.
+func (d *Diagram) TopoOrder() []string { return d.topo }
 
 // Downstream returns the edges leaving an operator.
 func (d *Diagram) Downstream(name string) []Edge { return d.edges[name] }

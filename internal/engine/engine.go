@@ -148,7 +148,7 @@ func (e *Engine) wire() {
 	for _, out := range e.d.Outputs() {
 		outputOf[out.Op] = out.Stream
 	}
-	for _, name := range e.d.Ops() {
+	for _, name := range e.d.TopoOrder() {
 		op := e.d.Op(name)
 		edges := e.d.Downstream(name)
 		cons := make([]consumer, len(edges))
@@ -339,8 +339,8 @@ func (e *Engine) RequestCheckpoint(cb func(*Snapshot)) {
 }
 
 func (e *Engine) snapshot() *Snapshot {
-	s := &Snapshot{ops: make(map[string]any, len(e.d.Ops()))}
-	for _, name := range e.d.Ops() {
+	s := &Snapshot{ops: make(map[string]any, len(e.d.TopoOrder()))}
+	for _, name := range e.d.TopoOrder() {
 		s.ops[name] = e.d.Op(name).Checkpoint()
 	}
 	return s
@@ -350,7 +350,7 @@ func (e *Engine) snapshot() *Snapshot {
 // in-flight work: everything ingested after the checkpoint request lives in
 // the Input Managers' logs and is about to be replayed through Ingest.
 func (e *Engine) Restore(s *Snapshot) {
-	for _, name := range e.d.Ops() {
+	for _, name := range e.d.TopoOrder() {
 		e.d.Op(name).Restore(s.ops[name])
 	}
 	if e.svcTimer != nil {
@@ -401,7 +401,7 @@ type Resetter interface{ Reset() }
 // rebuilds from empty state.
 func (e *Engine) ResetToPristine(pristine *Snapshot) {
 	e.Restore(pristine)
-	for _, name := range e.d.Ops() {
+	for _, name := range e.d.TopoOrder() {
 		if r, ok := e.d.Op(name).(Resetter); ok {
 			r.Reset()
 		}

@@ -1,0 +1,61 @@
+package scenario
+
+// Clone returns a deep copy of the spec: mutating the copy's sources,
+// nodes, faults, operators or any per-node override pointer never touches
+// the original. It replaces the JSON marshal/unmarshal round trip the
+// sweep engine used for per-step copies — a handwritten copy is ~50×
+// cheaper and allocation-proportional to the spec, which matters when a
+// grid materializes hundreds of cells before fanning them out to workers.
+//
+// New Spec fields containing pointers, slices or maps MUST be copied here
+// and exercised in TestCloneAliasing — an aliased slice renders identical
+// JSON, so only an explicit mutate-the-clone test catches a missed field.
+func (s *Spec) Clone() *Spec {
+	if s == nil {
+		return nil
+	}
+	c := *s // all scalar fields, Defaults, Client (value types)
+	if s.Sources != nil {
+		c.Sources = make([]SourceSpec, len(s.Sources))
+		copy(c.Sources, s.Sources) // SourceSpec holds no pointers/slices
+	}
+	if s.Nodes != nil {
+		c.Nodes = make([]NodeSpec, len(s.Nodes))
+		for i := range s.Nodes {
+			c.Nodes[i] = s.Nodes[i].clone()
+		}
+	}
+	if s.Faults != nil {
+		c.Faults = make([]FaultSpec, len(s.Faults))
+		copy(c.Faults, s.Faults) // FaultSpec holds no pointers/slices
+	}
+	return &c
+}
+
+// clone deep-copies one node spec: its input list, operator list and the
+// optional override pointers.
+func (n *NodeSpec) clone() NodeSpec {
+	c := *n
+	if n.Inputs != nil {
+		c.Inputs = append([]string(nil), n.Inputs...)
+	}
+	c.Replicas = clonePtr(n.Replicas)
+	c.DelayS = clonePtr(n.DelayS)
+	c.Capacity = clonePtr(n.Capacity)
+	if n.Operators != nil {
+		c.Operators = make([]OperatorSpec, len(n.Operators))
+		for i := range n.Operators {
+			c.Operators[i] = n.Operators[i]
+			c.Operators[i].GroupField = clonePtr(n.Operators[i].GroupField)
+		}
+	}
+	return c
+}
+
+func clonePtr[T any](p *T) *T {
+	if p == nil {
+		return nil
+	}
+	v := *p
+	return &v
+}

@@ -1,0 +1,119 @@
+package scenario
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// richSpec builds a spec exercising every pointer-bearing and slice-bearing
+// field Clone must deep-copy.
+func richSpec() *Spec {
+	rep := 3
+	delay := 4.5
+	capacity := 800.0
+	group := 1
+	return &Spec{
+		Name:              "clone-rich",
+		Description:       "exercises every cloneable field",
+		Seed:              7,
+		DurationS:         30,
+		QuickDurationS:    5,
+		VerifyConsistency: true,
+		Defaults:          Defaults{DelayS: 2, Replicas: 2, FailurePolicy: "process"},
+		Sources: []SourceSpec{
+			{Name: "a", Count: 3, Rate: 300, Distribution: "zipf", Skew: 1.2,
+				Workload: WorkloadSpec{Kind: "bursty", PeriodS: 4, JitterPhase: true}},
+			{Name: "b", Rate: 100, Workload: WorkloadSpec{Kind: "ramp", ToRate: 200}},
+		},
+		Nodes: []NodeSpec{
+			{Name: "n1", Inputs: []string{"a", "b"}, Replicas: &rep, DelayS: &delay,
+				Capacity: &capacity, Cascade: true,
+				Operators: []OperatorSpec{
+					{Kind: "filter", Field: 1, Modulo: 3},
+					{Kind: "aggregate", Fn: "sum", WindowMS: 500, GroupField: &group},
+				}},
+			{Name: "n2", Inputs: []string{"n1"}, BufferMode: "slide", BufferCap: 64},
+		},
+		Client: ClientSpec{Input: "n2", DelayMS: 50},
+		Faults: []FaultSpec{
+			{Kind: "crash", Node: "n1", Replica: 0, AtS: 5, DurationS: 5},
+			{Kind: "partition", From: "n2", To: "n1", AtS: 8, DurationS: 2},
+		},
+	}
+}
+
+// TestCloneEquivalent: the clone renders to identical JSON — it is the
+// same spec, and any field Clone forgets to copy shows up as a diff here
+// (scalars survive the struct copy, so this mainly guards nil-vs-empty
+// slice handling and future reference-typed fields).
+func TestCloneEquivalent(t *testing.T) {
+	base := richSpec()
+	c := base.Clone()
+	b1, err := json.Marshal(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := json.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b1) != string(b2) {
+		t.Fatalf("clone is not equivalent:\n--- base ---\n%s\n--- clone ---\n%s", b1, b2)
+	}
+	if !reflect.DeepEqual(base, c) {
+		t.Fatal("clone is not deep-equal to the base spec")
+	}
+}
+
+// TestCloneAliasing: mutating every reference-typed part of the clone must
+// leave the base spec untouched.
+func TestCloneAliasing(t *testing.T) {
+	base := richSpec()
+	want, err := json.Marshal(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := base.Clone()
+	// Slices of structs.
+	c.Sources[0].Rate = 9999
+	c.Sources[1].Workload.ToRate = -1
+	c.Faults[0].DurationS = 77
+	c.Faults = append(c.Faults, FaultSpec{Kind: "restart", Node: "n1", AtS: 9})
+	// Nested slices.
+	c.Nodes[0].Inputs[0] = "hijacked"
+	c.Nodes[0].Operators[0].Modulo = 11
+	// Override pointers.
+	*c.Nodes[0].Replicas = 13
+	*c.Nodes[0].DelayS = 0.001
+	*c.Nodes[0].Capacity = 1
+	*c.Nodes[0].Operators[1].GroupField = 5
+	// Scalars (covered by the struct copy, pinned anyway).
+	c.Name = "mutated"
+	c.Defaults.Replicas = 9
+	c.Client.DelayMS = 1
+
+	got, err := json.Marshal(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("mutating the clone changed the base spec:\n--- before ---\n%s\n--- after ---\n%s", want, got)
+	}
+}
+
+// TestCloneNilHandling: nil receiver and nil slices stay nil (the JSON
+// rendering of a nil and a non-nil empty slice differ for omitempty-less
+// fields, so Clone must not invent empty slices).
+func TestCloneNilHandling(t *testing.T) {
+	var nilSpec *Spec
+	if nilSpec.Clone() != nil {
+		t.Fatal("nil.Clone() != nil")
+	}
+	s := &Spec{Name: "bare", DurationS: 1}
+	c := s.Clone()
+	if c.Sources != nil || c.Nodes != nil || c.Faults != nil {
+		t.Fatalf("clone invented slices: %+v", c)
+	}
+}

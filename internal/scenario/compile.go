@@ -53,6 +53,45 @@ type run struct {
 	violations    uint64
 	maxExcessUS   int64
 	lastRecDoneUS int64
+
+	// depthSeries collects the per-replica queue-depth samples, indexed
+	// by flattened replica ordinal (group build order, then replica) —
+	// the same order the report walks.
+	depthSeries [][]int
+}
+
+// queueSampleInterval is the fixed virtual-time cadence of the queue-depth
+// time series: one sample per simulated second.
+const queueSampleInterval = vtime.Second
+
+// installDepthSampler schedules the queue-depth probe: at every sample
+// instant one event reads each replica's instantaneous service-queue
+// length. The probe only reads, so it cannot perturb the simulation — all
+// other report metrics are unchanged by its presence.
+func (rt *run) installDepthSampler() {
+	n := rt.durationUS / queueSampleInterval
+	if n <= 0 {
+		return
+	}
+	var replicas []*node.Node
+	for gi := range rt.dep.GroupNames() {
+		replicas = append(replicas, rt.dep.Nodes[gi]...)
+	}
+	if len(replicas) == 0 {
+		return
+	}
+	rt.depthSeries = make([][]int, len(replicas))
+	for i := range rt.depthSeries {
+		rt.depthSeries[i] = make([]int, 0, n)
+	}
+	sample := func() {
+		for i, rep := range replicas {
+			rt.depthSeries[i] = append(rt.depthSeries[i], rep.Engine().QueueLen())
+		}
+	}
+	for k := int64(1); k <= n; k++ {
+		rt.dep.RT.At(k*queueSampleInterval, sample)
+	}
 }
 
 // quickDuration resolves the run length.
@@ -96,24 +135,39 @@ func memberRates(ss *SourceSpec) []float64 {
 // nodeStream names a node's output stream.
 func nodeStream(name string) string { return name + ".out" }
 
+// nameIndex caches the spec's name→spec lookups. It is built once per
+// compile and shared by every per-node resolution step; before the hoist,
+// expandInputs rebuilt both maps for each node, an O(nodes × (sources +
+// nodes)) term that dominated per-cell setup on wide grids.
+type nameIndex struct {
+	sources map[string]*SourceSpec
+	nodes   map[string]*NodeSpec
+}
+
+func (s *Spec) index() *nameIndex {
+	idx := &nameIndex{
+		sources: make(map[string]*SourceSpec, len(s.Sources)),
+		nodes:   make(map[string]*NodeSpec, len(s.Nodes)),
+	}
+	for i := range s.Sources {
+		idx.sources[s.Sources[i].Name] = &s.Sources[i]
+	}
+	for i := range s.Nodes {
+		idx.nodes[s.Nodes[i].Name] = &s.Nodes[i]
+	}
+	return idx
+}
+
 // expandInputs resolves a node's declared inputs into concrete stream
 // names (source groups expand to every member).
-func (s *Spec) expandInputs(n *NodeSpec) []string {
-	byName := map[string]*SourceSpec{}
-	for i := range s.Sources {
-		byName[s.Sources[i].Name] = &s.Sources[i]
-	}
-	nodeNames := map[string]bool{}
-	for i := range s.Nodes {
-		nodeNames[s.Nodes[i].Name] = true
-	}
-	var out []string
+func (idx *nameIndex) expandInputs(n *NodeSpec) []string {
+	out := make([]string, 0, len(n.Inputs))
 	for _, in := range n.Inputs {
 		switch {
-		case nodeNames[in]:
+		case idx.nodes[in] != nil:
 			out = append(out, nodeStream(in))
-		case byName[in] != nil:
-			out = append(out, byName[in].members()...)
+		case idx.sources[in] != nil:
+			out = append(out, idx.sources[in].members()...)
 		default:
 			out = append(out, in) // an individual expanded member
 		}
@@ -212,6 +266,7 @@ func compile(exec rtpkg.Runtime, s *Spec, quick, withFaults bool) (*run, error) 
 		lastHealUS: -1,
 		maxSTime:   -1,
 	}
+	idx := s.index()
 
 	top := deploy.TopologySpec{
 		BucketSize:       millis(s.Defaults.BucketMS),
@@ -228,6 +283,11 @@ func compile(exec rtpkg.Runtime, s *Spec, quick, withFaults bool) (*run, error) 
 			TentativeBoundaries: s.Client.TentativeBoundaries,
 		},
 	}
+	members := 0
+	for i := range s.Sources {
+		members += max(s.Sources[i].Count, 1)
+	}
+	top.Sources = make([]deploy.TopologySource, 0, members)
 	for i := range s.Sources {
 		ss := &s.Sources[i]
 		rates := memberRates(ss)
@@ -241,9 +301,10 @@ func compile(exec rtpkg.Runtime, s *Spec, quick, withFaults bool) (*run, error) 
 			})
 		}
 	}
+	top.Groups = make([]deploy.NodeGroup, 0, len(s.Nodes))
 	for i := range s.Nodes {
 		n := &s.Nodes[i]
-		inputs := s.expandInputs(n)
+		inputs := idx.expandInputs(n)
 		var capacity float64
 		if n.Capacity != nil {
 			capacity = *n.Capacity
@@ -276,7 +337,7 @@ func compile(exec rtpkg.Runtime, s *Spec, quick, withFaults bool) (*run, error) 
 		return nil, err
 	}
 	rt.dep = dep
-	rt.boundUS = rt.availabilityBound()
+	rt.boundUS = rt.availabilityBound(idx)
 	rt.installWorkloads()
 	if withFaults {
 		if err := rt.installFaults(); err != nil {
@@ -284,6 +345,11 @@ func compile(exec rtpkg.Runtime, s *Spec, quick, withFaults bool) (*run, error) 
 		}
 	}
 	rt.hookClient()
+	if withFaults {
+		// The faultless consistency-reference run (withFaults=false) never
+		// renders a report, so sampling queue depth there is pure overhead.
+		rt.installDepthSampler()
+	}
 	return rt, nil
 }
 
@@ -297,12 +363,9 @@ func firstNonEmpty(a, b string) string {
 // availabilityBound derives the report's bound: the worst source→client
 // path sum of SUnion delays, plus the client's own slack, plus the
 // scenario's processing slack.
-func (rt *run) availabilityBound() int64 {
+func (rt *run) availabilityBound(idx *nameIndex) int64 {
 	s := rt.spec
-	nodes := map[string]*NodeSpec{}
-	for i := range s.Nodes {
-		nodes[s.Nodes[i].Name] = &s.Nodes[i]
-	}
+	nodes := idx.nodes
 	memo := map[string]float64{}
 	var path func(name string) float64
 	path = func(name string) float64 {
@@ -322,7 +385,7 @@ func (rt *run) availabilityBound() int64 {
 		// with bound D; a plain node has a single SUnion.
 		sunions := 1.0
 		if n.Cascade {
-			if k := len(s.expandInputs(n)); k > 2 {
+			if k := len(idx.expandInputs(n)); k > 2 {
 				sunions = float64(k - 1)
 			}
 		}

@@ -1,0 +1,150 @@
+package scenario
+
+import (
+	"fmt"
+	"io"
+)
+
+// GridSpec crosses two one-dimensional sweeps into a Steps₁ × Steps₂ run
+// family — the shape behind the paper's two-parameter figures (Fig. 19's
+// delay × failure-duration surface is `delay` × `fault_duration`). Field1
+// varies across rows, Field2 across columns; the two must name different
+// fields (crossing a field with itself would silently overwrite Field1's
+// value with Field2's in every cell).
+type GridSpec struct {
+	Field1 SweepSpec
+	Field2 SweepSpec
+}
+
+// GridCell is one cell of a grid: the two applied values and the report.
+type GridCell struct {
+	Value1 float64 `json:"value1"`
+	Value2 float64 `json:"value2"`
+	Report *Report `json:"report"`
+}
+
+func (g *GridSpec) validate() error {
+	if err := g.Field1.validate(); err != nil {
+		return err
+	}
+	if err := g.Field2.validate(); err != nil {
+		return err
+	}
+	if g.Field1.Field == g.Field2.Field {
+		return errf("grid: both axes vary %q; the two fields must differ", g.Field1.Field)
+	}
+	return nil
+}
+
+// Grid runs the Steps₁ × Steps₂ cells of the crossed sweeps through the
+// RunMany worker pool and returns them row-major: cell (i, j) — Field1
+// value i, Field2 value j — lands at index i·Steps₂ + j. Like Sweep, the
+// result is byte-identical for any Options.Parallelism.
+func Grid(base *Spec, g GridSpec, opts Options) ([]GridCell, error) {
+	if err := g.validate(); err != nil {
+		return nil, err
+	}
+	if opts.Runtime != nil {
+		return nil, errf("grid: cells run on fresh virtual runtimes; Options.Runtime must be nil")
+	}
+	v1 := g.Field1.Values()
+	v2 := g.Field2.Values()
+	specs := make([]*Spec, 0, len(v1)*len(v2))
+	for _, a := range v1 {
+		rowBase, err := g.Field1.apply(base, a)
+		if err != nil {
+			return nil, err
+		}
+		for _, b := range v2 {
+			cell, err := g.Field2.apply(rowBase, b)
+			if err != nil {
+				return nil, err
+			}
+			specs = append(specs, cell)
+		}
+	}
+	reports, err := RunMany(specs, opts)
+	if err != nil {
+		return nil, fmt.Errorf("grid %s×%s: %w", g.Field1.Field, g.Field2.Field, err)
+	}
+	cells := make([]GridCell, len(specs))
+	for i, a := range v1 {
+		for j, b := range v2 {
+			k := i*len(v2) + j
+			cells[k] = GridCell{Value1: a, Value2: b, Report: reports[k]}
+		}
+	}
+	return cells, nil
+}
+
+// MetricNames lists the scalar report metrics selectable by Metric, in
+// display order.
+var MetricNames = []string{
+	"new_tuples", "throughput_tps", "max_latency_s", "mean_latency_s",
+	"tentative", "max_tentative_streak", "undos", "rec_dones",
+	"stable_duplicates", "violations", "violation_rate", "max_excess_s",
+	"stabilization_s",
+}
+
+// Metric extracts one scalar metric from a report by name — the cell
+// value of a rendered grid and the -metric flag of borealis-sim.
+func Metric(r *Report, name string) (float64, error) {
+	c := &r.Client
+	switch name {
+	case "new_tuples":
+		return float64(c.NewTuples), nil
+	case "throughput_tps":
+		return c.ThroughputTPS, nil
+	case "max_latency_s":
+		return c.MaxLatencyS, nil
+	case "mean_latency_s":
+		return c.MeanLatencyS, nil
+	case "tentative":
+		return float64(c.Tentative), nil
+	case "max_tentative_streak":
+		return float64(c.MaxTentativeStreak), nil
+	case "undos":
+		return float64(c.Undos), nil
+	case "rec_dones":
+		return float64(c.RecDones), nil
+	case "stable_duplicates":
+		return float64(c.StableDuplicates), nil
+	case "violations":
+		return float64(r.Availability.Violations), nil
+	case "violation_rate":
+		return r.Availability.ViolationRate, nil
+	case "max_excess_s":
+		return r.Availability.MaxExcessS, nil
+	case "stabilization_s":
+		return r.Stabilization.LatencyS, nil
+	}
+	return 0, errf("unknown metric %q (want one of %v)", name, MetricNames)
+}
+
+// PrintGrid renders one metric of a row-major cell table as a 2-D matrix:
+// Field1 values label the rows, Field2 values the columns.
+func PrintGrid(w io.Writer, g GridSpec, cells []GridCell, metric string) error {
+	v2 := g.Field2.Values()
+	cols := len(v2)
+	if cols == 0 || len(cells)%cols != 0 {
+		return errf("grid: %d cells do not tile %d columns", len(cells), cols)
+	}
+	fmt.Fprintf(w, "%s (rows: %s, cols: %s)\n", metric, g.Field1.Field, g.Field2.Field)
+	fmt.Fprintf(w, "%12s", g.Field1.Field+`\`+g.Field2.Field)
+	for _, b := range v2 {
+		fmt.Fprintf(w, " %10.4g", b)
+	}
+	fmt.Fprintln(w)
+	for i := 0; i < len(cells); i += cols {
+		fmt.Fprintf(w, "%12.4g", cells[i].Value1)
+		for j := 0; j < cols; j++ {
+			v, err := Metric(cells[i+j].Report, metric)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, " %10.4g", v)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}

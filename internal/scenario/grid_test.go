@@ -1,0 +1,224 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	rtpkg "borealis/internal/runtime"
+)
+
+func TestGridValidate(t *testing.T) {
+	base := minimal()
+	if _, err := Grid(base, GridSpec{
+		Field1: SweepSpec{Field: "delay", From: 1, To: 2, Steps: 2},
+		Field2: SweepSpec{Field: "delay", From: 1, To: 2, Steps: 2},
+	}, Options{}); err == nil || !strings.Contains(err.Error(), "must differ") {
+		t.Fatalf("same field on both axes accepted: %v", err)
+	}
+	if _, err := Grid(base, GridSpec{
+		Field1: SweepSpec{Field: "delay", From: 1, To: 2, Steps: 2},
+		Field2: SweepSpec{Field: "bogus", From: 1, To: 2, Steps: 2},
+	}, Options{}); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	if _, err := Grid(base, GridSpec{
+		Field1: SweepSpec{Field: "delay", From: 1, To: 2, Steps: 2},
+		Field2: SweepSpec{Field: "rate", From: 100, To: 200, Steps: 2},
+	}, Options{Runtime: rtpkg.NewVirtual()}); err == nil {
+		t.Fatal("caller-supplied runtime silently accepted")
+	}
+}
+
+// TestGridRowMajor: cell (i, j) lands at i·Steps₂+j with both values
+// applied — the bound follows the row's delay, the fault durations the
+// column's value.
+func TestGridRowMajor(t *testing.T) {
+	spec, err := Load("../../scenarios/chain-disconnect.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.VerifyConsistency = false
+	g := GridSpec{
+		Field1: SweepSpec{Field: "delay", From: 1, To: 2, Steps: 2},
+		Field2: SweepSpec{Field: "fault_duration", From: 2, To: 4, Steps: 3},
+	}
+	cells, err := Grid(spec, g, Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 6 {
+		t.Fatalf("%d cells, want 6", len(cells))
+	}
+	v1 := g.Field1.Values()
+	v2 := g.Field2.Values()
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			c := cells[i*3+j]
+			if c.Value1 != v1[i] || c.Value2 != v2[j] {
+				t.Fatalf("cell (%d,%d) carries values (%v,%v), want (%v,%v)",
+					i, j, c.Value1, c.Value2, v1[i], v2[j])
+			}
+			if c.Report.Client.NewTuples == 0 {
+				t.Fatalf("cell (%d,%d) delivered nothing", i, j)
+			}
+		}
+	}
+	// Rows with larger D get a larger availability bound; columns leave it
+	// unchanged (fault duration does not enter the bound).
+	if cells[0].Report.Availability.BoundS >= cells[3].Report.Availability.BoundS {
+		t.Fatalf("bound did not grow across rows: %v then %v",
+			cells[0].Report.Availability.BoundS, cells[3].Report.Availability.BoundS)
+	}
+	if cells[0].Report.Availability.BoundS != cells[2].Report.Availability.BoundS {
+		t.Fatal("bound varied across columns of one row")
+	}
+}
+
+// TestParallelDeterminism is the tentpole's core guarantee: the same
+// sweep and the same grid produce byte-identical JSON for Parallelism 1,
+// 2 and 8, and the Parallelism-1 result equals the pre-pool serial path
+// by construction (one worker runs the same runValidated loop in order).
+func TestParallelDeterminism(t *testing.T) {
+	spec, err := Load("../../scenarios/chain-disconnect.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.VerifyConsistency = false
+
+	var sweepRenders, gridRenders [][]byte
+	for _, par := range []int{1, 2, 8} {
+		opts := Options{Quick: true, Parallelism: par}
+		rows, err := Sweep(spec, SweepSpec{Field: "delay", From: 1, To: 3, Steps: 3}, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sweepRenders = append(sweepRenders, b)
+
+		cells, err := Grid(spec, GridSpec{
+			Field1: SweepSpec{Field: "delay", From: 1, To: 2, Steps: 2},
+			Field2: SweepSpec{Field: "fault_duration", From: 2, To: 4, Steps: 2},
+		}, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err = json.Marshal(cells)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gridRenders = append(gridRenders, b)
+	}
+	for i := 1; i < len(sweepRenders); i++ {
+		if !bytes.Equal(sweepRenders[0], sweepRenders[i]) {
+			t.Fatalf("sweep output differs between Parallelism settings 1 and %d", []int{1, 2, 8}[i])
+		}
+		if !bytes.Equal(gridRenders[0], gridRenders[i]) {
+			t.Fatalf("grid output differs between Parallelism settings 1 and %d", []int{1, 2, 8}[i])
+		}
+	}
+}
+
+// TestRunManyOrderAndErrors: reports come back in input order (a repeated
+// spec is a valid family), a nil spec and an invalid spec fail with the
+// offending index, and the first error by index wins.
+func TestRunManyOrderAndErrors(t *testing.T) {
+	a := minimal()
+	a.DurationS = 2
+	b := minimal()
+	b.Name = "t2"
+	b.DurationS = 3
+	reports, err := RunMany([]*Spec{a, b, a}, Options{Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 3 {
+		t.Fatalf("%d reports, want 3", len(reports))
+	}
+	if reports[0].Scenario != "t" || reports[1].Scenario != "t2" || reports[2].Scenario != "t" {
+		t.Fatalf("report order broken: %s %s %s", reports[0].Scenario, reports[1].Scenario, reports[2].Scenario)
+	}
+	if reports[0].DurationS != 2 || reports[1].DurationS != 3 {
+		t.Fatalf("durations misrouted: %v %v", reports[0].DurationS, reports[1].DurationS)
+	}
+
+	if _, err := RunMany([]*Spec{a, nil}, Options{}); err == nil || !strings.Contains(err.Error(), "spec 1") {
+		t.Fatalf("nil spec not rejected with its index: %v", err)
+	}
+	bad := minimal()
+	bad.DurationS = -1
+	if _, err := RunMany([]*Spec{a, bad}, Options{}); err == nil || !strings.Contains(err.Error(), "spec 1") {
+		t.Fatalf("invalid spec not rejected with its index: %v", err)
+	}
+	if _, err := RunMany([]*Spec{a}, Options{Runtime: rtpkg.NewVirtual()}); err == nil {
+		t.Fatal("caller-supplied runtime silently accepted")
+	}
+}
+
+func TestMetric(t *testing.T) {
+	r := &Report{}
+	r.Client.NewTuples = 42
+	r.Client.ThroughputTPS = 8.5
+	r.Availability.Violations = 3
+	r.Stabilization.LatencyS = 1.25
+	for _, tc := range []struct {
+		name string
+		want float64
+	}{
+		{"new_tuples", 42}, {"throughput_tps", 8.5}, {"violations", 3}, {"stabilization_s", 1.25},
+	} {
+		got, err := Metric(r, tc.name)
+		if err != nil || got != tc.want {
+			t.Fatalf("Metric(%q) = %v, %v; want %v", tc.name, got, err, tc.want)
+		}
+	}
+	// Every advertised name must resolve.
+	for _, name := range MetricNames {
+		if _, err := Metric(r, name); err != nil {
+			t.Fatalf("advertised metric %q does not resolve: %v", name, err)
+		}
+	}
+	if _, err := Metric(r, "procnew"); err == nil {
+		t.Fatal("unknown metric accepted")
+	}
+}
+
+// TestPrintGrid pins the matrix rendering: a header row of Field2 values
+// and one row per Field1 value.
+func TestPrintGrid(t *testing.T) {
+	spec, err := Load("../../scenarios/chain-disconnect.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.VerifyConsistency = false
+	g := GridSpec{
+		Field1: SweepSpec{Field: "delay", From: 1, To: 2, Steps: 2},
+		Field2: SweepSpec{Field: "fault_duration", From: 2, To: 4, Steps: 2},
+	}
+	cells, err := Grid(spec, g, Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := PrintGrid(&buf, g, cells, "new_tuples"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `delay\fault_duration`) {
+		t.Fatalf("missing axis header:\n%s", out)
+	}
+	// Title + header + 2 data rows.
+	if strings.Count(out, "\n") != 4 {
+		t.Fatalf("unexpected shape:\n%s", out)
+	}
+	if err := PrintGrid(&buf, g, cells, "bogus"); err == nil {
+		t.Fatal("unknown metric accepted by PrintGrid")
+	}
+	if err := PrintGrid(&buf, g, cells[:3], "new_tuples"); err == nil {
+		t.Fatal("ragged cell table accepted")
+	}
+}

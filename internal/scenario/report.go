@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"slices"
 
 	"borealis/internal/client"
 	"borealis/internal/tuple"
@@ -90,6 +91,17 @@ type NodeReport struct {
 	// in seconds, grant → REC_DONE, in completion order — the per-event
 	// series behind the aggregate stabilization latency.
 	ReconcileDurationsS []float64 `json:"reconcile_durations_s,omitempty"`
+	// QueueDepthSeries samples the replica's service-queue depth on a
+	// fixed virtual-time cadence (one sample per simulated second): the
+	// depth-over-time view that exposes transient overload the
+	// MaxQueueDepth high-water mark hides.
+	QueueDepthSeries []QueueDepthSample `json:"queue_depth_series,omitempty"`
+}
+
+// QueueDepthSample is one point of a replica's queue-depth time series.
+type QueueDepthSample struct {
+	TS    float64 `json:"t_s"`
+	Depth int     `json:"depth"`
 }
 
 // ConsistencyReport is the Definition 1 audit against a fault-free
@@ -168,6 +180,7 @@ func (rt *run) report() *Report {
 			}
 		}
 	}
+	rep.Sources = make([]SourceReport, 0, len(rt.dep.Sources))
 	for _, src := range rt.dep.Sources {
 		rep.Sources = append(rep.Sources, SourceReport{
 			Name:       src.ID(),
@@ -176,7 +189,9 @@ func (rt *run) report() *Report {
 			FinalRate:  round3(src.Rate()),
 		})
 	}
+	ri := 0
 	for gi, name := range rt.dep.GroupNames() {
+		rep.Nodes = slices.Grow(rep.Nodes, len(rt.dep.Nodes[gi]))
 		for _, n := range rt.dep.Nodes[gi] {
 			nr := NodeReport{
 				Node:            name,
@@ -187,9 +202,23 @@ func (rt *run) report() *Report {
 				Switches:        n.CM().Switches,
 				MaxQueueDepth:   n.Engine().MaxQueueLen(),
 			}
-			for _, d := range n.ReconcileDurations() {
-				nr.ReconcileDurationsS = append(nr.ReconcileDurationsS, secs(d))
+			if durs := n.ReconcileDurations(); len(durs) > 0 {
+				nr.ReconcileDurationsS = make([]float64, len(durs))
+				for di, d := range durs {
+					nr.ReconcileDurationsS[di] = secs(d)
+				}
 			}
+			if ri < len(rt.depthSeries) {
+				depths := rt.depthSeries[ri]
+				nr.QueueDepthSeries = make([]QueueDepthSample, len(depths))
+				for k, d := range depths {
+					nr.QueueDepthSeries[k] = QueueDepthSample{
+						TS:    secs(int64(k+1) * queueSampleInterval),
+						Depth: d,
+					}
+				}
+			}
+			ri++
 			rep.Nodes = append(rep.Nodes, nr)
 		}
 	}

@@ -21,6 +21,12 @@ type Options struct {
 	// a clock that has already advanced is rejected (a wall clock cannot
 	// be rewound; reuse would silently clamp every event to now).
 	Runtime rtpkg.Runtime
+	// Parallelism bounds the worker pool of RunMany (and therefore Sweep
+	// and Grid): ≤ 0 means one worker per GOMAXPROCS core, 1 forces
+	// serial in-caller execution. Reports are byte-identical regardless —
+	// each run executes on its own virtual clock and results are ordered
+	// by input index, so parallelism only changes wall-clock time.
+	Parallelism int
 }
 
 // freshRuntime resolves the substrate, rejecting a clock that has already
@@ -45,6 +51,14 @@ func Run(s *Spec, opts Options) (*Report, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
+	return runValidated(s, opts)
+}
+
+// runValidated is Run without the validation pass: the per-run path of
+// RunMany, which validates each spec exactly once up front instead of
+// once per cell. It never mutates the spec, so many concurrent runs may
+// share one *Spec.
+func runValidated(s *Spec, opts Options) (*Report, error) {
 	exec, err := freshRuntime(opts)
 	if err != nil {
 		return nil, err

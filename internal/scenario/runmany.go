@@ -1,0 +1,78 @@
+package scenario
+
+import (
+	goruntime "runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// RunMany executes N independent scenario runs across a worker pool and
+// returns their reports in input order. Every run family this repository
+// cares about — sweeps, grids, repeated seeds — is embarrassingly
+// parallel: each virtual run is single-threaded, deterministic, and owns
+// its entire object graph (clock, network, nodes, pools), so fanning runs
+// across cores changes wall-clock time and nothing else. The returned
+// reports are byte-identical regardless of Options.Parallelism and
+// identical to running each spec serially through Run.
+//
+// Specs are not mutated and may repeat (the same *Spec N times is a valid
+// repeated-measurement family). Each spec is validated exactly once, up
+// front, so the per-run path skips re-validation. A caller-supplied
+// Options.Runtime is rejected: N runs cannot share one clock, and a wall
+// clock would serialize the family against real time anyway.
+//
+// On error the first failure by input index is returned — deterministic
+// even when several workers fail concurrently.
+func RunMany(specs []*Spec, opts Options) ([]*Report, error) {
+	if opts.Runtime != nil {
+		return nil, errf("runmany: runs execute on fresh virtual runtimes; Options.Runtime must be nil")
+	}
+	for i, s := range specs {
+		if s == nil {
+			return nil, errf("runmany: spec %d is nil", i)
+		}
+		if err := s.Validate(); err != nil {
+			return nil, errf("runmany: spec %d (%s): %w", i, s.Name, err)
+		}
+	}
+	reports := make([]*Report, len(specs))
+	errs := make([]error, len(specs))
+	workers := opts.Parallelism
+	if workers <= 0 {
+		workers = goruntime.GOMAXPROCS(0)
+	}
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	if workers <= 1 {
+		for i, s := range specs {
+			reports[i], errs[i] = runValidated(s, opts)
+		}
+	} else {
+		// Atomic work-stealing counter instead of a per-cell channel: runs
+		// are coarse (milliseconds to seconds), so contention is nil, and
+		// results land in their input slot — no collection ordering races.
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(specs) {
+						return
+					}
+					reports[i], errs[i] = runValidated(specs[i], opts)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, errf("runmany: run %d (%s): %w", i, specs[i].Name, err)
+		}
+	}
+	return reports, nil
+}

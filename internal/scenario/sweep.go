@@ -1,7 +1,6 @@
 package scenario
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
 )
@@ -62,14 +61,7 @@ func (sw *SweepSpec) validate() error {
 
 // apply returns a deep copy of the spec with the swept field set to v.
 func (sw *SweepSpec) apply(base *Spec, v float64) (*Spec, error) {
-	raw, err := json.Marshal(base)
-	if err != nil {
-		return nil, err
-	}
-	var s Spec
-	if err := json.Unmarshal(raw, &s); err != nil {
-		return nil, err
-	}
+	s := *base.Clone()
 	switch sw.Field {
 	case "delay":
 		s.Defaults.DelayS = v
@@ -102,7 +94,9 @@ func (sw *SweepSpec) apply(base *Spec, v float64) (*Spec, error) {
 // step executes on its own fresh virtual runtime, so rows are independent
 // and individually deterministic; a caller-supplied Options.Runtime is
 // rejected rather than silently ignored (one clock cannot host N runs
-// that each schedule from t=0).
+// that each schedule from t=0). Steps fan out across the RunMany worker
+// pool (Options.Parallelism); the rows are byte-identical regardless of
+// worker count.
 func Sweep(base *Spec, sw SweepSpec, opts Options) ([]SweepRow, error) {
 	if err := sw.validate(); err != nil {
 		return nil, err
@@ -110,17 +104,22 @@ func Sweep(base *Spec, sw SweepSpec, opts Options) ([]SweepRow, error) {
 	if opts.Runtime != nil {
 		return nil, errf("sweep: steps run on fresh virtual runtimes; Options.Runtime must be nil")
 	}
-	rows := make([]SweepRow, 0, sw.Steps)
-	for _, v := range sw.Values() {
+	values := sw.Values()
+	specs := make([]*Spec, len(values))
+	for i, v := range values {
 		s, err := sw.apply(base, v)
 		if err != nil {
 			return nil, err
 		}
-		rep, err := Run(s, opts)
-		if err != nil {
-			return nil, fmt.Errorf("sweep %s=%v: %w", sw.Field, v, err)
-		}
-		rows = append(rows, SweepRow{Value: v, Report: rep})
+		specs[i] = s
+	}
+	reports, err := RunMany(specs, opts)
+	if err != nil {
+		return nil, fmt.Errorf("sweep %s: %w", sw.Field, err)
+	}
+	rows := make([]SweepRow, len(values))
+	for i, v := range values {
+		rows[i] = SweepRow{Value: v, Report: reports[i]}
 	}
 	return rows, nil
 }

@@ -71,3 +71,54 @@ func TestRuntimeScenario(t *testing.T) {
 		t.Fatal("scenario delivered nothing")
 	}
 }
+
+// TestFacadeGrid drives the parallel run-family surface end to end from
+// the facade: a 2×2 delay × fault-duration grid fanned across all cores,
+// row-major cells, and the metric selector.
+func TestFacadeGrid(t *testing.T) {
+	scn, err := borealis.LoadScenario("scenarios/chain-disconnect.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, err := borealis.Grid(scn, borealis.GridSpec{
+		Field1: borealis.SweepSpec{Field: "delay", From: 1, To: 2, Steps: 2},
+		Field2: borealis.SweepSpec{Field: "fault_duration", From: 2, To: 4, Steps: 2},
+	}, borealis.ScenarioOptions{Quick: true, SkipConsistency: true, Parallelism: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 4 {
+		t.Fatalf("%d cells, want 4", len(cells))
+	}
+	if cells[1].Value1 != 1 || cells[1].Value2 != 4 {
+		t.Fatalf("row-major order broken: cell 1 = (%v, %v)", cells[1].Value1, cells[1].Value2)
+	}
+	for _, name := range borealis.ReportMetricNames {
+		if _, err := borealis.ReportMetric(cells[0].Report, name); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestFacadeRunManyAndSweep covers the remaining run-family exports.
+func TestFacadeRunManyAndSweep(t *testing.T) {
+	scn, err := borealis.LoadScenario("scenarios/chain-disconnect.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := borealis.ScenarioOptions{Quick: true, SkipConsistency: true, Parallelism: 2}
+	reports, err := borealis.RunMany([]*borealis.Scenario{scn, scn}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 2 || reports[0].Client.NewTuples == 0 {
+		t.Fatalf("RunMany misbehaved: %d reports", len(reports))
+	}
+	rows, err := borealis.Sweep(scn, borealis.SweepSpec{Field: "delay", From: 1, To: 2, Steps: 2}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[1].Value != 2 {
+		t.Fatalf("Sweep misbehaved: %+v", rows)
+	}
+}
