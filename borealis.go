@@ -37,6 +37,7 @@ import (
 	"borealis/internal/client"
 	"borealis/internal/deploy"
 	"borealis/internal/diagram"
+	"borealis/internal/fuzz"
 	"borealis/internal/netsim"
 	"borealis/internal/node"
 	"borealis/internal/operator"
@@ -389,3 +390,68 @@ func ReportMetric(r *ScenarioReport, name string) (float64, error) {
 
 // ReportMetricNames are the metric names ReportMetric resolves.
 var ReportMetricNames = scenario.MetricNames
+
+// Repeated measurements (seed families).
+type (
+	// MetricStats are min/mean/max of one metric across a seed family.
+	MetricStats = scenario.MetricStats
+	// RepeatRow is one swept value run as a seed family.
+	RepeatRow = scenario.RepeatRow
+)
+
+// SeedFamily returns n clones of a scenario whose seeds derive from
+// (base seed, index): repeated measurements of the same topology and
+// fault schedule under decorrelated workload jitter. Feed the family to
+// RunMany.
+func SeedFamily(base *Scenario, n int) []*Scenario { return scenario.SeedFamily(base, n) }
+
+// RepeatStats computes min/mean/max for every report metric across a
+// family of reports.
+func RepeatStats(reports []*ScenarioReport) ([]MetricStats, error) {
+	return scenario.RepeatStats(reports)
+}
+
+// SweepRepeat runs every swept value as an n-member seed family through
+// the RunMany pool and reports per-value min/mean/max for each metric.
+func SweepRepeat(base *Scenario, sw SweepSpec, repeat int, opts ScenarioOptions) ([]RepeatRow, error) {
+	return scenario.SweepRepeat(base, sw, repeat, opts)
+}
+
+// Crash-consistency fuzzing (see docs/FUZZING.md).
+type (
+	// FuzzOptions tunes a fuzzing campaign (master seed, run count,
+	// parallelism, shrinking).
+	FuzzOptions = fuzz.Options
+	// FuzzSummary is a campaign's deterministic result.
+	FuzzSummary = fuzz.Summary
+	// FuzzFailure is one failing generated scenario with its findings
+	// and minimized reproducer.
+	FuzzFailure = fuzz.Failure
+	// FuzzFinding is one oracle violation.
+	FuzzFinding = fuzz.Finding
+	// ShrinkResult is a minimized failing spec with its findings.
+	ShrinkResult = fuzz.ShrinkResult
+)
+
+// FuzzSpec deterministically generates a valid random scenario from a
+// seed: a layered DAG of replicated node groups, shaped workloads, and a
+// fault schedule that goes quiet before the run ends.
+func FuzzSpec(seed int64) *Scenario { return fuzz.GenSpec(seed) }
+
+// FuzzCheck audits a scenario report against the structural oracles (no
+// wedged SUnion buckets after the schedule goes quiet, no starved stable
+// streams, availability and report invariants). The spec must be the one
+// the report came from.
+func FuzzCheck(s *Scenario, rep *ScenarioReport) []FuzzFinding { return fuzz.Check(s, rep) }
+
+// Fuzz runs a fuzzing campaign: generate, execute through the RunMany
+// pool with the Definition 1 audit, oracle-check, and shrink failures.
+// Same options ⇒ byte-identical summary, for any parallelism.
+func Fuzz(opts FuzzOptions) (*FuzzSummary, error) { return fuzz.Campaign(opts) }
+
+// Shrink minimizes a spec that fails the named oracle by deterministic
+// greedy reduction, re-running the oracle at every step; maxRuns bounds
+// the reduction budget (0 = default).
+func Shrink(s *Scenario, oracle string, maxRuns int) ShrinkResult {
+	return fuzz.Shrink(s, oracle, maxRuns)
+}

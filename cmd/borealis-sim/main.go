@@ -12,12 +12,25 @@
 //	borealis-sim [-quick] [-json] [-no-audit] [-speed N] realtime <file.json>...
 //	borealis-sim [-quick] [-json] [-no-audit] [-parallel N] -field F -from A -to B [-steps N] sweep <file.json>
 //	borealis-sim ... -field F -from A -to B -field2 G -from2 C -to2 D [-steps2 M] [-metric M] sweep <file.json>
+//	borealis-sim ... -field F -from A -to B [-steps N] -repeat R [-metric M] sweep <file.json>
+//	borealis-sim [-json] [-parallel N] [-seed S] [-runs N] [-out DIR] [-no-shrink] fuzz
 //
 // Adding -field2 turns a sweep into a two-dimensional grid (Steps ×
 // Steps2 independent runs, e.g. the paper's Fig. 19 delay × duration
-// surface) rendered as a matrix of one report metric (-metric). Both
-// sweep and grid fan their runs across -parallel worker goroutines with
-// byte-identical output regardless of worker count.
+// surface) rendered as a matrix of one report metric (-metric); -repeat
+// instead runs every swept value R times with derived seeds and reports
+// min/mean/max of -metric per value. Both fan their runs across
+// -parallel worker goroutines with byte-identical output regardless of
+// worker count.
+//
+// The fuzz subcommand turns the simulator into a crash-consistency
+// fuzzer: it generates -runs random scenarios from -seed (topology DAGs,
+// workload shapes, fault schedules), runs each through the Definition 1
+// audit plus the structural oracles of internal/fuzz, shrinks every
+// failing spec to a minimal reproducer, and prints a deterministic
+// findings summary (identical across repetitions and -parallel counts).
+// With -out, minimized specs are written there as JSON for triage; the
+// keepers graduate into scenarios/corpus/. See docs/FUZZING.md.
 //
 // Experiments: fig11a fig11b table3 fig13 fig15 fig16 fig18 fig19 fig20
 // table4 table5 switchover ablate-buffers ablate-tb
@@ -29,10 +42,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strconv"
 	"time"
 
 	"borealis/internal/experiment"
+	"borealis/internal/fuzz"
 	"borealis/internal/runtime"
 	"borealis/internal/scenario"
 )
@@ -99,8 +114,13 @@ func main() {
 	from2 := flag.String("from2", "", "grid mode: second-field range start")
 	to2 := flag.String("to2", "", "grid mode: second-field range end")
 	steps2 := flag.Int("steps2", 4, "grid mode: second-field point count")
-	metric := flag.String("metric", "tentative", "grid mode: report metric rendered in the matrix")
-	parallel := flag.Int("parallel", 1, "sweep/grid: concurrent virtual runs (0 = one per core, 1 = serial)")
+	metric := flag.String("metric", "tentative", "grid/repeat mode: report metric rendered")
+	parallel := flag.Int("parallel", 1, "sweep/grid/fuzz: concurrent virtual runs (0 = one per core, 1 = serial)")
+	repeat := flag.Int("repeat", 1, "sweep mode: run each value N times with derived seeds (min/mean/max per metric)")
+	seed := flag.Int64("seed", 1, "fuzz mode: master seed for scenario generation")
+	runs := flag.Int("runs", 100, "fuzz mode: number of generated scenarios")
+	outDir := flag.String("out", "", "fuzz mode: directory for minimized failing specs")
+	noShrink := flag.Bool("no-shrink", false, "fuzz mode: report raw failing specs without minimizing")
 	flag.Usage = usage
 	flag.Parse()
 	args := flag.Args()
@@ -126,7 +146,7 @@ func main() {
 		return
 	case "sweep":
 		if len(args) != 2 || *field == "" || *from == "" || *to == "" {
-			fmt.Fprintf(os.Stderr, "usage: borealis-sim [-quick] [-json] [-no-audit] [-parallel N] -field F -from A -to B [-steps N] [-field2 G -from2 C -to2 D [-steps2 M] [-metric M]] sweep <file.json>\n")
+			fmt.Fprintf(os.Stderr, "usage: borealis-sim [-quick] [-json] [-no-audit] [-parallel N] -field F -from A -to B [-steps N] [-field2 G -from2 C -to2 D [-steps2 M] [-metric M]] [-repeat R] sweep <file.json>\n")
 			os.Exit(2)
 		}
 		opts := scenario.Options{Quick: *quick, SkipConsistency: *noAudit, Parallelism: *parallel}
@@ -135,13 +155,33 @@ func main() {
 				fmt.Fprintf(os.Stderr, "borealis-sim: -field2 needs -from2 and -to2\n")
 				os.Exit(2)
 			}
+			if *repeat > 1 {
+				fmt.Fprintf(os.Stderr, "borealis-sim: -repeat combines with one-dimensional sweeps, not grids\n")
+				os.Exit(2)
+			}
 			runGrid(args[1],
 				sweepAxis{*field, *from, *to, *steps},
 				sweepAxis{*field2, *from2, *to2, *steps2},
 				*metric, opts, *asJSON)
 			return
 		}
+		if *repeat > 1 {
+			runSweepRepeat(args[1], *field, *from, *to, *steps, *repeat, *metric, opts, *asJSON)
+			return
+		}
 		runSweep(args[1], *field, *from, *to, *steps, opts, *asJSON)
+		return
+	case "fuzz":
+		if len(args) != 1 {
+			fmt.Fprintf(os.Stderr, "usage: borealis-sim [-json] [-parallel N] [-seed S] [-runs N] [-out DIR] [-no-shrink] fuzz\n")
+			os.Exit(2)
+		}
+		runFuzz(fuzz.Options{
+			Seed:        *seed,
+			Runs:        *runs,
+			Parallelism: *parallel,
+			NoShrink:    *noShrink,
+		}, *outDir, *asJSON)
 		return
 	}
 	opts := experiment.Options{Quick: *quick}
@@ -300,6 +340,100 @@ func runSweep(path, field, fromS, toS string, steps int, opts scenario.Options, 
 	}
 }
 
+// runSweepRepeat runs each swept value as a seed family and prints the
+// per-value min/mean/max table of the chosen metric (or, with -json, the
+// rows with every report and full per-metric stats).
+func runSweepRepeat(path, field, fromS, toS string, steps, repeat int, metric string, opts scenario.Options, asJSON bool) {
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "borealis-sim: %v\n", err)
+		os.Exit(1)
+	}
+	spec, err := scenario.Load(path)
+	if err != nil {
+		fail(err)
+	}
+	from, err := parseSweepBound(fromS)
+	if err != nil {
+		fail(err)
+	}
+	to, err := parseSweepBound(toS)
+	if err != nil {
+		fail(err)
+	}
+	start := time.Now()
+	rows, err := scenario.SweepRepeat(spec, scenario.SweepSpec{Field: field, From: from, To: to, Steps: steps}, repeat, opts)
+	if err != nil {
+		fail(err)
+	}
+	if asJSON {
+		b, err := json.MarshalIndent(rows, "", "  ")
+		if err != nil {
+			fail(err)
+		}
+		os.Stdout.Write(append(b, '\n'))
+	} else {
+		fmt.Printf("sweep %s: %s from %s to %s in %d steps × %d seeds\n", spec.Name, field, fromS, toS, steps, repeat)
+		if err := scenario.PrintSweepRepeat(os.Stdout, field, metric, rows); err != nil {
+			fail(err)
+		}
+		fmt.Printf("(%d runs in %.1fs wall time)\n", steps*repeat, time.Since(start).Seconds())
+	}
+	for _, row := range rows {
+		for _, r := range row.Reports {
+			if r.Consistency != nil && !r.Consistency.OK {
+				fmt.Fprintf(os.Stderr, "borealis-sim: eventual-consistency audit FAILED at %s=%g seed=%d\n", field, row.Value, r.Seed)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+// runFuzz runs a fuzzing campaign and renders its deterministic summary.
+// Findings do not fail the invocation — fuzzing is exploration, and CI
+// compares two invocations' output for determinism — but a campaign that
+// cannot run at all does.
+func runFuzz(opts fuzz.Options, outDir string, asJSON bool) {
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "borealis-sim: %v\n", err)
+		os.Exit(1)
+	}
+	start := time.Now()
+	sum, err := fuzz.Campaign(opts)
+	if err != nil {
+		fail(err)
+	}
+	if outDir != "" && len(sum.Failures) > 0 {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			fail(err)
+		}
+		for i := range sum.Failures {
+			f := &sum.Failures[i]
+			spec := f.Shrunk
+			if spec == nil {
+				spec = f.Spec
+			}
+			b, err := json.MarshalIndent(spec, "", "  ")
+			if err != nil {
+				fail(err)
+			}
+			name := fmt.Sprintf("fuzz-%03d-%s.json", f.Run, f.Findings[0].Oracle)
+			if err := os.WriteFile(filepath.Join(outDir, name), append(b, '\n'), 0o644); err != nil {
+				fail(err)
+			}
+		}
+	}
+	if asJSON {
+		b, err := json.MarshalIndent(sum, "", "  ")
+		if err != nil {
+			fail(err)
+		}
+		os.Stdout.Write(append(b, '\n'))
+		return
+	}
+	sum.Print(os.Stdout)
+	fmt.Printf("(%d runs in %.1fs wall time)\n", sum.Runs, time.Since(start).Seconds())
+}
+
 // sweepAxis bundles one sweep dimension's raw flag values.
 type sweepAxis struct {
 	field, from, to string
@@ -377,7 +511,9 @@ func usage() {
 	fmt.Fprintf(os.Stderr, "       borealis-sim [-quick] [-json] [-no-audit] scenario <file.json>...\n")
 	fmt.Fprintf(os.Stderr, "       borealis-sim [-quick] [-json] [-no-audit] [-speed N] realtime <file.json>...\n")
 	fmt.Fprintf(os.Stderr, "       borealis-sim [-quick] [-json] [-no-audit] [-parallel N] -field F -from A -to B [-steps N] sweep <file.json>\n")
-	fmt.Fprintf(os.Stderr, "       borealis-sim ... -field F -from A -to B -field2 G -from2 C -to2 D [-steps2 M] [-metric M] sweep <file.json>\n\nexperiments:\n")
+	fmt.Fprintf(os.Stderr, "       borealis-sim ... -field F -from A -to B -field2 G -from2 C -to2 D [-steps2 M] [-metric M] sweep <file.json>\n")
+	fmt.Fprintf(os.Stderr, "       borealis-sim ... -field F -from A -to B [-steps N] -repeat R [-metric M] sweep <file.json>\n")
+	fmt.Fprintf(os.Stderr, "       borealis-sim [-json] [-parallel N] [-seed S] [-runs N] [-out DIR] [-no-shrink] fuzz\n\nexperiments:\n")
 	for _, e := range experiments {
 		fmt.Fprintf(os.Stderr, "  %-16s %s\n", e.name, e.desc)
 	}

@@ -1,0 +1,57 @@
+package borealis_test
+
+import (
+	"testing"
+
+	borealis "borealis"
+)
+
+// TestFuzzFacade drives the fuzzing surface end to end through the public
+// API: generate a spec, run it with the audit, oracle-check the report,
+// and run a tiny deterministic campaign.
+func TestFuzzFacade(t *testing.T) {
+	spec := borealis.FuzzSpec(7)
+	if err := spec.Validate(); err != nil {
+		t.Fatalf("generated spec invalid: %v", err)
+	}
+	rep, err := borealis.RunScenario(spec, borealis.ScenarioOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Consistency == nil {
+		t.Fatal("generated specs must carry the Definition 1 audit")
+	}
+	_ = borealis.FuzzCheck(spec, rep) // findings are data, not errors
+
+	sum, err := borealis.Fuzz(borealis.FuzzOptions{Seed: 3, Runs: 4, Parallelism: 1, NoShrink: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Runs != 4 || sum.Seed != 3 {
+		t.Fatalf("summary echo wrong: %+v", sum)
+	}
+}
+
+// TestRepeatFacade exercises the seed-family surface.
+func TestRepeatFacade(t *testing.T) {
+	spec := borealis.FuzzSpec(5)
+	spec.VerifyConsistency = false
+	spec.Faults = nil
+	fam := borealis.SeedFamily(spec, 3)
+	reports, err := borealis.RunMany(fam, borealis.ScenarioOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := borealis.RepeatStats(reports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) == 0 {
+		t.Fatal("no metric stats")
+	}
+	for _, st := range stats {
+		if st.Min > st.Max {
+			t.Fatalf("stats inverted: %+v", st)
+		}
+	}
+}

@@ -338,6 +338,15 @@ func (e *Engine) RequestCheckpoint(cb func(*Snapshot)) {
 	e.cpCb = cb
 }
 
+// CancelCheckpoint abandons a pending checkpoint request: the failure
+// epoch that wanted the snapshot is over (a masked heal discarded it)
+// and the callback must not fire. Without this, an epoch masked while
+// the engine never went idle would leave its request pending, and the
+// next failure's RequestCheckpoint would find a checkpoint it never
+// asked for — a crash the scenario fuzzer first hit under a replica
+// flap riding a loaded queue.
+func (e *Engine) CancelCheckpoint() { e.cpCb = nil }
+
 func (e *Engine) snapshot() *Snapshot {
 	s := &Snapshot{ops: make(map[string]any, len(e.d.TopoOrder()))}
 	for _, name := range e.d.TopoOrder() {
@@ -362,6 +371,10 @@ func (e *Engine) Restore(s *Snapshot) {
 	e.clearQueue()
 	e.diverged = false
 	e.recDonePending = false
+	// A checkpoint request still pending belongs to the epoch being rolled
+	// away (reconciliation restores only after its snapshot fired, so this
+	// can only be a crash-restart reset); drop it with the rest.
+	e.cpCb = nil
 }
 
 // ScheduleRecDone arranges for a REC_DONE marker to flow through the
@@ -425,6 +438,21 @@ func (e *Engine) SetPolicyFed(input string, p operator.DelayPolicy) {
 	}
 }
 
+// RevokeTentativeAll removes tentative content from every SUnion's
+// pending buckets. The reconciliation path calls it right after the
+// checkpoint restore: a snapshot taken while tentative data sat in a
+// bucket (possible when a crash-restarted replica re-anchors its epoch
+// mid-replay of a diverged upstream) would otherwise resurrect tuples
+// whose undo was already consumed patching the arrival logs — poison no
+// policy can flush. Stabilization re-derives from stable data only; any
+// still-valid tentative content it drops is replaced by the upstream's
+// own correction sequence.
+func (e *Engine) RevokeTentativeAll() {
+	for _, su := range e.sunions {
+		su.RevokeTentative(-1)
+	}
+}
+
 // HoldsTentative reports whether any SUnion still buffers tentative
 // tuples in a pending bucket. Such buckets can never stabilize on their
 // own (the tentative content is only removed by rolling the operator
@@ -434,6 +462,21 @@ func (e *Engine) HoldsTentative() bool {
 	for _, su := range e.sunions {
 		if su.HasPendingTentative() {
 			return true
+		}
+	}
+	// Tentative tuples still queued for dispatch count too: at a heal
+	// instant a just-arrived batch (e.g. the dual-connection tentative
+	// feed of §4.4.3, cut moments later by consolidation) may not have
+	// reached any bucket yet. Declaring the heal masked on the bucket
+	// scan alone lets the batch dispatch into a bucket after the node
+	// went back to STABLE — poison with no revocation left to come
+	// (found by the scenario fuzzer: a partition heal during an
+	// upstream's stabilization).
+	for i := 0; i < e.qlen; i++ {
+		for _, t := range e.queue[(e.qhead+i)%len(e.queue)].tuples {
+			if t.Type == tuple.Tentative {
+				return true
+			}
 		}
 	}
 	return false

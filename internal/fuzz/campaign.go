@@ -1,0 +1,145 @@
+package fuzz
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"borealis/internal/scenario"
+)
+
+// Options tunes a fuzzing campaign.
+type Options struct {
+	// Seed is the master seed: every generated spec derives its own seed
+	// from (Seed, run index), so the whole campaign — specs, findings,
+	// minimized reproducers — is a pure function of Seed and Runs.
+	Seed int64
+	// Runs is the number of generated scenarios to execute.
+	Runs int
+	// Parallelism bounds the RunMany worker pool fanning the generated
+	// specs across cores (0 = one worker per core, 1 = serial). Results
+	// are identical regardless.
+	Parallelism int
+	// NoShrink reports raw failing specs without minimizing them.
+	NoShrink bool
+	// MaxShrinkRuns bounds the oracle re-executions each reduction may
+	// spend (0 = the Shrink default).
+	MaxShrinkRuns int
+}
+
+// Failure is one failing run of a campaign.
+type Failure struct {
+	// Run is the campaign run index; Seed the derived spec seed.
+	Run  int   `json:"run"`
+	Seed int64 `json:"seed"`
+	// Findings are the oracle violations of the generated spec.
+	Findings []Finding `json:"findings"`
+	// Spec is the generated spec that failed.
+	Spec *scenario.Spec `json:"spec"`
+	// Shrunk is the minimized reproducer (nil with Options.NoShrink),
+	// ShrunkFindings its violations, ShrinkRuns the reduction cost.
+	Shrunk         *scenario.Spec `json:"shrunk,omitempty"`
+	ShrunkFindings []Finding      `json:"shrunk_findings,omitempty"`
+	ShrinkRuns     int            `json:"shrink_runs,omitempty"`
+}
+
+// OracleCount is one oracle's failure tally, for the deterministic
+// summary rendering (maps iterate in random order; reports must not).
+type OracleCount struct {
+	Oracle string `json:"oracle"`
+	Count  int    `json:"count"`
+}
+
+// Summary is the deterministic result of a campaign: same Seed + Runs ⇒
+// byte-identical summary, for any Parallelism.
+type Summary struct {
+	Seed     int64         `json:"seed"`
+	Runs     int           `json:"runs"`
+	Failures []Failure     `json:"failures,omitempty"`
+	Oracles  []OracleCount `json:"oracles,omitempty"`
+}
+
+// Campaign generates opts.Runs scenario specs, fans them through the
+// scenario.RunMany worker pool with the Definition 1 audit enabled,
+// checks every report against the oracles, and shrinks each failing
+// spec to a minimal reproducer. Failures are ordered by run index and
+// shrinking is serial, so the summary is identical across repetitions
+// and worker counts.
+func Campaign(opts Options) (*Summary, error) {
+	if opts.Runs <= 0 {
+		return nil, fmt.Errorf("fuzz: runs must be positive")
+	}
+	specs := make([]*scenario.Spec, opts.Runs)
+	for i := range specs {
+		specs[i] = GenSpec(DeriveSeed(opts.Seed, i))
+	}
+	reports, err := scenario.RunMany(specs, scenario.Options{Parallelism: opts.Parallelism})
+	var runErrs []error
+	if err != nil {
+		// One broken seed must become a "run-error" finding, not kill
+		// the whole campaign (the exact event the fuzzer exists to
+		// report): fall back to serial execution, capturing per-spec
+		// errors. The serial pass is deterministic, so the summary
+		// stays a pure function of the options.
+		reports = make([]*scenario.Report, len(specs))
+		runErrs = make([]error, len(specs))
+		for i, s := range specs {
+			reports[i], runErrs[i] = scenario.Run(s, scenario.Options{})
+		}
+	}
+	sum := &Summary{Seed: opts.Seed, Runs: opts.Runs}
+	tally := map[string]int{}
+	for i, rep := range reports {
+		var findings []Finding
+		if rep == nil {
+			detail := "run failed"
+			if runErrs != nil && runErrs[i] != nil {
+				detail = runErrs[i].Error()
+			}
+			findings = []Finding{{Oracle: "run-error", Detail: detail}}
+		} else {
+			findings = Check(specs[i], rep)
+		}
+		if len(findings) == 0 {
+			continue
+		}
+		for _, f := range findings {
+			tally[f.Oracle]++
+		}
+		fail := Failure{Run: i, Seed: specs[i].Seed, Findings: findings, Spec: specs[i]}
+		if !opts.NoShrink {
+			res := Shrink(specs[i], findings[0].Oracle, opts.MaxShrinkRuns)
+			fail.Shrunk = res.Spec
+			fail.ShrunkFindings = res.Findings
+			fail.ShrinkRuns = res.Runs
+		}
+		sum.Failures = append(sum.Failures, fail)
+	}
+	for oracle, n := range tally {
+		sum.Oracles = append(sum.Oracles, OracleCount{Oracle: oracle, Count: n})
+	}
+	sort.Slice(sum.Oracles, func(i, j int) bool { return sum.Oracles[i].Oracle < sum.Oracles[j].Oracle })
+	return sum, nil
+}
+
+// Print renders the deterministic human-readable campaign summary.
+func (s *Summary) Print(w io.Writer) {
+	fmt.Fprintf(w, "fuzz: %d runs from seed %d — %d failing\n", s.Runs, s.Seed, len(s.Failures))
+	for _, oc := range s.Oracles {
+		fmt.Fprintf(w, "  oracle %-18s %d findings\n", oc.Oracle, oc.Count)
+	}
+	for i := range s.Failures {
+		f := &s.Failures[i]
+		fmt.Fprintf(w, "run %d (seed %d): FAIL\n", f.Run, f.Seed)
+		for _, fd := range f.Findings {
+			fmt.Fprintf(w, "  %s\n", fd)
+		}
+		if f.Shrunk != nil {
+			fmt.Fprintf(w, "  shrunk to %d nodes, %d sources, %d faults in %d runs\n",
+				len(f.Shrunk.Nodes), len(f.Shrunk.Sources), len(f.Shrunk.Faults), f.ShrinkRuns)
+			for _, fd := range f.ShrunkFindings {
+				fmt.Fprintf(w, "    %s\n", fd)
+			}
+		}
+	}
+}

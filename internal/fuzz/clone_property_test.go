@@ -1,0 +1,141 @@
+package fuzz
+
+import (
+	"encoding/json"
+	"testing"
+
+	"borealis/internal/scenario"
+)
+
+// scramble mutates every reference-typed and scalar part of a spec it
+// can reach: slices of structs, nested slices, override pointers, and
+// the plain fields. Paired with Clone, it is the aliasing probe — any
+// slice or pointer Clone forgot to copy shows up as the counterpart spec
+// changing under the scramble.
+func scramble(s *scenario.Spec) {
+	s.Name += "-mutated"
+	s.Seed ^= 0x5555
+	s.DurationS += 13
+	s.Defaults.DelayS += 1
+	s.Defaults.Replicas++
+	s.Client.DelayMS += 7
+	s.Client.Input += "x"
+	for i := range s.Sources {
+		src := &s.Sources[i]
+		src.Rate += 1000
+		src.Count += 5
+		src.Distribution = "scrambled"
+		src.Workload.Kind += "x"
+		src.Workload.PeriodS += 9
+		src.Workload.ToRate += 9
+	}
+	for i := range s.Nodes {
+		n := &s.Nodes[i]
+		n.Name += "x"
+		for j := range n.Inputs {
+			n.Inputs[j] = "hijacked"
+		}
+		n.Inputs = append(n.Inputs, "extra")
+		if n.Replicas != nil {
+			*n.Replicas += 11
+		}
+		if n.DelayS != nil {
+			*n.DelayS += 11
+		}
+		if n.Capacity != nil {
+			*n.Capacity += 11
+		}
+		n.FailurePolicy += "x"
+		n.Cascade = !n.Cascade
+		for j := range n.Operators {
+			op := &n.Operators[j]
+			op.Kind += "x"
+			op.Modulo += 3
+			op.WindowMS += 3
+			if op.GroupField != nil {
+				*op.GroupField += 3
+			}
+		}
+		n.Operators = append(n.Operators, scenario.OperatorSpec{Kind: "injected"})
+	}
+	for i := range s.Faults {
+		f := &s.Faults[i]
+		f.Kind += "x"
+		f.Node += "x"
+		f.Source += "x"
+		f.From += "x"
+		f.To += "x"
+		f.AtS += 99
+		f.DurationS += 99
+		f.PeriodS += 99
+		f.Count += 99
+		f.Replica += 99
+	}
+	s.Faults = append(s.Faults, scenario.FaultSpec{Kind: "injected"})
+}
+
+// TestCloneAliasingOnGeneratedSpecs extends clone_test.go beyond the
+// curated shapes: for generator-produced specs covering every fault kind
+// and workload kind, mutating a clone must never touch the original and
+// vice versa. The seed range is chosen wide enough that the coverage
+// assertions below guarantee the interesting shapes actually occurred.
+func TestCloneAliasingOnGeneratedSpecs(t *testing.T) {
+	faultKinds := map[string]bool{}
+	workloads := map[string]bool{"constant": true}
+	pointers := false
+	for seed := int64(0); seed < 300; seed++ {
+		base := GenSpec(seed)
+		for _, f := range base.Faults {
+			faultKinds[f.Kind] = true
+		}
+		for _, src := range base.Sources {
+			if src.Workload.Kind != "" {
+				workloads[src.Workload.Kind] = true
+			}
+		}
+		for _, n := range base.Nodes {
+			pointers = pointers || n.Replicas != nil || n.DelayS != nil
+		}
+
+		want, err := json.Marshal(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Mutating the clone must leave the base untouched.
+		scramble(base.Clone())
+		got, err := json.Marshal(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(want) {
+			t.Fatalf("seed %d: mutating the clone changed the base spec", seed)
+		}
+		// And mutating the base must leave a prior clone untouched.
+		keep := base.Clone()
+		kept, err := json.Marshal(keep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scramble(base)
+		after, err := json.Marshal(keep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(after) != string(kept) {
+			t.Fatalf("seed %d: mutating the base changed a prior clone", seed)
+		}
+	}
+	for _, k := range []string{"crash", "flap", "disconnect", "stall_boundaries", "partition"} {
+		if !faultKinds[k] {
+			t.Errorf("seed range never produced fault kind %q; widen it", k)
+		}
+	}
+	for _, k := range []string{"bursty", "ramp"} {
+		if !workloads[k] {
+			t.Errorf("seed range never produced workload kind %q; widen it", k)
+		}
+	}
+	if !pointers {
+		t.Error("seed range never produced override pointers; widen it")
+	}
+}

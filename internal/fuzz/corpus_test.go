@@ -1,0 +1,47 @@
+package fuzz
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"borealis/internal/scenario"
+)
+
+// TestCorpusStaysClean runs every minimized regression spec in
+// scenarios/corpus/ — each one a real bug the fuzzer found and this
+// repository fixed — at full duration with the Definition 1 audit and the
+// complete oracle suite. The corpus only grows: a finding here means a
+// fixed crash-consistency bug has regressed.
+func TestCorpusStaysClean(t *testing.T) {
+	paths, err := filepath.Glob("../../scenarios/corpus/*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 3 {
+		t.Fatalf("corpus too small: %d specs", len(paths))
+	}
+	for _, path := range paths {
+		name := strings.TrimSuffix(filepath.Base(path), ".json")
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			spec, err := scenario.Load(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if spec.Name != name {
+				t.Fatalf("spec name %q does not match file name %q", spec.Name, name)
+			}
+			if !spec.VerifyConsistency {
+				t.Fatal("corpus specs must enable the consistency audit")
+			}
+			rep, findings := RunSpec(spec, scenario.Options{})
+			if len(findings) > 0 {
+				t.Fatalf("regression: %v", findings)
+			}
+			if rep.Consistency == nil || !rep.Consistency.OK {
+				t.Fatalf("audit failed: %+v", rep.Consistency)
+			}
+		})
+	}
+}

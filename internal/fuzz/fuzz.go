@@ -1,0 +1,78 @@
+// Package fuzz turns the deterministic scenario simulator into a
+// crash-consistency fuzzer. A seeded generator emits valid scenario.Spec
+// values — random layered DAGs of replicated node groups, shaped
+// workloads, and timed fault schedules — each run through scenario.Run
+// with the Definition 1 eventual-consistency audit plus structural
+// oracles over the report (no wedged SUnion buckets after the fault
+// schedule goes quiet, no starved stable streams, availability and
+// report invariants). Failing specs are shrunk by a deterministic
+// reducer down to a minimal JSON spec for triage; real bugs become
+// checked-in regressions under scenarios/corpus/.
+//
+// Everything derives from seeds: the same master seed produces the same
+// spec family, the same findings, and the same minimized specs,
+// regardless of worker count. See docs/FUZZING.md.
+package fuzz
+
+import "fmt"
+
+// rng is the fuzzer's PRNG: splitmix64, the same tiny generator the
+// scenario package uses for workload jitter. Fully deterministic across
+// platforms, and cheap to fork per consumer.
+type rng struct{ state uint64 }
+
+const golden = 0x9E3779B97F4A7C15
+
+func newRNG(seed int64) *rng { return &rng{state: mix(uint64(seed))} }
+
+// mix is the splitmix64 output function, also used standalone to derive
+// independent per-run seeds from (master seed, index).
+func mix(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+func (r *rng) next() uint64 {
+	r.state += golden
+	return mix(r.state)
+}
+
+// f64 returns a uniform draw in [0, 1).
+func (r *rng) f64() float64 { return float64(r.next()>>11) / (1 << 53) }
+
+// intn returns a uniform draw in [0, n).
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// rangeF returns a uniform draw in [lo, hi).
+func (r *rng) rangeF(lo, hi float64) float64 { return lo + r.f64()*(hi-lo) }
+
+// chance returns true with probability p.
+func (r *rng) chance(p float64) bool { return r.f64() < p }
+
+// pick returns one element of choices.
+func pick[T any](r *rng, choices []T) T { return choices[r.intn(len(choices))] }
+
+// DeriveSeed maps (master seed, run index) to the spec seed of that run.
+// Runs are independent draws: the mapping does not depend on how many
+// runs precede it, so campaigns parallelize without reordering seeds.
+func DeriveSeed(master int64, run int) int64 {
+	return int64(mix(uint64(master) + uint64(run+1)*golden))
+}
+
+// Finding is one oracle violation detected in a scenario run.
+type Finding struct {
+	// Oracle names the violated property: "consistency", "starvation",
+	// "excess-stable", "wedged-sunion", "stuck-state", "availability",
+	// "report-invariant" or "run-error".
+	Oracle string `json:"oracle"`
+	// Detail is a human-readable description of the violation.
+	Detail string `json:"detail"`
+}
+
+func (f Finding) String() string { return fmt.Sprintf("%s: %s", f.Oracle, f.Detail) }
+
+// findf appends a finding.
+func findf(fs []Finding, oracle, format string, args ...any) []Finding {
+	return append(fs, Finding{Oracle: oracle, Detail: fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,269 @@
+package fuzz
+
+import (
+	"math"
+
+	"borealis/internal/scenario"
+)
+
+// permCrashSettleS bounds how long a deployment needs to absorb a
+// permanent replica crash: keep-alive timeouts fire, downstream input
+// managers switch to the surviving replica, and the stream is healthy
+// again. No heal event ever fires for the dead replica, so the quiet-tail
+// computation charges this settling window instead.
+const permCrashSettleS = 10
+
+// settleTailS is how much quiet time a healthy deployment needs after its
+// last fault heals before the oracles may judge end-of-run state: the
+// worst source→client path sum of SUnion delays (suspensions started just
+// before the heal still run to completion, level by level), plus client
+// slack, plus a reconciliation/propagation allowance.
+func settleTailS(s *scenario.Spec) float64 {
+	nodes := map[string]*scenario.NodeSpec{}
+	for i := range s.Nodes {
+		nodes[s.Nodes[i].Name] = &s.Nodes[i]
+	}
+	memo := map[string]float64{}
+	var path func(name string) float64
+	path = func(name string) float64 {
+		if v, ok := memo[name]; ok {
+			return v
+		}
+		n := nodes[name]
+		memo[name] = 0 // cycle guard for unvalidated inputs
+		var worst float64
+		for _, in := range n.Inputs {
+			if nodes[in] != nil {
+				worst = math.Max(worst, path(in))
+			}
+		}
+		sunions := 1.0
+		if n.Cascade && expandedInputCount(s, n) > 2 {
+			sunions = float64(expandedInputCount(s, n) - 1)
+		}
+		v := worst + delayOf(s, n)*sunions
+		memo[name] = v
+		return v
+	}
+	var worst float64
+	for i := range s.Nodes {
+		worst = math.Max(worst, path(s.Nodes[i].Name))
+	}
+	return worst + 5
+}
+
+// lastHealS returns the latest instant (in spec seconds) at which the
+// fault schedule stops disturbing the deployment, considering only faults
+// that fire before the horizon. Permanent crashes never heal; they charge
+// permCrashSettleS of switchover settling instead.
+func lastHealS(s *scenario.Spec, horizonS float64) float64 {
+	var last float64
+	for i := range s.Faults {
+		f := &s.Faults[i]
+		if f.AtS >= horizonS {
+			continue
+		}
+		var heal float64
+		switch f.Kind {
+		case "crash":
+			if f.DurationS > 0 {
+				heal = f.AtS + f.DurationS
+			} else {
+				heal = f.AtS + permCrashSettleS
+			}
+		case "restart":
+			heal = f.AtS
+		case "flap":
+			count := f.Count
+			if count <= 0 {
+				count = 3
+			}
+			down := f.DurationS
+			if down <= 0 {
+				down = f.PeriodS / 2
+			}
+			heal = f.AtS + float64(count-1)*f.PeriodS + down
+		default: // disconnect, stall_boundaries, partition
+			heal = f.AtS + f.DurationS
+		}
+		last = math.Max(last, heal)
+	}
+	return last
+}
+
+// quietAtEnd reports whether the fault schedule went quiet early enough —
+// last heal plus the settling tail inside the horizon — for end-of-run
+// structural state to be judged, and that no node group lost all of its
+// replicas permanently (a fully-crashed group starves its downstream
+// legitimately).
+func quietAtEnd(s *scenario.Spec, horizonS float64) bool {
+	if !anyFaultFires(s, horizonS) {
+		return true // nothing ever disturbed the run
+	}
+	if lastHealS(s, horizonS)+settleTailS(s) > horizonS+1e-9 {
+		return false
+	}
+	// A crash without a duration is permanent unless a LATER restart
+	// names the same replica (spec.go's contract); count the crashes
+	// that stick.
+	perm := map[string]int{}
+	for i := range s.Faults {
+		f := &s.Faults[i]
+		if f.Kind != "crash" || f.DurationS != 0 || f.AtS >= horizonS {
+			continue
+		}
+		revived := false
+		for j := range s.Faults {
+			r := &s.Faults[j]
+			if r.Kind == "restart" && r.Node == f.Node && r.Replica == f.Replica &&
+				r.AtS > f.AtS && r.AtS < horizonS {
+				revived = true
+				break
+			}
+		}
+		if !revived {
+			perm[f.Node]++
+		}
+	}
+	for i := range s.Nodes {
+		n := &s.Nodes[i]
+		if perm[n.Name] >= replicasOf(s, n) {
+			return false
+		}
+	}
+	return true
+}
+
+// anyFaultFires reports whether any fault fires before the horizon.
+func anyFaultFires(s *scenario.Spec, horizonS float64) bool {
+	for i := range s.Faults {
+		if s.Faults[i].AtS < horizonS {
+			return true
+		}
+	}
+	return false
+}
+
+// capacityBounded reports whether any node runs with finite capacity: an
+// overloaded bounded node violates the availability bound legitimately
+// (the paper assumes provisioned capacity), so the availability oracle
+// stands down.
+func capacityBounded(s *scenario.Spec) bool {
+	if s.Defaults.Capacity > 0 {
+		return true
+	}
+	for i := range s.Nodes {
+		if s.Nodes[i].Capacity != nil && *s.Nodes[i].Capacity > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// round3 mirrors the report's rate rounding.
+func round3(v float64) float64 { return math.Round(v*1e3) / 1e3 }
+
+// Check audits one scenario report against the fuzzer's oracles and
+// returns every violation found. The spec must be the one the report was
+// produced from: the structural oracles condition on the fault schedule
+// (quiet tail, fault-free availability) that only the spec knows.
+func Check(s *scenario.Spec, rep *scenario.Report) []Finding {
+	var fs []Finding
+	horizon := rep.DurationS
+	quiet := quietAtEnd(s, horizon)
+
+	// Definition 1: the stable output prefix must match the fault-free
+	// reference run.
+	if rep.Consistency != nil && !rep.Consistency.OK {
+		fs = findf(fs, "consistency", "Definition 1 audit failed: %s", rep.Consistency.Reason)
+	}
+
+	// Starvation / excess: once quiet, the audited run's stable output
+	// must have converged to the reference's, not stalled short of it
+	// (the masked-heal wedge signature) or overshot it.
+	if quiet && rep.Consistency != nil && rep.Consistency.OK && rep.Consistency.RefStable > 0 {
+		got, ref := rep.Consistency.GotStable, rep.Consistency.RefStable
+		slack := max(25, ref/10)
+		if got < ref-slack {
+			fs = findf(fs, "starvation",
+				"stable output stalled at %d tuples; fault-free reference delivered %d", got, ref)
+		}
+		if got > ref+slack {
+			fs = findf(fs, "excess-stable",
+				"stable output %d tuples exceeds the fault-free reference %d", got, ref)
+		}
+	}
+
+	// Structural end-of-run state: after the quiet tail every live
+	// replica must be STABLE with no tentative content buffered in any
+	// SUnion — a held bucket can only be removed by a rollback that is
+	// never coming.
+	if quiet {
+		for i := range rep.Nodes {
+			n := &rep.Nodes[i]
+			if n.Down {
+				continue
+			}
+			if n.HoldsTentative {
+				fs = findf(fs, "wedged-sunion",
+					"replica %s still buffers tentative tuples %gs after the last heal",
+					n.Replica, horizon-lastHealS(s, horizon))
+			}
+			if n.State != "STABLE" {
+				fs = findf(fs, "stuck-state",
+					"replica %s ended in %s %gs after the last heal",
+					n.Replica, n.State, horizon-lastHealS(s, horizon))
+			}
+		}
+	}
+
+	// Availability: with no faults and unbounded capacity, every
+	// new-information delivery must meet the bound D.
+	if !anyFaultFires(s, horizon) && !capacityBounded(s) && rep.Availability.Violations > 0 {
+		fs = findf(fs, "availability",
+			"fault-free run violated the availability bound %d times (worst excess %gs)",
+			rep.Availability.Violations, rep.Availability.MaxExcessS)
+	}
+
+	// Report invariants: internal consistency of the metrics themselves.
+	c := &rep.Client
+	if rep.DurationS <= 0 {
+		fs = findf(fs, "report-invariant", "non-positive duration %g", rep.DurationS)
+		return fs
+	}
+	if got, want := c.ThroughputTPS, round3(float64(c.NewTuples)/rep.DurationS); got != want {
+		fs = findf(fs, "report-invariant", "throughput %g does not match %d tuples / %gs", got, c.NewTuples, rep.DurationS)
+	}
+	if c.NewTuples > 0 {
+		if got, want := rep.Availability.ViolationRate, round3(float64(rep.Availability.Violations)/float64(c.NewTuples)); got != want {
+			fs = findf(fs, "report-invariant", "violation rate %g does not match %d/%d", got, rep.Availability.Violations, c.NewTuples)
+		}
+	}
+	if c.MeanLatencyS > c.MaxLatencyS+1e-3 {
+		fs = findf(fs, "report-invariant", "mean latency %g exceeds max %g", c.MeanLatencyS, c.MaxLatencyS)
+	}
+	if c.MaxTentativeStreak > c.Tentative {
+		fs = findf(fs, "report-invariant", "tentative streak %d exceeds tentative count %d", c.MaxTentativeStreak, c.Tentative)
+	}
+	if rep.Availability.Violations == 0 && rep.Availability.MaxExcessS != 0 {
+		fs = findf(fs, "report-invariant", "zero violations but max excess %g", rep.Availability.MaxExcessS)
+	}
+	if rep.Stabilization.LastRecDoneS > rep.DurationS+1e-3 {
+		fs = findf(fs, "report-invariant", "last REC_DONE at %gs is past the %gs horizon", rep.Stabilization.LastRecDoneS, rep.DurationS)
+	}
+	if quiet && c.Undos > 0 && c.RecDones == 0 {
+		fs = findf(fs, "report-invariant", "%d undos but no REC_DONE reached the client by the quiet end", c.Undos)
+	}
+	return fs
+}
+
+// RunSpec validates and runs one spec, then audits the report. A run
+// error becomes a "run-error" finding: a validated spec must always
+// compile and execute.
+func RunSpec(s *scenario.Spec, opts scenario.Options) (*scenario.Report, []Finding) {
+	rep, err := scenario.Run(s, opts)
+	if err != nil {
+		return nil, []Finding{{Oracle: "run-error", Detail: err.Error()}}
+	}
+	return rep, Check(s, rep)
+}

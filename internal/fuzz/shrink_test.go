@@ -1,0 +1,119 @@
+package fuzz
+
+import (
+	"encoding/json"
+	"testing"
+
+	"borealis/internal/scenario"
+)
+
+// The reducer is tested against synthetic failure predicates that do not
+// run the simulator: the passes must converge to the smallest spec the
+// predicate still accepts, and every candidate they try must be valid.
+
+// validFails wraps a predicate with a validity check, mirroring what the
+// real Shrink predicate does, and records how many candidates were tried.
+func validFails(t *testing.T, pred func(*scenario.Spec) bool, tried *int) func(*scenario.Spec) bool {
+	return func(c *scenario.Spec) bool {
+		*tried++
+		if err := c.Validate(); err != nil {
+			return false
+		}
+		return pred(c)
+	}
+}
+
+// TestReduceToSingleFault: a predicate keyed on one fault kind reduces a
+// rich generated spec to one node, one source and exactly that fault.
+func TestReduceToSingleFault(t *testing.T) {
+	// Find a generated spec containing a disconnect plus other faults.
+	var spec *scenario.Spec
+	for seed := int64(0); seed < 200; seed++ {
+		s := GenSpec(seed)
+		disc := 0
+		for _, f := range s.Faults {
+			if f.Kind == "disconnect" {
+				disc++
+			}
+		}
+		if disc >= 1 && len(s.Faults) >= 3 && len(s.Nodes) >= 3 {
+			spec = s
+			break
+		}
+	}
+	if spec == nil {
+		t.Fatal("no suitable generated spec found")
+	}
+	tried := 0
+	pred := func(c *scenario.Spec) bool {
+		for _, f := range c.Faults {
+			if f.Kind == "disconnect" {
+				return true
+			}
+		}
+		return false
+	}
+	min := reduce(spec, validFails(t, pred, &tried))
+	if err := min.Validate(); err != nil {
+		t.Fatalf("reduced spec invalid: %v", err)
+	}
+	if len(min.Nodes) != 1 || len(min.Sources) != 1 || len(min.Faults) != 1 {
+		t.Fatalf("not minimal: %d nodes, %d sources, %d faults",
+			len(min.Nodes), len(min.Sources), len(min.Faults))
+	}
+	if min.Faults[0].Kind != "disconnect" {
+		t.Fatalf("lost the failing fault: %+v", min.Faults[0])
+	}
+	for _, n := range min.Nodes {
+		if len(n.Operators) != 0 {
+			t.Fatalf("operators survived reduction: %+v", n.Operators)
+		}
+	}
+	if tried == 0 {
+		t.Fatal("reducer never consulted the predicate")
+	}
+}
+
+// TestReducePreservesChains: a predicate requiring a two-node chain keeps
+// exactly two nodes, splicing out the rest.
+func TestReducePreservesChains(t *testing.T) {
+	var spec *scenario.Spec
+	for seed := int64(0); seed < 300; seed++ {
+		s := GenSpec(seed)
+		if len(s.Nodes) >= 4 {
+			spec = s
+			break
+		}
+	}
+	if spec == nil {
+		t.Fatal("no deep generated spec found")
+	}
+	tried := 0
+	pred := func(c *scenario.Spec) bool { return len(c.Nodes) >= 2 }
+	min := reduce(spec, validFails(t, pred, &tried))
+	if len(min.Nodes) != 2 {
+		t.Fatalf("want exactly 2 nodes, got %d", len(min.Nodes))
+	}
+	if err := min.Validate(); err != nil {
+		t.Fatalf("reduced spec invalid: %v", err)
+	}
+}
+
+// TestReduceIsDeterministic: same spec + same predicate ⇒ same minimum.
+func TestReduceIsDeterministic(t *testing.T) {
+	pred := func(c *scenario.Spec) bool { return len(c.Faults) >= 1 }
+	tried := 0
+	a := reduce(GenSpec(42), validFails(t, pred, &tried))
+	b := reduce(GenSpec(42), validFails(t, pred, &tried))
+	ja, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(ja) != string(jb) {
+		t.Fatal("reduction is not deterministic")
+	}
+}

@@ -80,8 +80,20 @@ type CM struct {
 	wantReconcile bool
 	awaiting      string // peer asked, awaiting response
 	grantedTo     string // peer we promised not to reconcile under
+	grantResp     int64  // last keep-alive answer from grantedTo
 	grantTimer    runtime.Timer
 	retryTimer    runtime.Timer
+	// suspect marks peers that never answered a reconciliation request:
+	// they are skipped when choosing whom to ask, and probed with
+	// keep-alives until any sign of life clears them. When every peer is
+	// suspect the authorization is self-granted — Fig. 9 staggers
+	// reconciliations to keep one replica available, but with no live
+	// peer there is no availability left to preserve, and waiting for a
+	// permanently-crashed peer would wedge the sole survivor in
+	// UP_FAILURE forever (found by the scenario fuzzer: a permanent
+	// crash of one replica plus a flap of the other starved the stream
+	// for good).
+	suspect map[string]bool
 
 	// Switches counts upstream replica switches (reported in §5.1).
 	Switches uint64
@@ -98,6 +110,7 @@ func newCM(n *Node, cfg CMConfig) *CM {
 		cfg:        cfg,
 		ups:        make(map[string]*upstreamView),
 		confirming: make(map[string]string),
+		suspect:    make(map[string]bool),
 		rng:        rand.New(rand.NewSource(seed)),
 	}
 	for stream, replicas := range n.cfg.Upstreams {
@@ -157,6 +170,7 @@ func (cm *CM) reset() {
 		up.broken = make(map[string]bool)
 	}
 	cm.confirming = make(map[string]string)
+	cm.suspect = make(map[string]bool)
 	cm.wantReconcile = false
 	cm.awaiting = ""
 	cm.grantedTo = ""
@@ -165,6 +179,14 @@ func (cm *CM) reset() {
 // tick sends keep-alive probes and times out silent replicas.
 func (cm *CM) tick() {
 	now := cm.node.clk.Now()
+	cm.probeGrantedPeer(now)
+	// Probe suspect peers in declaration order (map iteration order would
+	// perturb the deterministic message schedule).
+	for _, p := range cm.node.cfg.Peers {
+		if cm.suspect[p] {
+			cm.node.send(p, KeepAliveReq{})
+		}
+	}
 	for _, stream := range cm.node.inputOrder {
 		up := cm.ups[stream]
 		if up == nil {
@@ -190,9 +212,42 @@ func (cm *CM) tick() {
 	}
 }
 
+// probeGrantedPeer keep-alives the peer this node promised to stay
+// available for. A reconciliation grant is normally released by the
+// peer's ReconcileDone; if the peer crashes mid-stabilization that
+// message never comes, and waiting out the long GrantTimeout would leave
+// this node wedged in UP_FAILURE — unable to reconcile its own diverged
+// state — for the whole window (a wedge the scenario fuzzer found: a
+// replica flap overlapping a source disconnect starved half the stream
+// for two simulated minutes). A crashed or still-recovering peer answers
+// no keep-alives, so silence past the keep-alive timeout revokes the
+// promise; its stabilization died with it.
+func (cm *CM) probeGrantedPeer(now int64) {
+	if cm.grantedTo == "" {
+		return
+	}
+	if now-cm.grantResp > cm.cfg.KeepAliveTimeout {
+		cm.grantedTo = ""
+		if cm.grantTimer != nil {
+			cm.grantTimer.Stop()
+			cm.grantTimer = nil
+		}
+		cm.tryRequest()
+		return
+	}
+	cm.node.send(cm.grantedTo, KeepAliveReq{})
+}
+
 // onKeepAlive records a keep-alive response and re-evaluates switching.
 func (cm *CM) onKeepAlive(from string, resp KeepAliveResp) {
 	now := cm.node.clk.Now()
+	if from == cm.grantedTo {
+		cm.grantResp = now
+	}
+	if cm.suspect[from] {
+		delete(cm.suspect, from)
+		cm.tryRequest()
+	}
 	for _, stream := range cm.node.inputOrder {
 		up := cm.ups[stream]
 		if up == nil || !contains(up.replicas, from) {
@@ -341,6 +396,31 @@ func (cm *CM) unsubscribe(stream, from string) {
 	cm.node.send(from, UnsubscribeMsg{Stream: stream})
 }
 
+// onInputStalled handles a stall declared while this CM still believes
+// the live upstream is healthy AND the live connection has never
+// delivered a single batch: the subscription itself must be broken — the
+// SubscribeMsg reached a crashed or still-recovering endpoint and was
+// silently dropped (the fuzzer found a replica whose restart raced its
+// upstream's restart this way: both came back healthy, but the
+// subscription between them was gone and the downstream waited forever).
+// Mark the connection broken and re-evaluate: a STABLE upstream is
+// resubscribed with replay from the last stable tuple; anything else
+// switches per Table II. A stall on a connection that was delivering
+// (boundary stall, source disconnect) is a real upstream condition and is
+// left to the normal failure machinery — resubscribing there would
+// re-replay content mid-stream.
+func (cm *CM) onInputStalled(stream string) {
+	up := cm.ups[stream]
+	im := cm.node.inputs[stream]
+	if up == nil || im == nil || im.Live() == "" {
+		return
+	}
+	if up.states[im.Live()] == StateStable && !im.Delivering(im.Live()) {
+		up.broken[im.Live()] = true
+		cm.evaluate(stream)
+	}
+}
+
 // onConnBroken handles a sequence gap detected by an Input Manager: the
 // connection lost messages (partition, upstream restart); resubscribe so
 // the upstream replays everything after our last stable tuple (Fig. 8).
@@ -407,13 +487,30 @@ func (cm *CM) tryRequest() {
 		cm.scheduleRetry()
 		return
 	}
-	peer := cm.node.cfg.Peers[cm.rng.Intn(len(cm.node.cfg.Peers))]
+	live := make([]string, 0, len(cm.node.cfg.Peers))
+	for _, p := range cm.node.cfg.Peers {
+		if !cm.suspect[p] {
+			live = append(live, p)
+		}
+	}
+	if len(live) == 0 {
+		// Every peer is unreachable: nobody is available for the
+		// stagger to protect, so reconcile now (suspects keep being
+		// probed; a returning peer is simply staggered against next
+		// time).
+		cm.wantReconcile = false
+		cm.node.onReconcileGranted()
+		return
+	}
+	peer := live[cm.rng.Intn(len(live))]
 	cm.awaiting = peer
 	cm.node.send(peer, ReconcileReq{})
-	// A silent peer (crashed, partitioned) must not wedge us.
+	// A silent peer (crashed, partitioned) must not wedge us: mark it
+	// suspect and move on; keep-alive probes clear it when it answers.
 	cm.node.clk.After(cm.cfg.RetryInterval*2, func() {
 		if cm.awaiting == peer {
 			cm.awaiting = ""
+			cm.suspect[peer] = true
 			cm.scheduleRetry()
 		}
 	})
@@ -439,6 +536,7 @@ func (cm *CM) cancelWant() {
 // in STABILIZATION, already promised to another peer, or this node needs to
 // reconcile too and has the lower identifier (tie-break).
 func (cm *CM) onReconcileReq(from string) {
+	delete(cm.suspect, from)
 	reject := cm.node.state == StateStabilization ||
 		(cm.grantedTo != "" && cm.grantedTo != from) ||
 		(cm.wantReconcile && cm.node.cfg.ID < from)
@@ -447,6 +545,7 @@ func (cm *CM) onReconcileReq(from string) {
 		return
 	}
 	cm.grantedTo = from
+	cm.grantResp = cm.node.clk.Now()
 	if cm.grantTimer != nil {
 		cm.grantTimer.Stop()
 	}
@@ -461,6 +560,7 @@ func (cm *CM) onReconcileReq(from string) {
 }
 
 func (cm *CM) onReconcileResp(from string, resp ReconcileResp) {
+	delete(cm.suspect, from)
 	if cm.awaiting != from {
 		return
 	}

@@ -147,6 +147,15 @@ func (im *InputManager) admit(from string, seq uint64) bool {
 	}
 }
 
+// Delivering reports whether the endpoint has an established, unbroken
+// connection — i.e. at least one batch has been admitted since the last
+// subscription to it. A subscription whose SubscribeMsg was lost (sent to
+// a crashed or recovering endpoint) never establishes.
+func (im *InputManager) Delivering(from string) bool {
+	cs := im.conns[from]
+	return cs != nil && cs.established && !cs.broken
+}
+
 // Stream returns the managed stream name.
 func (im *InputManager) Stream() string { return im.stream }
 

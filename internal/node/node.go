@@ -78,8 +78,10 @@ type Node struct {
 	recovering  bool
 	restartedAt int64
 	// cpSeq guards against a checkpoint callback landing after the epoch
-	// it was requested in has ended.
+	// it was requested in has ended; cpRequested marks an epoch that has
+	// its checkpoint anchored (taken or in flight).
 	cpSeq, cpWant uint64
+	cpRequested   bool
 
 	ackTicker runtime.Ticker
 	down      bool
@@ -348,6 +350,11 @@ func (n *Node) onSignal(s operator.Signal) {
 // onInputFailed handles a healthy → failed transition of an input stream.
 func (n *Node) onInputFailed(stream string, kind FailKind) {
 	n.failed[stream] = true
+	if kind == FailStall {
+		// A stall with a healthy-looking upstream is a broken
+		// subscription; let the CM repair it.
+		n.cm.onInputStalled(stream)
+	}
 	switch n.state {
 	case StateStable:
 		n.state = StateUpFailure
@@ -358,6 +365,18 @@ func (n *Node) onInputFailed(stream string, kind FailKind) {
 		// checkpoint stands; if we were waiting for a reconciliation
 		// grant, abandon it and go back to failure handling.
 		n.cm.cancelWant()
+		if !n.cpRequested {
+			// No checkpoint anchors this epoch: the node entered
+			// UP_FAILURE through a crash restart, which drops all
+			// state, not through a Stable→UpFailure transition. If
+			// this incarnation diverges it must be able to roll back
+			// to now — without this, a restarted replica that
+			// flushed tentative data could never reconcile (its
+			// grant arrived, found no snapshot, and retried forever:
+			// a permanent zombie the scenario fuzzer caught when a
+			// flapped replica restarted into a boundary stall).
+			n.takeCheckpoint()
+		}
 		n.applyPolicies()
 	case StateStabilization:
 		// Failure during recovery (Fig. 11b): the replay finishes and
@@ -440,6 +459,11 @@ func (n *Node) onReconcileGranted() {
 	n.Reconciliations++
 	n.reconStart = n.clk.Now()
 	n.eng.Restore(n.snap)
+	// The checkpoint may have captured buckets holding tentative tuples
+	// whose undo arrived (and was consumed patching the logs) after the
+	// cut; the restore would resurrect them with no revocation left to
+	// come. Stabilization re-derives from stable data only.
+	n.eng.RevokeTentativeAll()
 	for _, stream := range n.inputOrder {
 		im := n.inputs[stream]
 		replay := im.TakeLog()
@@ -474,6 +498,7 @@ func (n *Node) onStabilizationComplete() {
 // same instant, so snapshot + logs partition the input exactly (§4.4.1).
 func (n *Node) takeCheckpoint() {
 	n.Checkpoints++
+	n.cpRequested = true
 	n.cpWant++
 	seq := n.cpWant
 	n.snap = nil
@@ -488,10 +513,13 @@ func (n *Node) takeCheckpoint() {
 	})
 }
 
-// discardEpoch clears the failure-handling state.
+// discardEpoch clears the failure-handling state, including a checkpoint
+// request the engine has not gotten around to serving yet.
 func (n *Node) discardEpoch() {
 	n.snap = nil
+	n.cpRequested = false
 	n.cpWant++
+	n.eng.CancelCheckpoint()
 	for _, stream := range n.inputOrder {
 		n.inputs[stream].StopLog()
 	}
@@ -499,6 +527,19 @@ func (n *Node) discardEpoch() {
 
 // applyPolicies switches SUnion delay policies to match the node state.
 func (n *Node) applyPolicies() {
+	if n.recovering {
+		// A recovering node rebuilds by re-deriving the stable stream
+		// (§4.5); it serves nobody — it answers no requests, so no
+		// downstream consumes what it emits — and flushing buckets
+		// tentatively mid-rebuild would only diverge the very state it
+		// is trying to reconstruct (the fuzzer found recoveries that
+		// never converged because an upstream failure mid-rebuild
+		// switched the SUnions to a tentative policy). Pure
+		// serialization until caught up; the real policy is applied
+		// when recovery completes.
+		n.eng.SetPolicyAll(operator.PolicyNone)
+		return
+	}
 	var p operator.DelayPolicy
 	switch {
 	case n.state == StateStable || n.state == StateStabilization:
@@ -569,6 +610,7 @@ func (n *Node) Restart() {
 	n.state = StateUpFailure // not advertised while recovering
 	n.failed = make(map[string]bool)
 	n.snap = nil
+	n.cpRequested = false
 	n.cpWant++
 	n.eng.ResetToPristine(n.pristine)
 	for _, stream := range n.inputOrder {
@@ -579,6 +621,11 @@ func (n *Node) Restart() {
 	}
 	n.cm.reset()
 	n.Start()
+	// Void any reconciliation promise a peer holds on behalf of the dead
+	// incarnation: the pre-crash stabilization is never completing, and a
+	// granter waiting for its ReconcileDone would stay wedged until the
+	// grant timeout. The fresh incarnation holds no grants by definition.
+	n.cm.finishReconcile()
 }
 
 // maybeFinishRecovery checks whether a recovering node has caught up: every
@@ -598,9 +645,26 @@ func (n *Node) maybeFinishRecovery() {
 		return
 	}
 	n.recovering = false
-	if len(n.failed) == 0 && !n.eng.Diverged() {
-		n.state = StateStable
+	if len(n.failed) != 0 {
+		// Still in UP_FAILURE; the heal path takes it from here. The
+		// failure policy suppressed during the rebuild applies now.
+		n.applyPolicies()
+		return
 	}
+	if !n.needsReconcile() {
+		n.state = StateStable
+		n.applyPolicies()
+		return
+	}
+	// The rebuild ingested tentative data (an upstream was mid-divergence
+	// while this node replayed its buffers) and the inputs have already
+	// healed, so no future heal will trigger the rollback. Request it
+	// here — declaring STABLE instead would freeze the poisoned buckets
+	// forever: recovery checked only Diverged() once, and the fuzzer
+	// found the held-tentative variant (a replica restarting while its
+	// upstream reconciled a source outage) starving everything downstream
+	// of the bucket.
+	n.cm.requestReconcileAuth()
 }
 
 // HandleMessage delivers a message as if it arrived from the network: test

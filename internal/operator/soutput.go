@@ -25,7 +25,6 @@ type SOutput struct {
 
 	// External-stream state (never rolled back).
 	extStable    uint64 // stable tuples actually sent
-	nextID       uint64 // last assigned tuple id
 	lastStableID uint64 // id of the last stable tuple sent
 	extTentative uint64 // tentative tuples sent since the last stable one
 	undoArmed    bool   // emit UNDO before the next data tuple if needed
@@ -77,13 +76,37 @@ func (o *SOutput) Process(_ int, t tuple.Tuple) {
 			}
 		}
 		o.maybeUndo()
-		o.nextID++
-		t.ID = o.nextID
+		// Identifiers derive from the position in the stable stream, not
+		// from a global emission counter: the i-th stable tuple always
+		// carries id i, and tentative tuples number the provisional
+		// suffix after the last stable one. A counter that also burned
+		// ids on tentative emissions would make the id of a re-derived
+		// stable tuple depend on how much tentative data the failure
+		// produced first — and downstream SUnions break serialization
+		// ties by id, so failure-dependent ids reorder equal-timestamp
+		// groups relative to the fault-free execution, violating
+		// Definition 1 two hops downstream (found by the scenario fuzzer
+		// in a cascade diamond). Ids of a revoked tentative suffix are
+		// reused by the correction that replaces it; every buffer and
+		// log compacts that suffix when the undo passes, so the reused
+		// ids never coexist with the revoked ones.
 		if tentative {
 			t.Type = tuple.Tentative
 			o.extTentative++
+			t.ID = o.lastStableID + o.extTentative
 		} else {
+			if o.extTentative > 0 {
+				// Stable data resuming while tentative output is
+				// still outstanding and no rollback armed the undo:
+				// revoke the suffix now. The wire contract (Fig. 8)
+				// is that stable data never follows unrevoked
+				// tentative data — consumers compact on the undo, so
+				// the reused ids below never coexist with the
+				// revoked ones.
+				o.emitUndo()
+			}
 			t.Type = tuple.Insertion
+			t.ID = o.lastStableID + 1
 			o.extStable++
 			o.lastStableID = t.ID
 			o.extTentative = 0
@@ -94,6 +117,19 @@ func (o *SOutput) Process(_ int, t tuple.Tuple) {
 		// bound the tentative stream. Stable boundaries are withheld
 		// while diverged — the output is not stable through them.
 		if t.Src == 1 || !o.diverged() {
+			if t.Src != 1 {
+				// A post-restore stable boundary must not overtake
+				// the correction it belongs to: downstream heals on
+				// boundary progress, and healing before the undo
+				// arrives makes it reconcile against an arrival log
+				// that still contains the revoked tentative suffix —
+				// replaying poison into buckets no policy can flush
+				// (found by the scenario fuzzer: a partition heal
+				// racing a source reconnect). Emitting the armed
+				// undo first also flips the downstream into
+				// correcting mode, deferring its heal to REC_DONE.
+				o.maybeUndo()
+			}
 			o.Emit(t)
 		}
 	case t.Type == tuple.RecDone:
@@ -124,6 +160,12 @@ func (o *SOutput) maybeUndo() {
 	if o.extTentative == 0 {
 		return
 	}
+	o.emitUndo()
+}
+
+// emitUndo revokes the outstanding tentative suffix of the external
+// stream.
+func (o *SOutput) emitUndo() {
 	o.undos++
 	o.extTentative = 0
 	o.Emit(tuple.NewUndo(o.lastStableID))

@@ -629,6 +629,36 @@ func (s *SUnion) Restore(snap any) {
 	s.sentTentBound = -1
 }
 
+// RevokeTentative removes buffered tentative tuples from the pending
+// buckets — every port when port is negative, one port otherwise — and
+// recomputes the per-bucket tentative flags. The node controller calls
+// this when an upstream's UNDO revokes its tentative suffix: the arrival
+// log is patched separately, but tuples already buffered in a bucket
+// would otherwise sit there forever (tentative content blocks stable
+// emission, and only this revocation or a checkpoint rollback removes
+// it).
+func (s *SUnion) RevokeTentative(port int) {
+	for _, b := range s.buckets {
+		if !b.HasTentative {
+			continue
+		}
+		kept := b.Tuples[:0]
+		has := false
+		for _, t := range b.Tuples {
+			if t.Type == tuple.Tentative && (port < 0 || t.Src == int32(port)) {
+				continue
+			}
+			if t.Type == tuple.Tentative {
+				has = true
+			}
+			kept = append(kept, t)
+		}
+		clear(b.Tuples[len(kept):])
+		b.Tuples = kept
+		b.HasTentative = has
+	}
+}
+
 // HasPendingTentative reports whether any pending bucket buffers
 // tentative content. The node controller consults this on heal: a bucket
 // holding tentative tuples can never be emitted stable, so even if

@@ -1,0 +1,102 @@
+// The native go-fuzz harness lives in an external test package so it can
+// use the oracle suite of internal/fuzz (which imports this package)
+// without an import cycle.
+package scenario_test
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"borealis/internal/fuzz"
+	"borealis/internal/scenario"
+)
+
+// FuzzScenario is the native crash-consistency fuzz harness:
+//
+//	go test ./internal/scenario -fuzz=FuzzScenario -fuzztime=30s
+//
+// The seed corpus is every curated spec plus the minimized regression
+// corpus plus a few generated specs, so mutations start from realistic
+// shapes. Each input that parses and validates is run on the simulator
+// (quick horizon, Definition 1 audit on) and checked against the oracle
+// suite — a validated spec that fails to build, panics, or violates an
+// oracle is a finding. Byte-level mutation probes the Spec surface the
+// seeded generator cannot reach (weird-but-valid field combinations);
+// the generator probes deep timing interleavings bytes rarely hit. The
+// expensive shapes the cost caps skip are exactly what `borealis-sim
+// fuzz` covers with generated, budget-shaped specs.
+func FuzzScenario(f *testing.F) {
+	for _, glob := range []string{"../../scenarios/*.json", "../../scenarios/corpus/*.json"} {
+		paths, err := filepath.Glob(glob)
+		if err != nil {
+			f.Fatal(err)
+		}
+		for _, p := range paths {
+			data, err := os.ReadFile(p)
+			if err != nil {
+				f.Fatal(err)
+			}
+			f.Add(data)
+		}
+	}
+	for seed := int64(0); seed < 4; seed++ {
+		b, err := jsonSpec(fuzz.GenSpec(seed))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := scenario.Parse(data)
+		if err != nil {
+			t.Skip() // invalid inputs are the parser's job to reject
+		}
+		if expensive(spec) {
+			t.Skip()
+		}
+		spec.VerifyConsistency = true
+		rep, findings := fuzz.RunSpec(spec, scenario.Options{Quick: true})
+		if rep == nil {
+			// A validated spec must always compile and run.
+			t.Fatalf("validated spec failed to run: %v", findings)
+		}
+		for _, fd := range findings {
+			t.Errorf("oracle violation: %s", fd)
+		}
+	})
+}
+
+// expensive caps the per-input simulation cost so the fuzzer spends its
+// budget on many shapes instead of a few giant ones: byte mutations can
+// legally ask for huge source groups, extreme rates, or microscopic
+// bucket sizes that multiply event counts by orders of magnitude.
+func expensive(s *scenario.Spec) bool {
+	members, rate := 0, 0.0
+	for i := range s.Sources {
+		members += max(s.Sources[i].Count, 1)
+		rate += s.Sources[i].Rate
+	}
+	replicas := 0
+	for i := range s.Nodes {
+		r := 2
+		if s.Nodes[i].Replicas != nil {
+			r = *s.Nodes[i].Replicas
+		} else if s.Defaults.Replicas > 0 {
+			r = s.Defaults.Replicas
+		}
+		replicas += r
+	}
+	tiny := func(ms float64) bool { return ms > 0 && ms < 5 }
+	// Quick mode caps the main horizon at 20s, but an explicit
+	// quick_duration_s overrides that cap.
+	return s.QuickDurationS > 120 || members > 24 || rate > 3000 || replicas > 24 ||
+		len(s.Faults) > 12 ||
+		tiny(s.Defaults.BucketMS) || tiny(s.Defaults.BoundaryMS) ||
+		tiny(s.Defaults.TickMS) || tiny(s.Client.BucketMS)
+}
+
+func jsonSpec(s *scenario.Spec) ([]byte, error) {
+	return json.Marshal(s)
+}

@@ -1,0 +1,149 @@
+package scenario
+
+import (
+	"fmt"
+	"io"
+	"math"
+)
+
+// SeedFamily returns n clones of a spec whose seeds derive
+// deterministically from (base seed, repeat index): member 0 keeps the
+// base seed, members 1..n-1 draw from a per-index splitmix64 stream (the
+// same PRNG the workloads use, so family members are decorrelated).
+// Every member is a deep clone — later mutations of the base never leak
+// into the family. Feeding the family through RunMany gives n
+// independent repeated measurements of the same scenario — the
+// confidence-interval companion to a sweep, since workload jitter and
+// every other seeded choice vary across members while the topology and
+// fault schedule stay fixed.
+func SeedFamily(base *Spec, n int) []*Spec {
+	if n < 1 {
+		n = 1
+	}
+	out := make([]*Spec, n)
+	out[0] = base.Clone()
+	for i := 1; i < n; i++ {
+		c := base.Clone()
+		c.Seed = int64(newPRNG(base.Seed, int64(i)).next())
+		out[i] = c
+	}
+	return out
+}
+
+// MetricStats summarize one metric across a repeat family.
+type MetricStats struct {
+	Metric string  `json:"metric"`
+	Min    float64 `json:"min"`
+	Mean   float64 `json:"mean"`
+	Max    float64 `json:"max"`
+}
+
+// RepeatStats computes min/mean/max for every named report metric across
+// a family of reports, in MetricNames order.
+func RepeatStats(reports []*Report) ([]MetricStats, error) {
+	if len(reports) == 0 {
+		return nil, errf("repeat: no reports")
+	}
+	out := make([]MetricStats, 0, len(MetricNames))
+	for _, name := range MetricNames {
+		st := MetricStats{Metric: name, Min: math.Inf(1), Max: math.Inf(-1)}
+		for _, r := range reports {
+			v, err := Metric(r, name)
+			if err != nil {
+				return nil, err
+			}
+			st.Min = math.Min(st.Min, v)
+			st.Max = math.Max(st.Max, v)
+			st.Mean += v
+		}
+		st.Mean = round3(st.Mean / float64(len(reports)))
+		out = append(out, st)
+	}
+	return out, nil
+}
+
+// statsFor extracts one metric's stats from a RepeatStats slice.
+func statsFor(stats []MetricStats, metric string) (MetricStats, error) {
+	for _, st := range stats {
+		if st.Metric == metric {
+			return st, nil
+		}
+	}
+	return MetricStats{}, errf("unknown metric %q (want one of %v)", metric, MetricNames)
+}
+
+// RepeatRow is one sweep step run as a seed family: the swept value, the
+// family's reports in seed-derivation order, and min/mean/max per metric.
+type RepeatRow struct {
+	Value   float64       `json:"value"`
+	Reports []*Report     `json:"reports"`
+	Stats   []MetricStats `json:"stats"`
+}
+
+// SweepRepeat crosses a one-dimensional sweep with an n-member seed
+// family: every swept value runs n times with derived seeds, all
+// Steps × n runs fanning through one RunMany pool, and each row reports
+// min/mean/max per metric. Rows are byte-identical for any
+// Options.Parallelism, like everything else built on RunMany.
+func SweepRepeat(base *Spec, sw SweepSpec, repeat int, opts Options) ([]RepeatRow, error) {
+	if err := sw.validate(); err != nil {
+		return nil, err
+	}
+	if repeat < 1 {
+		repeat = 1
+	}
+	if opts.Runtime != nil {
+		return nil, errf("sweep: steps run on fresh virtual runtimes; Options.Runtime must be nil")
+	}
+	values := sw.Values()
+	specs := make([]*Spec, 0, len(values)*repeat)
+	for _, v := range values {
+		stepped, err := sw.apply(base, v)
+		if err != nil {
+			return nil, err
+		}
+		specs = append(specs, SeedFamily(stepped, repeat)...)
+	}
+	reports, err := RunMany(specs, opts)
+	if err != nil {
+		return nil, fmt.Errorf("sweep %s ×%d: %w", sw.Field, repeat, err)
+	}
+	rows := make([]RepeatRow, len(values))
+	for i, v := range values {
+		family := reports[i*repeat : (i+1)*repeat]
+		stats, err := RepeatStats(family)
+		if err != nil {
+			return nil, err
+		}
+		rows[i] = RepeatRow{Value: v, Reports: family, Stats: stats}
+	}
+	return rows, nil
+}
+
+// PrintSweepRepeat renders a repeated sweep as a table of min/mean/max of
+// the chosen metric per swept value, plus the audit verdict across the
+// family.
+func PrintSweepRepeat(w io.Writer, field, metric string, rows []RepeatRow) error {
+	fmt.Fprintf(w, "%-14s %7s %12s %12s %12s %12s %9s\n",
+		field, "runs", metric+"_min", metric+"_mean", metric+"_max", "spread", "audit")
+	for _, row := range rows {
+		st, err := statsFor(row.Stats, metric)
+		if err != nil {
+			return err
+		}
+		audit := "-"
+		for _, r := range row.Reports {
+			if r.Consistency != nil {
+				if audit == "-" {
+					audit = "ok"
+				}
+				if !r.Consistency.OK {
+					audit = "FAIL"
+				}
+			}
+		}
+		fmt.Fprintf(w, "%-14.4g %7d %12.4g %12.4g %12.4g %12.4g %9s\n",
+			row.Value, len(row.Reports), st.Min, st.Mean, st.Max, st.Max-st.Min, audit)
+	}
+	return nil
+}

@@ -1,0 +1,123 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestSeedFamilyDerivation: member 0 keeps the base seed, later members
+// get distinct derived seeds, and nothing else changes.
+func TestSeedFamilyDerivation(t *testing.T) {
+	base := minimal()
+	base.Seed = 99
+	fam := SeedFamily(base, 4)
+	if len(fam) != 4 {
+		t.Fatalf("family size %d, want 4", len(fam))
+	}
+	if fam[0] == base {
+		t.Fatal("member 0 must be a clone, not the base spec itself")
+	}
+	if fam[0].Seed != base.Seed {
+		t.Fatalf("member 0 seed %d, want the base seed %d", fam[0].Seed, base.Seed)
+	}
+	seen := map[int64]bool{}
+	for i, s := range fam {
+		if seen[s.Seed] {
+			t.Fatalf("duplicate seed %d at member %d", s.Seed, i)
+		}
+		seen[s.Seed] = true
+		if s.Name != base.Name || s.DurationS != base.DurationS {
+			t.Fatalf("member %d drifted from the base spec", i)
+		}
+	}
+	// Derivation is deterministic.
+	again := SeedFamily(base, 4)
+	for i := range fam {
+		if fam[i].Seed != again[i].Seed {
+			t.Fatal("seed derivation is not deterministic")
+		}
+	}
+}
+
+// TestSeedFamilyIndependentOfClone: mutating one member never touches
+// another (the family is built on Clone).
+func TestSeedFamilyIndependentOfClone(t *testing.T) {
+	base := minimal()
+	fam := SeedFamily(base, 3)
+	fam[1].Sources[0].Rate = 9999
+	if base.Sources[0].Rate == 9999 || fam[2].Sources[0].Rate == 9999 {
+		t.Fatal("family members alias each other")
+	}
+}
+
+// TestSweepRepeatShapeAndStats: a repeated sweep yields Steps rows of
+// `repeat` reports each; stats bracket the member values; jitter makes
+// members differ while member 0 matches the plain sweep.
+func TestSweepRepeatShapeAndStats(t *testing.T) {
+	spec := exercisePRNG()
+	spec.VerifyConsistency = false
+	sw := SweepSpec{Field: "delay", From: 1, To: 2, Steps: 2}
+	rows, err := SweepRepeat(spec, sw, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	for _, row := range rows {
+		if len(row.Reports) != 3 {
+			t.Fatalf("family size %d, want 3", len(row.Reports))
+		}
+		st, err := statsFor(row.Stats, "new_tuples")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Min > st.Mean || st.Mean > st.Max {
+			t.Fatalf("stats out of order: %+v", st)
+		}
+		for _, r := range row.Reports {
+			v, err := Metric(r, "new_tuples")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v < st.Min || v > st.Max {
+				t.Fatalf("member value %g outside [%g, %g]", v, st.Min, st.Max)
+			}
+		}
+	}
+	// Member 0 of each family is the plain sweep row (same seed).
+	plain, err := Sweep(spec.Clone(), sw, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rows {
+		b0, _ := rows[i].Reports[0].JSON()
+		b1, _ := plain[i].Report.JSON()
+		if !bytes.Equal(b0, b1) {
+			t.Fatalf("row %d member 0 differs from the plain sweep", i)
+		}
+	}
+}
+
+// TestSweepRepeatDeterministicAcrossParallelism: worker count must not
+// change a repeated sweep's result.
+func TestSweepRepeatDeterministicAcrossParallelism(t *testing.T) {
+	spec := exercisePRNG()
+	spec.VerifyConsistency = false
+	sw := SweepSpec{Field: "rate", From: 200, To: 400, Steps: 2}
+	render := func(par int) []byte {
+		rows, err := SweepRepeat(spec.Clone(), sw, 2, Options{Parallelism: par})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	if !bytes.Equal(render(1), render(4)) {
+		t.Fatal("parallelism changed the repeated sweep result")
+	}
+}

@@ -96,6 +96,13 @@ type NodeReport struct {
 	// depth-over-time view that exposes transient overload the
 	// MaxQueueDepth high-water mark hides.
 	QueueDepthSeries []QueueDepthSample `json:"queue_depth_series,omitempty"`
+	// HoldsTentative reports whether any SUnion of the replica still
+	// buffered tentative tuples when the run ended. Such a bucket can only
+	// be removed by a checkpoint rollback, so if the fault schedule went
+	// quiet long before the end of the run this is a wedge: the bucket —
+	// and everything downstream of it — will starve forever. The fuzzer's
+	// structural oracle keys off this field.
+	HoldsTentative bool `json:"holds_tentative,omitempty"`
 }
 
 // QueueDepthSample is one point of a replica's queue-depth time series.
@@ -110,6 +117,13 @@ type ConsistencyReport struct {
 	OK       bool   `json:"ok"`
 	Compared int    `json:"compared"`
 	Reason   string `json:"reason,omitempty"`
+	// GotStable / RefStable count the stable (INSERTION) tuples of the
+	// audited run and of the fault-free reference. The audit itself is a
+	// prefix comparison, so a starved stream — stable output stalling long
+	// before the reference's — still passes it; the fuzzer's starvation
+	// oracle compares these counts instead.
+	GotStable int `json:"got_stable,omitempty"`
+	RefStable int `json:"ref_stable,omitempty"`
 }
 
 // secs renders a µs duration in seconds, rounded to the µs so the JSON
@@ -201,6 +215,7 @@ func (rt *run) report() *Report {
 				Reconciliations: n.Reconciliations,
 				Switches:        n.CM().Switches,
 				MaxQueueDepth:   n.Engine().MaxQueueLen(),
+				HoldsTentative:  n.Engine().HoldsTentative(),
 			}
 			if durs := n.ReconcileDurations(); len(durs) > 0 {
 				nr.ReconcileDurationsS = make([]float64, len(durs))

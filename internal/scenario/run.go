@@ -3,6 +3,7 @@ package scenario
 import (
 	"borealis/internal/deploy"
 	rtpkg "borealis/internal/runtime"
+	"borealis/internal/tuple"
 )
 
 // Options tunes a scenario run.
@@ -77,11 +78,20 @@ func runValidated(s *Spec, opts Options) (*Report, error) {
 		}
 		ref.dep.Start()
 		ref.dep.RunFor(ref.durationUS)
-		audit := rt.dep.Client.VerifyEventualConsistency(ref.dep.Client.View())
+		refView := ref.dep.Client.View()
+		audit := rt.dep.Client.VerifyEventualConsistency(refView)
+		refStable := 0
+		for _, t := range refView {
+			if t.Type == tuple.Insertion {
+				refStable++
+			}
+		}
 		rep.Consistency = &ConsistencyReport{
-			OK:       audit.OK,
-			Compared: audit.Compared,
-			Reason:   audit.Reason,
+			OK:        audit.OK,
+			Compared:  audit.Compared,
+			Reason:    audit.Reason,
+			GotStable: len(rt.dep.Client.StableView()),
+			RefStable: refStable,
 		}
 	}
 	return rep, nil

@@ -23,105 +23,8 @@ func TestValidateOK(t *testing.T) {
 	}
 }
 
-func TestValidateErrors(t *testing.T) {
-	cases := []struct {
-		name    string
-		mutate  func(*Spec)
-		wantErr string
-	}{
-		{"missing name", func(s *Spec) { s.Name = "" }, "missing name"},
-		{"zero duration", func(s *Spec) { s.DurationS = 0 }, "duration_s"},
-		{"negative rate", func(s *Spec) { s.Sources[0].Rate = -5 }, "rate must be positive"},
-		{"zero rate", func(s *Spec) { s.Sources[0].Rate = 0 }, "rate must be positive"},
-		{"no sources", func(s *Spec) { s.Sources = nil }, "no sources"},
-		{"no nodes", func(s *Spec) { s.Nodes = nil }, "no nodes"},
-		{"cyclic dag", func(s *Spec) {
-			s.Nodes = []NodeSpec{
-				{Name: "n1", Inputs: []string{"s", "n3"}},
-				{Name: "n2", Inputs: []string{"n1"}},
-				{Name: "n3", Inputs: []string{"n2"}},
-			}
-		}, "cyclic topology"},
-		{"self cycle", func(s *Spec) {
-			s.Nodes[0].Inputs = []string{"s", "n1"}
-		}, "cyclic topology"},
-		{"unknown input", func(s *Spec) {
-			s.Nodes[0].Inputs = []string{"nope"}
-		}, `unknown input "nope"`},
-		{"duplicate node", func(s *Spec) {
-			s.Nodes = append(s.Nodes, NodeSpec{Name: "n1", Inputs: []string{"s"}})
-		}, "duplicate node name"},
-		{"node/source collision", func(s *Spec) {
-			s.Nodes[0].Name = "s"
-		}, "collides with a source"},
-		{"bad policy", func(s *Spec) {
-			s.Nodes[0].FailurePolicy = "retry"
-		}, "unknown policy"},
-		{"bad workload", func(s *Spec) {
-			s.Sources[0].Workload.Kind = "sine"
-		}, "unknown workload kind"},
-		{"bursty mean impossible", func(s *Spec) {
-			s.Sources[0].Workload = WorkloadSpec{Kind: "bursty", Factor: 8, Duty: 0.25}
-		}, "cannot preserve the mean"},
-		{"bad distribution", func(s *Spec) {
-			s.Sources[0].Distribution = "pareto"
-		}, "unknown distribution"},
-		{"unknown fault node", func(s *Spec) {
-			s.Faults = []FaultSpec{{Kind: "crash", Node: "ghost", AtS: 1}}
-		}, `unknown node "ghost"`},
-		{"fault replica range", func(s *Spec) {
-			s.Faults = []FaultSpec{{Kind: "crash", Node: "n1", Replica: 9, AtS: 1}}
-		}, "has no replica 9"},
-		{"unknown fault source", func(s *Spec) {
-			s.Faults = []FaultSpec{{Kind: "disconnect", Source: "ghost", AtS: 1, DurationS: 1}}
-		}, `unknown source "ghost"`},
-		{"bad partition endpoint", func(s *Spec) {
-			s.Faults = []FaultSpec{{Kind: "partition", From: "n1", To: "ghost", AtS: 1, DurationS: 1}}
-		}, `unknown endpoint "ghost"`},
-		{"partition replica range", func(s *Spec) {
-			s.Faults = []FaultSpec{{Kind: "partition", From: "n1/7", To: "s", AtS: 1, DurationS: 1}}
-		}, `unknown endpoint "n1/7"`},
-		{"negative fault time", func(s *Spec) {
-			s.Faults = []FaultSpec{{Kind: "crash", Node: "n1", AtS: -1}}
-		}, "negative time"},
-		{"flap needs period", func(s *Spec) {
-			s.Faults = []FaultSpec{{Kind: "flap", Node: "n1", AtS: 1}}
-		}, "period_s"},
-		{"unknown fault kind", func(s *Spec) {
-			s.Faults = []FaultSpec{{Kind: "meteor", AtS: 1}}
-		}, "unknown kind"},
-		{"aggregate window", func(s *Spec) {
-			s.Nodes[0].Operators = []OperatorSpec{{Kind: "aggregate"}}
-		}, "window_ms"},
-		{"unknown operator", func(s *Spec) {
-			s.Nodes[0].Operators = []OperatorSpec{{Kind: "sort"}}
-		}, "unknown kind"},
-		{"bad client input", func(s *Spec) {
-			s.Client.Input = "ghost"
-		}, "client input"},
-		{"replicas range", func(s *Spec) {
-			r := 40
-			s.Nodes[0].Replicas = &r
-		}, "replicas must be in 1..26"},
-		{"negative delay", func(s *Spec) {
-			d := -1.0
-			s.Nodes[0].DelayS = &d
-		}, "delay_s"},
-	}
-	for _, tc := range cases {
-		t.Run(tc.name, func(t *testing.T) {
-			s := minimal()
-			tc.mutate(s)
-			err := s.Validate()
-			if err == nil {
-				t.Fatalf("want error containing %q, got nil", tc.wantErr)
-			}
-			if !strings.Contains(err.Error(), tc.wantErr) {
-				t.Fatalf("want error containing %q, got %q", tc.wantErr, err)
-			}
-		})
-	}
-}
+// Validate's error branches are covered exhaustively by the table in
+// validate_test.go.
 
 func TestParseRejectsUnknownFields(t *testing.T) {
 	_, err := Parse([]byte(`{"name":"x","duration_s":1,"sources":[],"nodes":[],"frobnicate":true}`))

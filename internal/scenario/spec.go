@@ -234,6 +234,19 @@ func errf(format string, args ...any) error {
 	return fmt.Errorf("scenario: "+format, args...)
 }
 
+// validMS accepts zero (use the default) and values of at least one
+// microsecond; negatives and positive sub-microsecond values are
+// rejected (the latter truncate to zero when converted to engine µs).
+func validMS(v float64, what string) error {
+	if v < 0 {
+		return errf("%s must not be negative", what)
+	}
+	if v > 0 && v < 0.001 {
+		return errf("%s must be at least 0.001 (one microsecond)", what)
+	}
+	return nil
+}
+
 func parsePolicy(s, what string) (operator.DelayPolicy, error) {
 	switch s {
 	case "":
@@ -335,6 +348,44 @@ func (s *Spec) Validate() error {
 	if _, err := parsePolicy(s.Defaults.Stabilization, "defaults.stabilization"); err != nil {
 		return err
 	}
+	// Millisecond fields compile into microsecond engine parameters: a
+	// negative value would silently fall back to a default downstream,
+	// and a positive sub-microsecond one would truncate to zero and
+	// panic at build time (SUnion bucket sizes must be positive). Reject
+	// both here — the fuzzer generator and every other caller rely on
+	// Validate being the exact contract for "this spec compiles and
+	// runs".
+	msFields := []struct {
+		v    float64
+		what string
+	}{
+		{s.Defaults.BucketMS, "defaults.bucket_ms"},
+		{s.Defaults.BoundaryMS, "defaults.boundary_ms"},
+		{s.Defaults.TickMS, "defaults.tick_ms"},
+		{s.Defaults.StallTimeoutMS, "defaults.stall_timeout_ms"},
+		{s.Defaults.KeepAliveMS, "defaults.keep_alive_ms"},
+		{s.Defaults.AckIntervalMS, "defaults.ack_interval_ms"},
+		{s.Client.BucketMS, "client.bucket_ms"},
+		{s.Client.DelayMS, "client.delay_ms"},
+		{s.Client.TentativeWaitMS, "client.tentative_wait_ms"},
+	}
+	for _, f := range msFields {
+		if err := validMS(f.v, f.what); err != nil {
+			return err
+		}
+	}
+	if s.Defaults.DelayS < 0 {
+		return errf("defaults.delay_s must not be negative")
+	}
+	if s.Defaults.Capacity < 0 {
+		return errf("defaults.capacity must not be negative")
+	}
+	if s.Defaults.Replicas < 0 {
+		return errf("defaults.replicas must not be negative")
+	}
+	if s.AvailabilitySlackS < 0 {
+		return errf("availability_slack_s must not be negative")
+	}
 
 	// Source names and expanded member streams.
 	sourceGroups := map[string]*SourceSpec{}
@@ -387,6 +438,12 @@ func (s *Spec) Validate() error {
 			}
 		default:
 			return errf("source %q: unknown workload kind %q (want constant|bursty|ramp)", ss.Name, ss.Workload.Kind)
+		}
+		if err := validMS(ss.BoundaryMS, fmt.Sprintf("source %q: boundary_ms", ss.Name)); err != nil {
+			return err
+		}
+		if ss.LogCap < 0 {
+			return errf("source %q: log_cap must not be negative", ss.Name)
 		}
 		sourceGroups[ss.Name] = ss
 		for _, m := range ss.members() {
@@ -442,12 +499,21 @@ func (s *Spec) Validate() error {
 		default:
 			return errf("node %q: unknown buffer_mode %q", n.Name, n.BufferMode)
 		}
+		if n.BufferCap < 0 {
+			return errf("node %q: buffer_cap must not be negative", n.Name)
+		}
+		if err := validMS(n.TentativeWaitMS, fmt.Sprintf("node %q: tentative_wait_ms", n.Name)); err != nil {
+			return err
+		}
 		for oi, op := range n.Operators {
 			switch op.Kind {
 			case "filter", "map":
 			case "aggregate":
-				if op.WindowMS <= 0 {
-					return errf("node %q operator %d: aggregate needs window_ms > 0", n.Name, oi)
+				if op.WindowMS < 0.001 {
+					return errf("node %q operator %d: aggregate needs window_ms ≥ 0.001", n.Name, oi)
+				}
+				if op.SlideMS < 0 {
+					return errf("node %q operator %d: slide_ms must not be negative", n.Name, oi)
 				}
 				if op.Fn != "" {
 					if _, err := parseAggFn(op.Fn); err != nil {
@@ -455,8 +521,11 @@ func (s *Spec) Validate() error {
 					}
 				}
 			case "join":
-				if op.WindowMS <= 0 {
-					return errf("node %q operator %d: join needs window_ms > 0", n.Name, oi)
+				if op.WindowMS < 0.001 {
+					return errf("node %q operator %d: join needs window_ms ≥ 0.001", n.Name, oi)
+				}
+				if op.LeftInputs < 0 {
+					return errf("node %q operator %d: left_inputs must not be negative", n.Name, oi)
 				}
 			default:
 				return errf("node %q operator %d: unknown kind %q (want filter|map|aggregate|join)", n.Name, oi, op.Kind)

@@ -238,12 +238,6 @@ func CountData(ts []Tuple) int {
 	return n
 }
 
-// ApplyUndo removes from ts the suffix that follows the tuple with the given
-// ID, returning the shortened slice. If no tuple carries the ID, ts is
-// returned unchanged: the undo refers to a point before the buffered window
-// and there is nothing newer to delete... except when lastGoodID is zero and
-// the buffer holds only data produced after it, in which case everything is
-// removed.
 // Append appends t to a long-lived tuple log, doubling capacity when full.
 // The builtin append switches to ~1.25x growth beyond a few thousand
 // elements, which recopies a stream log several times more over its life;
@@ -280,6 +274,17 @@ func (a *I64Arena) Alloc(n int) []int64 {
 	return p
 }
 
+// ApplyUndo removes from ts the suffix that follows the tuple with the
+// given ID, returning the shortened slice. lastGoodID zero names the
+// stream origin: everything goes. When no tuple carries the ID — the undo
+// refers to a point before the buffered window (a log opened mid-epoch, a
+// buffer truncated by acks) — the tentative tuples are removed instead:
+// the wire contract is that stable data never follows unrevoked tentative
+// data, so the revoked suffix is exactly the tentative content. Returning
+// ts unchanged here once left a revoked tentative aggregate in a
+// downstream node's arrival log; its reconciliation replayed the tuple
+// into a serialization bucket no policy could ever flush, starving the
+// stream (found by the scenario fuzzer).
 func ApplyUndo(ts []Tuple, lastGoodID uint64) []Tuple {
 	for i := len(ts) - 1; i >= 0; i-- {
 		if ts[i].ID == lastGoodID && ts[i].IsData() {
@@ -289,5 +294,11 @@ func ApplyUndo(ts []Tuple, lastGoodID uint64) []Tuple {
 	if lastGoodID == 0 {
 		return ts[:0]
 	}
-	return ts
+	kept := ts[:0]
+	for _, t := range ts {
+		if t.Type != Tentative {
+			kept = append(kept, t)
+		}
+	}
+	return kept
 }
