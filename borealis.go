@@ -455,3 +455,34 @@ func Fuzz(opts FuzzOptions) (*FuzzSummary, error) { return fuzz.Campaign(opts) }
 func Shrink(s *Scenario, oracle string, maxRuns int) ShrinkResult {
 	return fuzz.Shrink(s, oracle, maxRuns)
 }
+
+// Soak campaigns: the fuzzer's long-running, resumable form.
+type (
+	// SoakOptions tunes a soak campaign (seed, batch size, wall budget,
+	// mutation pool, checkpoint file).
+	SoakOptions = fuzz.SoakOptions
+	// SoakState is a campaign's complete progress — the checkpoint on
+	// disk and the returned summary are this one structure.
+	SoakState = fuzz.SoakState
+	// SoakFinding is one unique failure class (oracle + shrunk-spec
+	// hash) with its first occurrence and a hit count.
+	SoakFinding = fuzz.SoakFinding
+)
+
+// Soak runs a time-budgeted, checkpointed fuzzing campaign: batches of
+// fresh generations interleaved with corpus mutants, failures shrunk
+// and deduplicated, state rewritten to disk after every batch so an
+// interrupted soak resumes with byte-identical results.
+func Soak(opts SoakOptions) (*SoakState, error) { return fuzz.Soak(opts) }
+
+// FuzzMutate derives a new valid scenario from a base spec by applying
+// random edits — the shrinker's reductions in reverse (fault
+// perturbation, relay-node insertion, rate and replica rescaling).
+// Deterministic in (base, seed).
+func FuzzMutate(base *Scenario, seed int64) *Scenario { return fuzz.Mutate(base, seed) }
+
+// CheckDifferential runs one spec several ways that must agree —
+// virtual vs high-speed wall clock (same stable output), serial vs
+// parallel RunMany (byte-identical reports) — and reports divergences
+// as "differential" findings, shrinkable like any other class.
+func CheckDifferential(s *Scenario) []FuzzFinding { return fuzz.CheckDifferential(s) }

@@ -13,7 +13,8 @@
 //	borealis-sim [-quick] [-json] [-no-audit] [-parallel N] -field F -from A -to B [-steps N] sweep <file.json>
 //	borealis-sim ... -field F -from A -to B -field2 G -from2 C -to2 D [-steps2 M] [-metric M] sweep <file.json>
 //	borealis-sim ... -field F -from A -to B [-steps N] -repeat R [-metric M] sweep <file.json>
-//	borealis-sim [-json] [-parallel N] [-seed S] [-runs N] [-out DIR] [-no-shrink] fuzz
+//	borealis-sim [-json] [-parallel N] [-seed S] [-runs N] [-out DIR] [-no-shrink] [-fail-on-finding] fuzz
+//	borealis-sim [-json] [-parallel N] [-seed S] [-batch N] [-batches N] [-budget D] [-mutate DIRS] [-differential] [-checkpoint FILE] [-out DIR] [-fail-on-finding] soak
 //
 // Adding -field2 turns a sweep into a two-dimensional grid (Steps ×
 // Steps2 independent runs, e.g. the paper's Fig. 19 delay × duration
@@ -32,6 +33,15 @@
 // With -out, minimized specs are written there as JSON for triage; the
 // keepers graduate into scenarios/corpus/. See docs/FUZZING.md.
 //
+// The soak subcommand is the fuzzer's long-running form: time-budgeted
+// (-budget) or batch-capped (-batches) campaigns that interleave fresh
+// generations with mutants of the regression corpus and curated specs
+// (-mutate), optionally replay every clean run under the differential
+// oracles (-differential), deduplicate findings by oracle class +
+// shrunk-spec hash, and checkpoint state after every batch (-checkpoint)
+// so an interrupted soak resumes deterministically: the resumed
+// campaign's state is byte-identical to an uninterrupted one.
+//
 // Experiments: fig11a fig11b table3 fig13 fig15 fig16 fig18 fig19 fig20
 // table4 table5 switchover ablate-buffers ablate-tb
 package main
@@ -44,6 +54,7 @@ import (
 	"os"
 	"path/filepath"
 	"strconv"
+	"strings"
 	"time"
 
 	"borealis/internal/experiment"
@@ -121,6 +132,15 @@ func main() {
 	runs := flag.Int("runs", 100, "fuzz mode: number of generated scenarios")
 	outDir := flag.String("out", "", "fuzz mode: directory for minimized failing specs")
 	noShrink := flag.Bool("no-shrink", false, "fuzz mode: report raw failing specs without minimizing")
+	tracePath := flag.String("trace", "", "scenario mode: write the per-replica protocol event trace to FILE (- = stderr)")
+	genSeed := flag.Int64("gen-seed", 0, "scenario mode: run the fuzzer-generated spec for this spec seed instead of a file")
+	failOnFinding := flag.Bool("fail-on-finding", false, "fuzz/soak mode: exit non-zero when any finding is reported")
+	budget := flag.Duration("budget", 0, "soak mode: wall-clock budget (e.g. 10m); 0 = -batches decides")
+	batchRuns := flag.Int("batch", 32, "soak mode: specs per batch (the checkpoint granularity)")
+	batches := flag.Int("batches", 0, "soak mode: total batch cap, counting checkpointed batches (0 = -budget decides)")
+	checkpoint := flag.String("checkpoint", "", "soak mode: campaign state file for interrupt/resume")
+	mutateDirs := flag.String("mutate", "", "soak mode: comma-separated spec directories to mutate (e.g. scenarios/corpus,scenarios)")
+	differential := flag.Bool("differential", false, "soak mode: also run the differential oracles on runs the normal oracles pass")
 	flag.Usage = usage
 	flag.Parse()
 	args := flag.Args()
@@ -130,11 +150,15 @@ func main() {
 	}
 	switch args[0] {
 	case "scenario":
-		if len(args) < 2 {
-			fmt.Fprintf(os.Stderr, "usage: borealis-sim [-quick] [-json] [-no-audit] scenario <file.json>...\n")
+		if len(args) < 2 && *genSeed == 0 {
+			fmt.Fprintf(os.Stderr, "usage: borealis-sim [-quick] [-json] [-no-audit] [-trace FILE] scenario <file.json>...\n")
+			fmt.Fprintf(os.Stderr, "       borealis-sim ... [-trace FILE] -gen-seed S scenario\n")
 			os.Exit(2)
 		}
-		runScenarios(args[1:], scenario.Options{Quick: *quick, SkipConsistency: *noAudit}, *asJSON, nil)
+		opts := scenario.Options{Quick: *quick, SkipConsistency: *noAudit}
+		closeTrace := installTrace(&opts, *tracePath)
+		runScenarios(args[1:], *genSeed, opts, *asJSON, nil)
+		closeTrace()
 		return
 	case "realtime":
 		if len(args) < 2 {
@@ -142,7 +166,7 @@ func main() {
 			os.Exit(2)
 		}
 		mk := func() runtime.Runtime { return runtime.NewWall(*speed) }
-		runScenarios(args[1:], scenario.Options{Quick: *quick, SkipConsistency: *noAudit}, *asJSON, mk)
+		runScenarios(args[1:], 0, scenario.Options{Quick: *quick, SkipConsistency: *noAudit}, *asJSON, mk)
 		return
 	case "sweep":
 		if len(args) != 2 || *field == "" || *from == "" || *to == "" {
@@ -181,7 +205,22 @@ func main() {
 			Runs:        *runs,
 			Parallelism: *parallel,
 			NoShrink:    *noShrink,
-		}, *outDir, *asJSON)
+		}, *outDir, *asJSON, *failOnFinding)
+		return
+	case "soak":
+		if len(args) != 1 {
+			fmt.Fprintf(os.Stderr, "usage: borealis-sim [-json] [-parallel N] [-seed S] [-batch N] [-batches N] [-budget D] [-mutate DIRS] [-differential] [-checkpoint FILE] [-out DIR] [-fail-on-finding] soak\n")
+			os.Exit(2)
+		}
+		runSoak(fuzz.SoakOptions{
+			Seed:         *seed,
+			BatchRuns:    *batchRuns,
+			MaxBatches:   *batches,
+			Budget:       *budget,
+			Parallelism:  *parallel,
+			Differential: *differential,
+			Checkpoint:   *checkpoint,
+		}, *mutateDirs, *outDir, *asJSON, *failOnFinding)
 		return
 	}
 	opts := experiment.Options{Quick: *quick}
@@ -223,29 +262,62 @@ func main() {
 	}
 }
 
+// installTrace opens the -trace destination and wires it into the options
+// as a line-oriented protocol event sink; the returned closer flushes it.
+// An empty path is a no-op.
+func installTrace(opts *scenario.Options, path string) func() {
+	if path == "" {
+		return func() {}
+	}
+	w := os.Stderr
+	closeFn := func() {}
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "borealis-sim: %v\n", err)
+			os.Exit(1)
+		}
+		w = f
+		closeFn = func() { f.Close() }
+	}
+	opts.Trace = func(atUS int64, replica, event, detail string) {
+		fmt.Fprintf(w, "%12.6fs  %-6s %-20s %s\n", float64(atUS)/1e6, replica, event, detail)
+	}
+	return closeFn
+}
+
 // runScenarios loads, runs and reports each scenario file in order. A
 // failed eventual-consistency audit makes the whole invocation exit
 // non-zero so CI smoke runs catch regressions. With -json, one file emits
 // a single report object (the golden-file form); several files emit one
 // JSON array so the output stays machine-parseable. A non-nil mkRuntime
 // supplies a fresh execution substrate per file (realtime mode: one wall
-// clock per run, since a clock cannot be rewound).
-func runScenarios(paths []string, opts scenario.Options, asJSON bool, mkRuntime func() runtime.Runtime) {
+// clock per run, since a clock cannot be rewound). A non-zero genSeed
+// appends the fuzzer-generated spec for that spec seed — the trace/triage
+// path for a campaign finding without materializing its JSON first.
+func runScenarios(paths []string, genSeed int64, opts scenario.Options, asJSON bool, mkRuntime func() runtime.Runtime) {
 	auditFailed := false
 	var reports []*scenario.Report
-	for i, path := range paths {
+	specs := make([]*scenario.Spec, 0, len(paths)+1)
+	for _, path := range paths {
 		spec, err := scenario.Load(path)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "borealis-sim: %v\n", err)
 			os.Exit(1)
 		}
+		specs = append(specs, spec)
+	}
+	if genSeed != 0 {
+		specs = append(specs, fuzz.GenSpec(genSeed))
+	}
+	for i, spec := range specs {
 		if mkRuntime != nil {
 			opts.Runtime = mkRuntime()
 		}
 		start := time.Now()
 		rep, err := scenario.Run(spec, opts)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "borealis-sim: %s: %v\n", path, err)
+			fmt.Fprintf(os.Stderr, "borealis-sim: %s: %v\n", spec.Name, err)
 			os.Exit(1)
 		}
 		if rep.Consistency != nil && !rep.Consistency.OK {
@@ -389,10 +461,12 @@ func runSweepRepeat(path, field, fromS, toS string, steps, repeat int, metric st
 }
 
 // runFuzz runs a fuzzing campaign and renders its deterministic summary.
-// Findings do not fail the invocation — fuzzing is exploration, and CI
-// compares two invocations' output for determinism — but a campaign that
-// cannot run at all does.
-func runFuzz(opts fuzz.Options, outDir string, asJSON bool) {
+// By default findings do not fail the invocation — fuzzing is
+// exploration, and CI compares two invocations' output for determinism —
+// but -fail-on-finding turns any finding into a non-zero exit now that a
+// clean protocol is the expected state. A campaign that cannot run at
+// all always fails.
+func runFuzz(opts fuzz.Options, outDir string, asJSON, failOnFinding bool) {
 	fail := func(err error) {
 		fmt.Fprintf(os.Stderr, "borealis-sim: %v\n", err)
 		os.Exit(1)
@@ -428,10 +502,75 @@ func runFuzz(opts fuzz.Options, outDir string, asJSON bool) {
 			fail(err)
 		}
 		os.Stdout.Write(append(b, '\n'))
-		return
+	} else {
+		sum.Print(os.Stdout)
+		fmt.Printf("(%d runs in %.1fs wall time)\n", sum.Runs, time.Since(start).Seconds())
 	}
-	sum.Print(os.Stdout)
-	fmt.Printf("(%d runs in %.1fs wall time)\n", sum.Runs, time.Since(start).Seconds())
+	if failOnFinding && len(sum.Failures) > 0 {
+		fmt.Fprintf(os.Stderr, "borealis-sim: %d failing runs (-fail-on-finding)\n", len(sum.Failures))
+		os.Exit(1)
+	}
+}
+
+// runSoak runs a checkpointed soak campaign: the resumable, corpus-
+// mutating big sibling of runFuzz. The mutation pool is loaded from
+// -mutate's directories; minimized unique findings land in -out.
+func runSoak(opts fuzz.SoakOptions, mutateDirs, outDir string, asJSON, failOnFinding bool) {
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "borealis-sim: %v\n", err)
+		os.Exit(1)
+	}
+	if mutateDirs != "" {
+		pool, err := fuzz.LoadPool(strings.Split(mutateDirs, ",")...)
+		if err != nil {
+			fail(err)
+		}
+		if len(pool) == 0 {
+			fail(fmt.Errorf("no specs found under -mutate %s", mutateDirs))
+		}
+		opts.MutationPool = pool
+	}
+	if !asJSON {
+		opts.Log = os.Stdout
+	}
+	start := time.Now()
+	st, err := fuzz.Soak(opts)
+	if err != nil {
+		fail(err)
+	}
+	if outDir != "" && len(st.Findings) > 0 {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			fail(err)
+		}
+		for _, f := range st.Findings {
+			spec := f.Shrunk
+			if spec == nil {
+				spec = f.Spec
+			}
+			b, err := json.MarshalIndent(spec, "", "  ")
+			if err != nil {
+				fail(err)
+			}
+			name := "soak-" + strings.ReplaceAll(f.Key, ":", "-") + ".json"
+			if err := os.WriteFile(filepath.Join(outDir, name), append(b, '\n'), 0o644); err != nil {
+				fail(err)
+			}
+		}
+	}
+	if asJSON {
+		b, err := json.MarshalIndent(st, "", "  ")
+		if err != nil {
+			fail(err)
+		}
+		os.Stdout.Write(append(b, '\n'))
+	} else {
+		st.Print(os.Stdout)
+		fmt.Printf("(%d runs in %.1fs wall time)\n", st.Runs, time.Since(start).Seconds())
+	}
+	if failOnFinding && len(st.Findings) > 0 {
+		fmt.Fprintf(os.Stderr, "borealis-sim: %d unique findings (-fail-on-finding)\n", len(st.Findings))
+		os.Exit(1)
+	}
 }
 
 // sweepAxis bundles one sweep dimension's raw flag values.
@@ -508,12 +647,13 @@ func runGrid(path string, ax1, ax2 sweepAxis, metric string, opts scenario.Optio
 
 func usage() {
 	fmt.Fprintf(os.Stderr, "usage: borealis-sim [-quick] <experiment>...|all\n")
-	fmt.Fprintf(os.Stderr, "       borealis-sim [-quick] [-json] [-no-audit] scenario <file.json>...\n")
+	fmt.Fprintf(os.Stderr, "       borealis-sim [-quick] [-json] [-no-audit] [-trace FILE] [-gen-seed S] scenario <file.json>...\n")
 	fmt.Fprintf(os.Stderr, "       borealis-sim [-quick] [-json] [-no-audit] [-speed N] realtime <file.json>...\n")
 	fmt.Fprintf(os.Stderr, "       borealis-sim [-quick] [-json] [-no-audit] [-parallel N] -field F -from A -to B [-steps N] sweep <file.json>\n")
 	fmt.Fprintf(os.Stderr, "       borealis-sim ... -field F -from A -to B -field2 G -from2 C -to2 D [-steps2 M] [-metric M] sweep <file.json>\n")
 	fmt.Fprintf(os.Stderr, "       borealis-sim ... -field F -from A -to B [-steps N] -repeat R [-metric M] sweep <file.json>\n")
-	fmt.Fprintf(os.Stderr, "       borealis-sim [-json] [-parallel N] [-seed S] [-runs N] [-out DIR] [-no-shrink] fuzz\n\nexperiments:\n")
+	fmt.Fprintf(os.Stderr, "       borealis-sim [-json] [-parallel N] [-seed S] [-runs N] [-out DIR] [-no-shrink] [-fail-on-finding] fuzz\n")
+	fmt.Fprintf(os.Stderr, "       borealis-sim [-json] [-parallel N] [-seed S] [-batch N] [-batches N] [-budget D] [-mutate DIRS] [-differential] [-checkpoint FILE] [-out DIR] [-fail-on-finding] soak\n\nexperiments:\n")
 	for _, e := range experiments {
 		fmt.Fprintf(os.Stderr, "  %-16s %s\n", e.name, e.desc)
 	}

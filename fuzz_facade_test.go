@@ -32,6 +32,34 @@ func TestFuzzFacade(t *testing.T) {
 	}
 }
 
+// TestSoakFacade drives the soak surface end to end through the public
+// API: mutate a generated spec, run a one-batch campaign over a tiny
+// mutation pool, and differential-check the mutant.
+func TestSoakFacade(t *testing.T) {
+	base := borealis.FuzzSpec(7)
+	mutant := borealis.FuzzMutate(base, 11)
+	if err := mutant.Validate(); err != nil {
+		t.Fatalf("mutant invalid: %v", err)
+	}
+
+	st, err := borealis.Soak(borealis.SoakOptions{
+		Seed:         13,
+		BatchRuns:    3,
+		MaxBatches:   1,
+		MutationPool: []*borealis.Scenario{base},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Batches != 1 || st.Runs != 3 {
+		t.Fatalf("state echo wrong: %+v", st)
+	}
+
+	if fs := borealis.CheckDifferential(base); len(fs) != 0 {
+		t.Fatalf("differential divergence on a generated spec: %v", fs)
+	}
+}
+
 // TestRepeatFacade exercises the seed-family surface.
 func TestRepeatFacade(t *testing.T) {
 	spec := borealis.FuzzSpec(5)

@@ -479,6 +479,17 @@ func (e *Engine) HoldsTentative() bool {
 			}
 		}
 	}
+	// The in-service batch is no longer in the queue but has not been
+	// dispatched either: kick pops it the instant it is ingested, so a
+	// replay batch that mixes tentative tuples with the boundary that
+	// heals the input sits exactly here when the heal decision is made
+	// (found by the scenario fuzzer: an upstream's resubscription replay
+	// serving tuples it produced between its own heal and its restore).
+	for _, t := range e.inService.tuples {
+		if t.Type == tuple.Tentative {
+			return true
+		}
+	}
 	return false
 }
 

@@ -10,9 +10,10 @@ import (
 
 // TestCorpusStaysClean runs every minimized regression spec in
 // scenarios/corpus/ — each one a real bug the fuzzer found and this
-// repository fixed — at full duration with the Definition 1 audit and the
-// complete oracle suite. The corpus only grows: a finding here means a
-// fixed crash-consistency bug has regressed.
+// repository fixed — at full duration with the Definition 1 audit, the
+// complete oracle suite, and the differential oracles (virtual vs wall
+// clock, serial vs parallel). The corpus only grows: a finding here
+// means a fixed crash-consistency bug has regressed.
 func TestCorpusStaysClean(t *testing.T) {
 	paths, err := filepath.Glob("../../scenarios/corpus/*.json")
 	if err != nil {
@@ -41,6 +42,9 @@ func TestCorpusStaysClean(t *testing.T) {
 			}
 			if rep.Consistency == nil || !rep.Consistency.OK {
 				t.Fatalf("audit failed: %+v", rep.Consistency)
+			}
+			if diffs := CheckDifferential(spec); len(diffs) > 0 {
+				t.Fatalf("differential regression: %v", diffs)
 			}
 		})
 	}

@@ -1,0 +1,121 @@
+package fuzz
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+
+	rtpkg "borealis/internal/runtime"
+	"borealis/internal/scenario"
+	"borealis/internal/tuple"
+)
+
+// OracleDifferential names the differential oracle class: two executions
+// of the same spec that must agree disagreed.
+const OracleDifferential = "differential"
+
+// diffWallSpeed is the time-scale factor of the wall-clock leg: 2000
+// clock microseconds per real microsecond turns a 50-second spec into
+// ~25ms of real time while still exercising the wall runtime's pacing
+// loop, timer heap, and goroutine handoff.
+const diffWallSpeed = 2000
+
+// diffParallelCopies is how many copies of the spec the serial-vs-parallel
+// leg fans through RunMany. Four copies across GOMAXPROCS workers is
+// enough to interleave runs without dominating the oracle's cost.
+const diffParallelCopies = 4
+
+// CheckDifferential runs one spec several ways that must agree and
+// reports every divergence as a "differential" finding:
+//
+//   - clock: the spec on a fresh VirtualClock versus a high-speed
+//     WallClock must produce the same stable output stream. The wall
+//     runtime fires events in (at, seq) order regardless of wall
+//     lateness, so any divergence is a runtime bug, not scheduling
+//     jitter.
+//   - parallel: N copies of the spec through RunMany serially
+//     (Parallelism 1) versus across all cores (Parallelism 0) must
+//     produce byte-identical reports — the guarantee every sweep, grid,
+//     and fuzz campaign in this repository leans on.
+//
+// The oracle is self-contained (it runs the spec itself rather than
+// auditing an existing report), so it does not join Check's per-report
+// oracle list: at roughly ten simulator runs per spec it backs the
+// corpus and scenario regression tests, shrinking, and soak campaigns
+// instead of the per-run fuzz path.
+func CheckDifferential(s *scenario.Spec) []Finding {
+	var fs []Finding
+	fs = append(fs, diffClock(s)...)
+	fs = append(fs, diffParallel(s)...)
+	return fs
+}
+
+// diffClock compares the stable output of a virtual-clock run against a
+// high-speed wall-clock run of the same spec.
+func diffClock(s *scenario.Spec) []Finding {
+	var fs []Finding
+	virt, err := stableStream(s, rtpkg.NewVirtual())
+	if err != nil {
+		return findf(fs, OracleDifferential, "clock: virtual run failed: %v", err)
+	}
+	wall, err := stableStream(s, rtpkg.NewWall(diffWallSpeed))
+	if err != nil {
+		return findf(fs, OracleDifferential, "clock: wall run failed: %v", err)
+	}
+	if len(virt) != len(wall) {
+		return findf(fs, OracleDifferential,
+			"clock: virtual run delivered %d stable tuples, wall run %d", len(virt), len(wall))
+	}
+	for i := range virt {
+		if !tuple.Equal(virt[i], wall[i]) {
+			return findf(fs, OracleDifferential,
+				"clock: stable position %d differs: virtual %s, wall %s", i, virt[i], wall[i])
+		}
+	}
+	return nil
+}
+
+// stableStream builds the spec on the given runtime, drives it for the
+// spec duration, and returns the client's stable output.
+func stableStream(s *scenario.Spec, rt rtpkg.Runtime) ([]tuple.Tuple, error) {
+	dep, err := scenario.Build(s, scenario.Options{Runtime: rt})
+	if err != nil {
+		return nil, err
+	}
+	dep.Start()
+	dep.RunFor(int64(math.Round(s.DurationS * 1e6)))
+	return dep.Client.StableView(), nil
+}
+
+// diffParallel fans diffParallelCopies copies of the spec through
+// RunMany serially and in parallel and requires byte-identical reports.
+// The audit and reference runs are skipped: this leg checks executor
+// determinism, and the consistency reference would double its cost for
+// no extra signal (the clock leg already audits output content).
+func diffParallel(s *scenario.Spec) []Finding {
+	var fs []Finding
+	specs := make([]*scenario.Spec, diffParallelCopies)
+	for i := range specs {
+		specs[i] = s
+	}
+	serial, err := scenario.RunMany(specs, scenario.Options{Parallelism: 1, SkipConsistency: true})
+	if err != nil {
+		return findf(fs, OracleDifferential, "parallel: serial RunMany failed: %v", err)
+	}
+	par, err := scenario.RunMany(specs, scenario.Options{Parallelism: 0, SkipConsistency: true})
+	if err != nil {
+		return findf(fs, OracleDifferential, "parallel: parallel RunMany failed: %v", err)
+	}
+	for i := range serial {
+		a, errA := json.Marshal(serial[i])
+		b, errB := json.Marshal(par[i])
+		if errA != nil || errB != nil {
+			return findf(fs, OracleDifferential, "parallel: report %d failed to marshal: %v / %v", i, errA, errB)
+		}
+		if !bytes.Equal(a, b) {
+			return findf(fs, OracleDifferential,
+				"parallel: report %d of %d differs between serial and parallel execution", i, len(serial))
+		}
+	}
+	return nil
+}

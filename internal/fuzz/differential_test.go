@@ -1,0 +1,53 @@
+package fuzz
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"borealis/internal/scenario"
+)
+
+// TestDifferentialScenarios runs the differential oracles over every
+// curated spec in scenarios/ at full duration: the virtual and
+// wall-clock runtimes must produce the same stable output, and RunMany
+// must produce byte-identical reports serially and in parallel. These
+// are the two substrate guarantees (runtime abstraction, parallel
+// executor) everything above them assumes.
+func TestDifferentialScenarios(t *testing.T) {
+	paths, err := filepath.Glob("../../scenarios/*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no curated scenarios found")
+	}
+	for _, path := range paths {
+		name := strings.TrimSuffix(filepath.Base(path), ".json")
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			spec, err := scenario.Load(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fs := CheckDifferential(spec); len(fs) > 0 {
+				t.Fatalf("differential divergence: %v", fs)
+			}
+		})
+	}
+}
+
+// TestDifferentialGenerated spot-checks the oracle on generated specs:
+// fuzzer output must be differential-clean too, or soak campaigns would
+// drown in false positives.
+func TestDifferentialGenerated(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential oracle runs each spec ~10 times")
+	}
+	for run := 0; run < 3; run++ {
+		s := GenSpec(DeriveSeed(11, run))
+		if fs := CheckDifferential(s); len(fs) > 0 {
+			t.Fatalf("run %d (seed %d): %v", run, s.Seed, fs)
+		}
+	}
+}

@@ -64,7 +64,8 @@ func DeriveSeed(master int64, run int) int64 {
 type Finding struct {
 	// Oracle names the violated property: "consistency", "starvation",
 	// "excess-stable", "wedged-sunion", "stuck-state", "availability",
-	// "report-invariant" or "run-error".
+	// "report-invariant", "run-error" or "differential" (see
+	// CheckDifferential).
 	Oracle string `json:"oracle"`
 	// Detail is a human-readable description of the violation.
 	Detail string `json:"detail"`

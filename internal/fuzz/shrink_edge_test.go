@@ -1,0 +1,182 @@
+package fuzz
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+
+	"borealis/internal/scenario"
+)
+
+// The live protocol is finding-free, so these edge cases substitute
+// synthetic failure landscapes through the candidateFindings seam: the
+// shrinker must handle budgets dying mid-pass, candidates whose failure
+// flips to a different oracle class, and concurrent invocations, even
+// when no real bug exists to drive them.
+
+// stubCandidates swaps the candidate evaluator for the duration of one
+// test. The stub must be pure: Shrink may run concurrently.
+func stubCandidates(t *testing.T, fn func(*scenario.Spec, string) []Finding) {
+	t.Helper()
+	orig := candidateFindings
+	candidateFindings = fn
+	t.Cleanup(func() { candidateFindings = orig })
+}
+
+// hasFaultKind reports whether any fault of the spec has the given kind.
+func hasFaultKind(s *scenario.Spec, kind string) bool {
+	for _, f := range s.Faults {
+		if f.Kind == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// richSpec finds a generated spec with several faults including the
+// given kinds, so every reduction pass has material to chew through.
+func richSpec(t *testing.T, kinds ...string) *scenario.Spec {
+	t.Helper()
+	for seed := int64(0); seed < 2000; seed++ {
+		s := GenSpec(seed)
+		if len(s.Faults) < 3 || len(s.Nodes) < 2 {
+			continue
+		}
+		ok := true
+		for _, k := range kinds {
+			ok = ok && hasFaultKind(s, k)
+		}
+		if ok {
+			return s
+		}
+	}
+	t.Fatalf("no generated spec with faults %v found", kinds)
+	return nil
+}
+
+// TestShrinkBudgetExhaustionMidPass: when the run budget dies in the
+// middle of a reduction pass, Shrink must stop charging runs at exactly
+// the cap and return the best candidate found before exhaustion — a
+// valid spec still failing the target oracle, not a half-reduced one
+// that was never re-checked.
+func TestShrinkBudgetExhaustionMidPass(t *testing.T) {
+	stubCandidates(t, func(c *scenario.Spec, oracle string) []Finding {
+		if hasFaultKind(c, "disconnect") {
+			return []Finding{{Oracle: "starvation", Detail: "synthetic"}}
+		}
+		return nil
+	})
+	spec := richSpec(t, "disconnect")
+
+	full := Shrink(spec, "starvation", 0)
+	if full.Runs <= 7 {
+		t.Fatalf("landscape too easy: full reduction spent only %d runs", full.Runs)
+	}
+
+	res := Shrink(spec, "starvation", 7)
+	if res.Runs != 7 {
+		t.Fatalf("budget of 7 runs, spent %d", res.Runs)
+	}
+	if err := res.Spec.Validate(); err != nil {
+		t.Fatalf("budget-exhausted result invalid: %v", err)
+	}
+	if !hasFaultKind(res.Spec, "disconnect") {
+		t.Fatal("budget-exhausted result no longer fails the target oracle")
+	}
+	if len(res.Findings) == 0 || res.Findings[0].Oracle != "starvation" {
+		t.Fatalf("want the original oracle class, got %v", res.Findings)
+	}
+}
+
+// TestShrinkRejectsOracleFlip: a reduction that still fails — but under
+// a different oracle class — must be rejected like a passing one, so
+// the minimized spec reproduces the original failure class.
+func TestShrinkRejectsOracleFlip(t *testing.T) {
+	flipsOffered := 0
+	stubCandidates(t, func(c *scenario.Spec, oracle string) []Finding {
+		switch {
+		case hasFaultKind(c, "disconnect"):
+			return []Finding{{Oracle: "starvation", Detail: "synthetic"}}
+		case hasFaultKind(c, "partition"):
+			// Dropping the disconnect flips the failure to another class.
+			flipsOffered++
+			return []Finding{{Oracle: "wedged-sunion", Detail: "synthetic flip"}}
+		default:
+			return nil
+		}
+	})
+	// The spec needs exactly one disconnect, listed after a partition:
+	// shrinkFaults drops last-first, so the disconnect-dropping candidate
+	// is offered while the partition is still present — the flip moment.
+	var spec *scenario.Spec
+	for seed := int64(0); seed < 4000 && spec == nil; seed++ {
+		s := GenSpec(seed)
+		di, pi, ndisc := -1, -1, 0
+		for i, f := range s.Faults {
+			switch f.Kind {
+			case "disconnect":
+				ndisc++
+				di = i
+			case "partition":
+				pi = i
+			}
+		}
+		if ndisc == 1 && pi >= 0 && di > pi {
+			spec = s
+		}
+	}
+	if spec == nil {
+		t.Fatal("no generated spec with a partition-then-disconnect schedule found")
+	}
+
+	res := Shrink(spec, "starvation", 0)
+	if flipsOffered == 0 {
+		t.Fatal("reduction never offered a flipped candidate; landscape too easy")
+	}
+	if !hasFaultKind(res.Spec, "disconnect") {
+		t.Fatalf("minimized spec lost the disconnect that carries the original oracle class: %+v", res.Spec.Faults)
+	}
+	if hasFaultKind(res.Spec, "partition") {
+		t.Fatalf("partition survived although dropping it preserves the failure: %+v", res.Spec.Faults)
+	}
+	if len(res.Findings) != 1 || res.Findings[0].Oracle != "starvation" {
+		t.Fatalf("want a single starvation finding, got %v", res.Findings)
+	}
+}
+
+// TestShrinkDeterministicAcrossParallelism: concurrent Shrink calls on
+// the same input (the soak runner shrinks while RunMany workers churn)
+// must not interfere — every invocation lands on the same minimized
+// spec, findings, and run count.
+func TestShrinkDeterministicAcrossParallelism(t *testing.T) {
+	stubCandidates(t, func(c *scenario.Spec, oracle string) []Finding {
+		if hasFaultKind(c, "disconnect") && len(c.Nodes) >= 2 {
+			return []Finding{{Oracle: "starvation", Detail: "synthetic"}}
+		}
+		return nil
+	})
+	spec := richSpec(t, "disconnect")
+
+	const workers = 8
+	results := make([][]byte, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			res := Shrink(spec, "starvation", 0)
+			b, err := json.Marshal(res)
+			if err != nil {
+				panic(err)
+			}
+			results[w] = b
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		if !bytes.Equal(results[0], results[w]) {
+			t.Fatalf("shrink result differs across concurrent invocations:\n%s\nvs\n%s", results[0], results[w])
+		}
+	}
+}

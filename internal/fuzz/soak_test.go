@@ -1,0 +1,144 @@
+package fuzz
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"borealis/internal/scenario"
+)
+
+// soakPool loads the real mutation pool (regression corpus + curated
+// scenarios) so soak tests exercise the same specs campaigns mutate.
+func soakPool(t *testing.T) []*scenario.Spec {
+	t.Helper()
+	pool, err := LoadPool("../../scenarios/corpus", "../../scenarios")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pool) == 0 {
+		t.Fatal("empty mutation pool")
+	}
+	return pool
+}
+
+// TestSoakResumeDeterministic is the resume contract: a campaign
+// interrupted after one batch and resumed from its checkpoint must end
+// in a state byte-identical to the same campaign run uninterrupted.
+func TestSoakResumeDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	pool := soakPool(t)
+	opts := SoakOptions{
+		Seed:         21,
+		BatchRuns:    5,
+		MaxBatches:   3,
+		MutationPool: pool,
+	}
+
+	straight := opts
+	straight.Checkpoint = filepath.Join(dir, "straight.json")
+	if _, err := Soak(straight); err != nil {
+		t.Fatal(err)
+	}
+
+	resumed := opts
+	resumed.Checkpoint = filepath.Join(dir, "resumed.json")
+	interrupted := resumed
+	interrupted.MaxBatches = 1
+	if _, err := Soak(interrupted); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Soak(resumed); err != nil {
+		t.Fatal(err)
+	}
+
+	a, err := os.ReadFile(straight.Checkpoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(resumed.Checkpoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("resumed state differs from uninterrupted state:\n--- straight ---\n%s\n--- resumed ---\n%s", a, b)
+	}
+}
+
+// TestSoakParallelismInvariant: worker count must not leak into the
+// campaign state.
+func TestSoakParallelismInvariant(t *testing.T) {
+	pool := soakPool(t)
+	run := func(parallelism int) []byte {
+		st, err := Soak(SoakOptions{
+			Seed:         33,
+			BatchRuns:    6,
+			MaxBatches:   1,
+			Parallelism:  parallelism,
+			MutationPool: pool,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	serial := run(1)
+	parallel := run(0)
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("soak state depends on parallelism:\nserial:   %s\nparallel: %s", serial, parallel)
+	}
+}
+
+// TestSoakChecksDifferential: the -differential soak mode must accept a
+// clean batch (the protocol is currently finding-free) without slowing
+// to a crawl — a smoke of the wiring, not a hunt.
+func TestSoakChecksDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential soak runs each spec ~10 times")
+	}
+	st, err := Soak(SoakOptions{Seed: 7, BatchRuns: 3, MaxBatches: 1, Differential: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Findings) != 0 {
+		t.Fatalf("unexpected findings: %+v", st.Findings)
+	}
+}
+
+// TestSoakCheckpointMismatch: resuming under different campaign
+// parameters must refuse, not silently mix two seed streams.
+func TestSoakCheckpointMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "soak.json")
+	if _, err := Soak(SoakOptions{Seed: 1, BatchRuns: 2, MaxBatches: 1, Checkpoint: path}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Soak(SoakOptions{Seed: 2, BatchRuns: 2, MaxBatches: 2, Checkpoint: path}); err == nil {
+		t.Fatal("resume with a different seed should fail")
+	}
+}
+
+// TestMutateValidDeterministic: every mutant must validate, and the
+// mutation must be a pure function of (base, seed).
+func TestMutateValidDeterministic(t *testing.T) {
+	pool := soakPool(t)
+	for _, base := range pool {
+		for seed := int64(0); seed < 20; seed++ {
+			m1 := Mutate(base, seed)
+			if err := m1.Validate(); err != nil {
+				t.Fatalf("mutant of %s (seed %d) invalid: %v", base.Name, seed, err)
+			}
+			m2 := Mutate(base, seed)
+			b1, _ := json.Marshal(m1)
+			b2, _ := json.Marshal(m2)
+			if !bytes.Equal(b1, b2) {
+				t.Fatalf("mutation of %s (seed %d) is not deterministic", base.Name, seed)
+			}
+		}
+	}
+}

@@ -196,6 +196,7 @@ func (cm *CM) tick() {
 		for _, r := range up.replicas {
 			cm.node.send(r, KeepAliveReq{})
 			if now-up.lastResp[r] > cm.cfg.KeepAliveTimeout && up.states[r] != StateFailure {
+				cm.node.tracef("upstream-timeout", "%s: %s silent for %dµs", stream, r, now-up.lastResp[r])
 				up.states[r] = StateFailure
 				if up.subscribed[r] {
 					up.broken[r] = true
@@ -227,6 +228,7 @@ func (cm *CM) probeGrantedPeer(now int64) {
 		return
 	}
 	if now-cm.grantResp > cm.cfg.KeepAliveTimeout {
+		cm.node.tracef("grant-revoked", "granted peer %s silent for %dµs", cm.grantedTo, now-cm.grantResp)
 		cm.grantedTo = ""
 		if cm.grantTimer != nil {
 			cm.grantTimer.Stop()
@@ -245,6 +247,7 @@ func (cm *CM) onKeepAlive(from string, resp KeepAliveResp) {
 		cm.grantResp = now
 	}
 	if cm.suspect[from] {
+		cm.node.tracef("unsuspect", "%s answered a keep-alive", from)
 		delete(cm.suspect, from)
 		cm.tryRequest()
 	}
@@ -366,6 +369,7 @@ func (cm *CM) switchLive(stream, live, corr string, tailOnly bool) {
 	if im.Live() == live && im.Correcting() == corr {
 		return
 	}
+	cm.node.tracef("switch", "%s: live %s -> %s (corr %q, tail-only %v)", stream, im.Live(), live, corr, tailOnly)
 	cm.Switches++
 	im.SetConnections(live, corr, true)
 	cm.subscribe(stream, live, false, tailOnly)
@@ -376,9 +380,16 @@ func (cm *CM) subscribe(stream, to string, initial, tailOnly bool) {
 	im := cm.node.inputs[stream]
 	up.subscribed[to] = true
 	delete(up.broken, to)
+	// The previous connection's batches may still be in flight with stale
+	// sequence numbers; only the fresh subscription's seq-1 replay counts
+	// from here (a stale batch treated as a gap would trigger a second
+	// resubscription and a duplicated replay).
+	im.ExpectFresh(to)
 	if initial {
 		im.SetConnections(to, "", true)
 	}
+	cm.node.tracef("subscribe", "%s to %s (from-id %d, seen-tentative %v, tail-only %v)",
+		stream, to, im.LastStableID(), im.SeenTentative(), tailOnly)
 	cm.node.send(to, SubscribeMsg{
 		Stream:        stream,
 		FromID:        im.LastStableID(),
@@ -393,6 +404,7 @@ func (cm *CM) unsubscribe(stream, from string) {
 		return
 	}
 	delete(up.subscribed, from)
+	cm.node.tracef("unsubscribe", "%s from %s", stream, from)
 	cm.node.send(from, UnsubscribeMsg{Stream: stream})
 }
 
@@ -478,6 +490,7 @@ func (cm *CM) tryRequest() {
 		return
 	}
 	if !cm.cfg.Stagger || len(cm.node.cfg.Peers) == 0 {
+		cm.node.tracef("reconcile-self-grant", "no stagger or no peers")
 		cm.wantReconcile = false
 		cm.node.onReconcileGranted()
 		return
@@ -498,17 +511,20 @@ func (cm *CM) tryRequest() {
 		// stagger to protect, so reconcile now (suspects keep being
 		// probed; a returning peer is simply staggered against next
 		// time).
+		cm.node.tracef("reconcile-self-grant", "all %d peers suspect", len(cm.node.cfg.Peers))
 		cm.wantReconcile = false
 		cm.node.onReconcileGranted()
 		return
 	}
 	peer := live[cm.rng.Intn(len(live))]
 	cm.awaiting = peer
+	cm.node.tracef("reconcile-ask", "%s", peer)
 	cm.node.send(peer, ReconcileReq{})
 	// A silent peer (crashed, partitioned) must not wedge us: mark it
 	// suspect and move on; keep-alive probes clear it when it answers.
 	cm.node.clk.After(cm.cfg.RetryInterval*2, func() {
 		if cm.awaiting == peer {
+			cm.node.tracef("suspect", "%s never answered the reconcile request", peer)
 			cm.awaiting = ""
 			cm.suspect[peer] = true
 			cm.scheduleRetry()
@@ -541,9 +557,11 @@ func (cm *CM) onReconcileReq(from string) {
 		(cm.grantedTo != "" && cm.grantedTo != from) ||
 		(cm.wantReconcile && cm.node.cfg.ID < from)
 	if reject {
+		cm.node.tracef("reconcile-reject", "%s", from)
 		cm.node.send(from, ReconcileResp{Granted: false})
 		return
 	}
+	cm.node.tracef("reconcile-grant", "%s", from)
 	cm.grantedTo = from
 	cm.grantResp = cm.node.clk.Now()
 	if cm.grantTimer != nil {
@@ -552,6 +570,7 @@ func (cm *CM) onReconcileReq(from string) {
 	cm.grantTimer = cm.node.clk.After(cm.cfg.GrantTimeout, func() {
 		cm.grantTimer = nil
 		if cm.grantedTo == from {
+			cm.node.tracef("grant-timeout", "%s never sent ReconcileDone", from)
 			cm.grantedTo = ""
 			cm.tryRequest()
 		}
@@ -574,9 +593,11 @@ func (cm *CM) onReconcileResp(from string, resp ReconcileResp) {
 		return
 	}
 	if resp.Granted {
+		cm.node.tracef("reconcile-granted", "by %s", from)
 		cm.wantReconcile = false
 		cm.node.onReconcileGranted()
 	} else {
+		cm.node.tracef("reconcile-rejected", "by %s", from)
 		cm.node.onReconcileRejected()
 		cm.scheduleRetry()
 	}
@@ -584,6 +605,7 @@ func (cm *CM) onReconcileResp(from string, resp ReconcileResp) {
 
 func (cm *CM) onReconcileDone(from string) {
 	if cm.grantedTo == from {
+		cm.node.tracef("reconcile-released", "by %s", from)
 		cm.grantedTo = ""
 		if cm.grantTimer != nil {
 			cm.grantTimer.Stop()

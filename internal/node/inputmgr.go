@@ -1,6 +1,8 @@
 package node
 
 import (
+	"fmt"
+
 	"borealis/internal/runtime"
 	"borealis/internal/tuple"
 )
@@ -19,6 +21,18 @@ const (
 	// is itself in UP_FAILURE.
 	FailTentative
 )
+
+func (k FailKind) String() string {
+	switch k {
+	case FailNone:
+		return "none"
+	case FailStall:
+		return "stall"
+	case FailTentative:
+		return "tentative"
+	}
+	return "unknown"
+}
 
 // inputHooks are the callbacks an InputManager raises toward the node
 // controller.
@@ -88,9 +102,16 @@ type InputManager struct {
 	conns map[string]*connSeq
 
 	// Tentative counts tentative data tuples received; Received counts
-	// all data tuples.
-	Tentative uint64
-	Received  uint64
+	// all data tuples. DroppedDup counts stable tuples dropped from a
+	// fresh subscription's replay because they duplicated data already
+	// received (id at or below lastStableID).
+	Tentative  uint64
+	Received   uint64
+	DroppedDup uint64
+
+	// trace, when set by Node.SetTrace, receives correction-protocol
+	// events (undo, rec-done, conn-broken) on this stream.
+	trace func(event, detail string)
 }
 
 // connSeq is the receive state of one upstream connection.
@@ -137,6 +158,9 @@ func (im *InputManager) admit(from string, seq uint64) bool {
 		return false
 	case seq != cs.next:
 		cs.broken = true
+		if im.trace != nil {
+			im.trace("conn-broken", fmt.Sprintf("%s from %s: seq %d, want %d", im.stream, from, seq, cs.next))
+		}
 		if im.hooks.onBroken != nil {
 			im.hooks.onBroken(im.stream, from)
 		}
@@ -154,6 +178,24 @@ func (im *InputManager) admit(from string, seq uint64) bool {
 func (im *InputManager) Delivering(from string) bool {
 	cs := im.conns[from]
 	return cs != nil && cs.established && !cs.broken
+}
+
+// ExpectFresh marks the connection to an endpoint as awaiting a fresh
+// subscription (seq 1). The CM calls it whenever it sends a SubscribeMsg:
+// batches of the previous connection may still be in flight with stale
+// sequence numbers, and without the reset such a batch looks like a
+// lost-message gap on an established connection — triggering a second
+// resubscription whose second seq-1 replay duplicates every replayed
+// tuple not yet behind the serialization cursor (found by the scenario
+// fuzzer: a partition heal whose resubscription raced an in-flight
+// batch, violating Definition 1 with duplicated stable output).
+func (im *InputManager) ExpectFresh(from string) {
+	cs := im.conns[from]
+	if cs == nil {
+		return
+	}
+	cs.established = false
+	cs.broken = false
 }
 
 // Stream returns the managed stream name.
@@ -244,6 +286,23 @@ func (im *InputManager) Handle(from string, seq uint64, ts []tuple.Tuple) {
 	if !im.admit(from, seq) {
 		return // lost-message gap: wait for the resubscription replay
 	}
+	if im.trace != nil {
+		var ins, tent, bound, corr int
+		for i := range ts {
+			switch ts[i].Type {
+			case tuple.Insertion:
+				ins++
+			case tuple.Tentative:
+				tent++
+			case tuple.Boundary:
+				bound++
+			default:
+				corr++
+			}
+		}
+		im.trace("batch", fmt.Sprintf("%s from %s seq %d: %d stable, %d tentative, %d boundary, %d corrections",
+			im.stream, from, seq, ins, tent, bound, corr))
+	}
 	// A new failure (first tentative tuple on a healthy live connection)
 	// is declared up front, before any of the batch is logged/forwarded.
 	if !fromCorr && !im.correcting && im.failKind == FailNone {
@@ -257,19 +316,38 @@ func (im *InputManager) Handle(from string, seq uint64, ts []tuple.Tuple) {
 			}
 		}
 	}
+	// A fresh subscription's replay can overlap data this manager already
+	// received — e.g. two resubscriptions racing each other produce two
+	// replays from the same from-id, or a source whose log was truncated
+	// replays from before the requested position. Stable identifiers are
+	// unique and monotonic on a stream, so stable tuples at or below
+	// lastStableID in a seq-1 batch are exact duplicates and are dropped
+	// here, before logging and forwarding (a duplicate reaching a pending
+	// serialization bucket is emitted twice, violating Definition 1).
+	// Tentative tuples are exempt: their ids number a provisional suffix
+	// and may legitimately sit at or below the stable watermark after a
+	// switch to a diverged replica.
+	dedupBelow := uint64(0)
+	if seq == 1 {
+		dedupBelow = im.lastStableID
+	}
 	// Fast path: a batch with no correction tuples arriving on the live
 	// connection outside a correction sequence forwards exactly as-is, so
 	// the incoming slice can be handed to the engine without copying
 	// (batches are read-only once sent). im.correcting only flips on
 	// Undo/RecDone, which the scan excludes.
 	hasCorrection := false
+	hasDup := false
 	for i := range ts {
 		if ts[i].Type == tuple.Undo || ts[i].Type == tuple.RecDone {
 			hasCorrection = true
 			break
 		}
+		if ts[i].Type == tuple.Insertion && ts[i].ID <= dedupBelow {
+			hasDup = true
+		}
 	}
-	forwardAsIs := !hasCorrection && !fromCorr && !im.correcting
+	forwardAsIs := !hasCorrection && !hasDup && !fromCorr && !im.correcting
 	var liveOut []tuple.Tuple
 	if !forwardAsIs && !fromCorr {
 		liveOut = make([]tuple.Tuple, 0, len(ts))
@@ -278,6 +356,10 @@ func (im *InputManager) Handle(from string, seq uint64, ts []tuple.Tuple) {
 	for _, t := range ts {
 		switch {
 		case t.IsData():
+			if t.Type == tuple.Insertion && t.ID <= dedupBelow {
+				im.DroppedDup++
+				continue
+			}
 			im.Received++
 			if t.Type == tuple.Tentative {
 				im.Tentative++
@@ -325,6 +407,9 @@ func (im *InputManager) Handle(from string, seq uint64, ts []tuple.Tuple) {
 				healed = true
 			}
 		case t.Type == tuple.Undo:
+			if im.trace != nil {
+				im.trace("undo", fmt.Sprintf("%s from %s: id %d (seamless %v)", im.stream, from, t.ID, im.seamless))
+			}
 			// A correction sequence begins on this connection.
 			if !fromCorr {
 				if im.seamless {
@@ -339,6 +424,9 @@ func (im *InputManager) Handle(from string, seq uint64, ts []tuple.Tuple) {
 			im.log = tuple.ApplyUndo(im.log, t.ID)
 			im.seenTentative = false
 		case t.Type == tuple.RecDone:
+			if im.trace != nil {
+				im.trace("rec-done", fmt.Sprintf("%s from %s", im.stream, from))
+			}
 			// Corrections complete: the stable stream is current.
 			im.stripTentativeFromLog()
 			if fromCorr {
@@ -414,6 +502,7 @@ func (im *InputManager) Reset() {
 		stream:            im.stream,
 		stallTimeout:      im.stallTimeout,
 		hooks:             im.hooks,
+		trace:             im.trace,
 		lastBoundarySTime: -1,
 		conns:             make(map[string]*connSeq),
 	}

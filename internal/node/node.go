@@ -86,6 +86,7 @@ type Node struct {
 	ackTicker runtime.Ticker
 	down      bool
 	onDeliver func(stream string, t tuple.Tuple)
+	trace     TraceFn
 
 	// Stats.
 	Reconciliations uint64
@@ -349,6 +350,7 @@ func (n *Node) onSignal(s operator.Signal) {
 
 // onInputFailed handles a healthy → failed transition of an input stream.
 func (n *Node) onInputFailed(stream string, kind FailKind) {
+	n.tracef("input-failed", "%s (%v)", stream, kind)
 	n.failed[stream] = true
 	if kind == FailStall {
 		// A stall with a healthy-looking upstream is a broken
@@ -357,7 +359,7 @@ func (n *Node) onInputFailed(stream string, kind FailKind) {
 	}
 	switch n.state {
 	case StateStable:
-		n.state = StateUpFailure
+		n.setState(StateUpFailure, "input failed: "+stream)
 		n.takeCheckpoint()
 		n.applyPolicies()
 	case StateUpFailure:
@@ -388,6 +390,8 @@ func (n *Node) onInputFailed(stream string, kind FailKind) {
 
 // onInputHealed handles a failed → healthy transition.
 func (n *Node) onInputHealed(stream string) {
+	n.tracef("input-healed", "%s (failed remaining %d, diverged %v, holds-tentative %v)",
+		stream, len(n.failed)-1, n.eng.Diverged(), n.eng.HoldsTentative())
 	delete(n.failed, stream)
 	n.cm.consolidate(stream)
 	if n.state != StateUpFailure || len(n.failed) > 0 {
@@ -405,7 +409,7 @@ func (n *Node) onInputHealed(stream string) {
 		// leave a bucket no policy can ever flush, starving everything
 		// downstream.
 		n.discardEpoch()
-		n.state = StateStable
+		n.setState(StateStable, "heal masked")
 		n.applyPolicies()
 		return
 	}
@@ -455,7 +459,7 @@ func (n *Node) onReconcileGranted() {
 		})
 		return
 	}
-	n.state = StateStabilization
+	n.setState(StateStabilization, "reconcile granted")
 	n.Reconciliations++
 	n.reconStart = n.clk.Now()
 	n.eng.Restore(n.snap)
@@ -483,13 +487,13 @@ func (n *Node) onStabilizationComplete() {
 	n.cm.finishReconcile()
 	if len(n.failed) == 0 {
 		n.discardEpoch()
-		n.state = StateStable
+		n.setState(StateStable, "stabilization complete")
 		n.applyPolicies()
 		return
 	}
 	// A failure struck during recovery (Fig. 11b): back to UP_FAILURE
 	// with a fresh checkpoint; the SUnions suspend again.
-	n.state = StateUpFailure
+	n.setState(StateUpFailure, "failure during stabilization")
 	n.takeCheckpoint()
 	n.applyPolicies()
 }
@@ -497,6 +501,7 @@ func (n *Node) onStabilizationComplete() {
 // takeCheckpoint requests a checkpoint and restarts the arrival logs at the
 // same instant, so snapshot + logs partition the input exactly (§4.4.1).
 func (n *Node) takeCheckpoint() {
+	n.tracef("checkpoint", "epoch %d", n.cpWant+1)
 	n.Checkpoints++
 	n.cpRequested = true
 	n.cpWant++
@@ -516,6 +521,7 @@ func (n *Node) takeCheckpoint() {
 // discardEpoch clears the failure-handling state, including a checkpoint
 // request the engine has not gotten around to serving yet.
 func (n *Node) discardEpoch() {
+	n.tracef("discard-epoch", "epoch %d", n.cpWant)
 	n.snap = nil
 	n.cpRequested = false
 	n.cpWant++
@@ -579,6 +585,7 @@ func (n *Node) applyPolicies() {
 // Crash fails the node: it stops sending and receiving, and loses all
 // volatile state (buffers are lost when a processing node fails, §2.2).
 func (n *Node) Crash() {
+	n.tracef("crash", "")
 	n.down = true
 	n.net.SetDown(n.cfg.ID, true)
 	n.Stop()
@@ -603,6 +610,7 @@ func (n *Node) Restart() {
 	if !n.down {
 		return
 	}
+	n.tracef("restart", "recovering")
 	n.down = false
 	n.net.SetDown(n.cfg.ID, false)
 	n.recovering = true
@@ -645,6 +653,8 @@ func (n *Node) maybeFinishRecovery() {
 		return
 	}
 	n.recovering = false
+	n.tracef("recovered", "failed %d, diverged %v, holds-tentative %v",
+		len(n.failed), n.eng.Diverged(), n.eng.HoldsTentative())
 	if len(n.failed) != 0 {
 		// Still in UP_FAILURE; the heal path takes it from here. The
 		// failure policy suppressed during the rebuild applies now.
@@ -652,7 +662,7 @@ func (n *Node) maybeFinishRecovery() {
 		return
 	}
 	if !n.needsReconcile() {
-		n.state = StateStable
+		n.setState(StateStable, "recovery caught up")
 		n.applyPolicies()
 		return
 	}

@@ -1,0 +1,45 @@
+package node
+
+import "fmt"
+
+// TraceFn receives one protocol trace event: the clock instant in µs, the
+// replica endpoint the event happened on, a short event name, and a
+// human-readable detail. Tracing is a supported debugging surface — the
+// fuzzer's findings are diagnosed from these streams — so event names are
+// stable: state, input-failed, input-healed, checkpoint, discard-epoch,
+// reconcile-ask, reconcile-self-grant, reconcile-grant, reconcile-reject,
+// reconcile-granted, reconcile-rejected, reconcile-released, grant-revoked,
+// grant-timeout, suspect, unsuspect, subscribe, unsubscribe, switch,
+// conn-broken, undo, rec-done, crash, restart, recovered.
+type TraceFn func(atUS int64, replica, event, detail string)
+
+// SetTrace installs a protocol event tracer on the node and its input
+// managers. A nil fn disables tracing (the default); the hook is read on
+// protocol transitions only, never on the per-tuple data path.
+func (n *Node) SetTrace(fn TraceFn) {
+	n.trace = fn
+	for _, stream := range n.inputOrder {
+		n.inputs[stream].trace = func(event, detail string) { n.tracef(event, "%s", detail) }
+	}
+	if fn == nil {
+		for _, stream := range n.inputOrder {
+			n.inputs[stream].trace = nil
+		}
+	}
+}
+
+// tracef emits one trace event when tracing is enabled.
+func (n *Node) tracef(event, format string, args ...any) {
+	if n.trace == nil {
+		return
+	}
+	n.trace(n.clk.Now(), n.cfg.ID, event, fmt.Sprintf(format, args...))
+}
+
+// setState transitions the Fig. 5 state machine, tracing the edge.
+func (n *Node) setState(s StreamState, why string) {
+	if n.trace != nil && n.state != s {
+		n.tracef("state", "%s -> %s (%s)", n.state, s, why)
+	}
+	n.state = s
+}

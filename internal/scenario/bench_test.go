@@ -71,7 +71,7 @@ func BenchmarkCompile(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rt, err := compile(rtpkg.NewVirtual(), spec, true, true)
+		rt, err := compile(rtpkg.NewVirtual(), spec, true, true, nil)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -258,7 +258,7 @@ func parseBufferMode(s string) node.BufferMode {
 // deployment, installs workload schedules, and — when withFaults is set —
 // the fault timeline. The reference run for the consistency audit compiles
 // with withFaults=false and is otherwise identical.
-func compile(exec rtpkg.Runtime, s *Spec, quick, withFaults bool) (*run, error) {
+func compile(exec rtpkg.Runtime, s *Spec, quick, withFaults bool, trace node.TraceFn) (*run, error) {
 	rt := &run{
 		spec:       s,
 		quick:      quick,
@@ -337,6 +337,13 @@ func compile(exec rtpkg.Runtime, s *Spec, quick, withFaults bool) (*run, error) 
 		return nil, err
 	}
 	rt.dep = dep
+	if trace != nil {
+		for _, row := range dep.Nodes {
+			for _, rep := range row {
+				rep.SetTrace(trace)
+			}
+		}
+	}
 	rt.boundUS = rt.availabilityBound(idx)
 	rt.installWorkloads()
 	if withFaults {

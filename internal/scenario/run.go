@@ -28,6 +28,11 @@ type Options struct {
 	// each run executes on its own virtual clock and results are ordered
 	// by input index, so parallelism only changes wall-clock time.
 	Parallelism int
+	// Trace, when non-nil, receives every protocol event of the main run
+	// (state transitions, checkpoints, reconcile and correction messages)
+	// from every node replica, in deterministic virtual-time order. The
+	// consistency reference run is never traced. See node.TraceFn.
+	Trace func(atUS int64, replica, event, detail string)
 }
 
 // freshRuntime resolves the substrate, rejecting a clock that has already
@@ -64,7 +69,7 @@ func runValidated(s *Spec, opts Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	rt, err := compile(exec, s, opts.Quick, true)
+	rt, err := compile(exec, s, opts.Quick, true, opts.Trace)
 	if err != nil {
 		return nil, err
 	}
@@ -72,7 +77,7 @@ func runValidated(s *Spec, opts Options) (*Report, error) {
 	rt.dep.RunFor(rt.durationUS)
 	rep := rt.report()
 	if s.VerifyConsistency && !opts.SkipConsistency {
-		ref, err := compile(rtpkg.NewVirtual(), s, opts.Quick, false)
+		ref, err := compile(rtpkg.NewVirtual(), s, opts.Quick, false, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -108,7 +113,7 @@ func Build(s *Spec, opts Options) (*deploy.Deployment, error) {
 	if err != nil {
 		return nil, err
 	}
-	rt, err := compile(exec, s, opts.Quick, true)
+	rt, err := compile(exec, s, opts.Quick, true, opts.Trace)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,45 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestTraceDeterministic: the per-replica protocol event trace — the
+// triage tool behind the fuzzer's three fixed findings — must fire for
+// a faulted run, carry the protocol's landmark events in virtual-time
+// order, and be byte-identical across runs.
+func TestTraceDeterministic(t *testing.T) {
+	spec, err := Load("../../scenarios/corpus/resubscribe-replay-dup.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	record := func() string {
+		var b strings.Builder
+		lastUS := int64(-1)
+		opts := Options{Trace: func(atUS int64, replica, event, detail string) {
+			if atUS < lastUS {
+				t.Fatalf("trace went backwards: %d after %d", atUS, lastUS)
+			}
+			lastUS = atUS
+			fmt.Fprintf(&b, "%d %s %s %s\n", atUS, replica, event, detail)
+		}}
+		if _, err := Run(spec, opts); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	first := record()
+	if first == "" {
+		t.Fatal("faulted run produced no trace events")
+	}
+	for _, event := range []string{"state", "batch"} {
+		if !strings.Contains(first, " "+event+" ") {
+			t.Fatalf("trace is missing %q events:\n%.600s", event, first)
+		}
+	}
+	if second := record(); second != first {
+		t.Fatal("trace is not deterministic across runs")
+	}
+}
