@@ -20,7 +20,7 @@ var quick = experiment.Options{Quick: true}
 // overlapping failures on the Fig. 10 SUnion tree.
 func BenchmarkFig11a(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiment.Fig11(true)
+		r := experiment.Fig11(true, quick)
 		if !r.ConsistencyOK || r.Reconciliations != 1 {
 			b.Fatalf("fig11a shape broken: %+v", r)
 		}
@@ -32,7 +32,7 @@ func BenchmarkFig11a(b *testing.B) {
 // recovery, yielding two correction sequences.
 func BenchmarkFig11b(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiment.Fig11(false)
+		r := experiment.Fig11(false, quick)
 		if !r.ConsistencyOK || r.Reconciliations != 2 {
 			b.Fatalf("fig11b shape broken: %+v", r)
 		}
@@ -182,7 +182,7 @@ func BenchmarkTable5(b *testing.B) {
 // BenchmarkSwitchover regenerates the §5.1 crash-switchover measurement.
 func BenchmarkSwitchover(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiment.Switchover()
+		r := experiment.Switchover(quick)
 		if r.Tentative != 0 || !r.ConsistencyOK {
 			b.Fatalf("switchover must mask the crash: %+v", r)
 		}

@@ -1,0 +1,169 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"borealis/internal/scenario"
+	"borealis/internal/vtime"
+)
+
+// BenchRow is one (scenario, fault schedule, data plane) measurement: the
+// simulated workload is identical across rows of a (scenario, faulted)
+// pair — the differential oracle guarantees the planes process the same
+// tuples — so tuples/sec differences are pure data-plane cost.
+type BenchRow struct {
+	Scenario string `json:"scenario"`
+	Faulted  bool   `json:"faulted"`
+	Plane    string `json:"plane"` // "batch" or "per-tuple"
+	Runs     int    `json:"runs"`
+	// Tuples counts engine-processed tuples per run, summed over every
+	// replica (deterministic: identical on every run and both planes).
+	Tuples uint64 `json:"tuples"`
+	// WallS is the best-of-runs wall-clock time of Start+RunFor — the
+	// build/compile cost is excluded, so the rate is steady-state.
+	WallS        float64 `json:"wall_s"`
+	TuplesPerSec float64 `json:"tuples_per_sec"`
+}
+
+// BenchPair summarizes one (scenario, faulted) comparison.
+type BenchPair struct {
+	Scenario string  `json:"scenario"`
+	Faulted  bool    `json:"faulted"`
+	Speedup  float64 `json:"speedup_batch_over_tuple"`
+}
+
+// BenchSummary is the bench subcommand's JSON output.
+type BenchSummary struct {
+	Rows  []BenchRow  `json:"rows"`
+	Pairs []BenchPair `json:"pairs"`
+}
+
+// benchOne runs one (spec, plane) combination repeats times and returns
+// the best-of row. The first run's processed-tuple count is checked
+// against every repeat: a drift would mean the run is not deterministic
+// and the wall-clock numbers are comparing different work.
+func benchOne(spec *scenario.Spec, perTuple bool, repeats int, quick bool) (BenchRow, error) {
+	row := BenchRow{Scenario: spec.Name, Faulted: len(spec.Faults) > 0, Runs: repeats, WallS: math.Inf(1)}
+	row.Plane = "batch"
+	if perTuple {
+		row.Plane = "per-tuple"
+	}
+	durS := spec.DurationS
+	if quick {
+		if spec.QuickDurationS > 0 {
+			durS = spec.QuickDurationS
+		} else {
+			durS = math.Min(durS, 20)
+		}
+	}
+	durUS := int64(durS * float64(vtime.Second))
+	for r := 0; r < repeats; r++ {
+		dep, err := scenario.Build(spec, scenario.Options{Quick: quick, SkipConsistency: true, NoAudit: true, PerTuple: perTuple})
+		if err != nil {
+			return row, err
+		}
+		start := time.Now()
+		dep.Start()
+		dep.RunFor(durUS)
+		wall := time.Since(start).Seconds()
+		var processed uint64
+		for _, group := range dep.Nodes {
+			for _, n := range group {
+				processed += n.Engine().Processed
+			}
+		}
+		if r == 0 {
+			row.Tuples = processed
+		} else if processed != row.Tuples {
+			return row, fmt.Errorf("%s (%s): processed-tuple count drifted across runs: %d then %d",
+				spec.Name, row.Plane, row.Tuples, processed)
+		}
+		if wall < row.WallS {
+			row.WallS = wall
+		}
+	}
+	row.TuplesPerSec = float64(row.Tuples) / row.WallS
+	return row, nil
+}
+
+// runBench measures tuples/sec on both data planes for each scenario file,
+// fault-free (the spec with its fault schedule stripped) and as-spec'd.
+// With minSpeedup > 0 the invocation fails unless every fault-free pair's
+// batch plane beats the per-tuple plane by at least that factor — the CI
+// regression gate for the staged data plane.
+func runBench(paths []string, repeats int, quick bool, minSpeedup float64, asJSON bool) {
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "borealis-sim: %v\n", err)
+		os.Exit(1)
+	}
+	var sum BenchSummary
+	for _, path := range paths {
+		spec, err := scenario.Load(path)
+		if err != nil {
+			fail(err)
+		}
+		variants := []*scenario.Spec{spec}
+		if len(spec.Faults) > 0 {
+			clean := spec.Clone()
+			clean.Faults = nil
+			clean.VerifyConsistency = false
+			variants = []*scenario.Spec{clean, spec}
+		}
+		for _, v := range variants {
+			var pair [2]BenchRow
+			for i, perTuple := range []bool{false, true} {
+				row, err := benchOne(v, perTuple, repeats, quick)
+				if err != nil {
+					fail(err)
+				}
+				pair[i] = row
+				sum.Rows = append(sum.Rows, row)
+			}
+			if pair[0].Tuples != pair[1].Tuples {
+				fail(fmt.Errorf("%s (faulted=%v): planes processed different tuple counts: batch %d vs per-tuple %d",
+					v.Name, len(v.Faults) > 0, pair[0].Tuples, pair[1].Tuples))
+			}
+			sum.Pairs = append(sum.Pairs, BenchPair{
+				Scenario: v.Name,
+				Faulted:  len(v.Faults) > 0,
+				Speedup:  pair[0].TuplesPerSec / pair[1].TuplesPerSec,
+			})
+		}
+	}
+	if asJSON {
+		b, err := json.MarshalIndent(sum, "", "  ")
+		if err != nil {
+			fail(err)
+		}
+		os.Stdout.Write(append(b, '\n'))
+	} else {
+		fmt.Printf("%-28s %-8s %-10s %12s %10s %14s\n", "scenario", "faults", "plane", "tuples", "wall_s", "tuples/sec")
+		for _, r := range sum.Rows {
+			faults := "none"
+			if r.Faulted {
+				faults = "spec"
+			}
+			fmt.Printf("%-28s %-8s %-10s %12d %10.3f %14.0f\n", r.Scenario, faults, r.Plane, r.Tuples, r.WallS, r.TuplesPerSec)
+		}
+		for _, p := range sum.Pairs {
+			faults := "fault-free"
+			if p.Faulted {
+				faults = "faulted"
+			}
+			fmt.Printf("speedup %-28s %-10s %.2fx (batch over per-tuple)\n", p.Scenario, faults, p.Speedup)
+		}
+	}
+	if minSpeedup > 0 {
+		for _, p := range sum.Pairs {
+			if !p.Faulted && p.Speedup < minSpeedup {
+				fmt.Fprintf(os.Stderr, "borealis-sim: %s fault-free batch speedup %.2fx below required %.2fx\n",
+					p.Scenario, p.Speedup, minSpeedup)
+				os.Exit(1)
+			}
+		}
+	}
+}

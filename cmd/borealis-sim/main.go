@@ -68,11 +68,11 @@ var experiments = []struct {
 	desc string
 	run  func(experiment.Options, io.Writer)
 }{
-	{"fig11a", "eventual consistency under overlapping failures", func(_ experiment.Options, w io.Writer) {
-		experiment.Fig11(true).Print(w)
+	{"fig11a", "eventual consistency under overlapping failures", func(o experiment.Options, w io.Writer) {
+		experiment.Fig11(true, o).Print(w)
 	}},
-	{"fig11b", "eventual consistency with a failure during recovery", func(_ experiment.Options, w io.Writer) {
-		experiment.Fig11(false).Print(w)
+	{"fig11b", "eventual consistency with a failure during recovery", func(o experiment.Options, w io.Writer) {
+		experiment.Fig11(false, o).Print(w)
 	}},
 	{"table3", "Procnew vs failure duration (replicated node + SJoin)", func(o experiment.Options, w io.Writer) {
 		experiment.Table3(o).Print(w)
@@ -101,8 +101,8 @@ var experiments = []struct {
 	{"table5", "serialization overhead vs boundary interval", func(o experiment.Options, w io.Writer) {
 		experiment.Table5(o).Print(w)
 	}},
-	{"switchover", "crash switchover gap (§5.1)", func(_ experiment.Options, w io.Writer) {
-		experiment.Switchover().Print(w)
+	{"switchover", "crash switchover gap (§5.1)", func(o experiment.Options, w io.Writer) {
+		experiment.Switchover(o).Print(w)
 	}},
 	{"ablate-buffers", "§8.1 buffer-management strategies", func(o experiment.Options, w io.Writer) {
 		experiment.AblateBuffers(o).Print(w)
@@ -141,6 +141,9 @@ func main() {
 	checkpoint := flag.String("checkpoint", "", "soak mode: campaign state file for interrupt/resume")
 	mutateDirs := flag.String("mutate", "", "soak mode: comma-separated spec directories to mutate (e.g. scenarios/corpus,scenarios)")
 	differential := flag.Bool("differential", false, "soak mode: also run the differential oracles on runs the normal oracles pass")
+	perTuple := flag.Bool("per-tuple", false, "run on the reference per-tuple data plane instead of the staged batch plane (identical output, slower)")
+	benchRuns := flag.Int("bench-runs", 3, "bench mode: wall-clock repetitions per (scenario, plane); best-of wins")
+	minSpeedup := flag.Float64("min-speedup", 0, "bench mode: fail unless every fault-free batch run beats per-tuple by this factor (0 = report only)")
 	flag.Usage = usage
 	flag.Parse()
 	args := flag.Args()
@@ -155,7 +158,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "       borealis-sim ... [-trace FILE] -gen-seed S scenario\n")
 			os.Exit(2)
 		}
-		opts := scenario.Options{Quick: *quick, SkipConsistency: *noAudit}
+		opts := scenario.Options{Quick: *quick, SkipConsistency: *noAudit, PerTuple: *perTuple}
 		closeTrace := installTrace(&opts, *tracePath)
 		runScenarios(args[1:], *genSeed, opts, *asJSON, nil)
 		closeTrace()
@@ -166,14 +169,14 @@ func main() {
 			os.Exit(2)
 		}
 		mk := func() runtime.Runtime { return runtime.NewWall(*speed) }
-		runScenarios(args[1:], 0, scenario.Options{Quick: *quick, SkipConsistency: *noAudit}, *asJSON, mk)
+		runScenarios(args[1:], 0, scenario.Options{Quick: *quick, SkipConsistency: *noAudit, PerTuple: *perTuple}, *asJSON, mk)
 		return
 	case "sweep":
 		if len(args) != 2 || *field == "" || *from == "" || *to == "" {
 			fmt.Fprintf(os.Stderr, "usage: borealis-sim [-quick] [-json] [-no-audit] [-parallel N] -field F -from A -to B [-steps N] [-field2 G -from2 C -to2 D [-steps2 M] [-metric M]] [-repeat R] sweep <file.json>\n")
 			os.Exit(2)
 		}
-		opts := scenario.Options{Quick: *quick, SkipConsistency: *noAudit, Parallelism: *parallel}
+		opts := scenario.Options{Quick: *quick, SkipConsistency: *noAudit, Parallelism: *parallel, PerTuple: *perTuple}
 		if *field2 != "" {
 			if *from2 == "" || *to2 == "" {
 				fmt.Fprintf(os.Stderr, "borealis-sim: -field2 needs -from2 and -to2\n")
@@ -194,6 +197,13 @@ func main() {
 			return
 		}
 		runSweep(args[1], *field, *from, *to, *steps, opts, *asJSON)
+		return
+	case "bench":
+		if len(args) < 2 {
+			fmt.Fprintf(os.Stderr, "usage: borealis-sim [-quick] [-json] [-bench-runs N] [-min-speedup X] bench <file.json>...\n")
+			os.Exit(2)
+		}
+		runBench(args[1:], *benchRuns, *quick, *minSpeedup, *asJSON)
 		return
 	case "fuzz":
 		if len(args) != 1 {
@@ -223,7 +233,7 @@ func main() {
 		}, *mutateDirs, *outDir, *asJSON, *failOnFinding)
 		return
 	}
-	opts := experiment.Options{Quick: *quick}
+	opts := experiment.Options{Quick: *quick, PerTuple: *perTuple}
 	want := map[string]bool{}
 	for _, a := range args {
 		if a == "all" {

@@ -23,9 +23,9 @@ func main() {
 	}
 	switch os.Args[1] {
 	case "fig11a":
-		experiment.Fig11(true).TraceCSV(os.Stdout)
+		experiment.Fig11(true, experiment.Options{}).TraceCSV(os.Stdout)
 	case "fig11b":
-		experiment.Fig11(false).TraceCSV(os.Stdout)
+		experiment.Fig11(false, experiment.Options{}).TraceCSV(os.Stdout)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown series %q\n", os.Args[1])
 		os.Exit(2)

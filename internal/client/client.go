@@ -54,6 +54,16 @@ type Config struct {
 	AckInterval int64
 	// Record keeps a per-delivery trace (time, tuple) for figure series.
 	Record bool
+	// NoAudit disables the consistency-audit instrumentation: the
+	// undo-compacted view and the stable-duplicate tracking map, whose
+	// per-tuple hashing and retention dominate a throughput measurement.
+	// View/StableView return nothing and Stats.StableDuplicates stays
+	// zero. Benchmark harnesses only — every correctness path keeps the
+	// audit on.
+	NoAudit bool
+	// PerTuple runs the proxy node's engine on the reference per-tuple
+	// data plane instead of the staged batch plane.
+	PerTuple bool
 }
 
 // Delivery is one recorded delivery.
@@ -148,6 +158,7 @@ func New(clk runtime.Clock, net *netsim.Net, cfg Config) (*Client, error) {
 		StallTimeout: cfg.StallTimeout,
 		CM:           cfg.CM,
 		AckInterval:  cfg.AckInterval,
+		PerTuple:     cfg.PerTuple,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("client: %w", err)
@@ -189,7 +200,9 @@ func (c *Client) consume(t tuple.Tuple) {
 	}
 	switch {
 	case t.IsData():
-		c.view = tuple.Append(c.view, t)
+		if !c.cfg.NoAudit {
+			c.view = tuple.Append(c.view, t)
+		}
 		if t.Type == tuple.Tentative {
 			c.tentative++
 			c.streak++
@@ -198,11 +211,13 @@ func (c *Client) consume(t tuple.Tuple) {
 			}
 		} else {
 			c.streak = 0
-			key := stableKey(t)
-			if c.stableSeen[key] {
-				c.stableDups++
+			if !c.cfg.NoAudit {
+				key := stableKey(t)
+				if c.stableSeen[key] {
+					c.stableDups++
+				}
+				c.stableSeen[key] = true
 			}
-			c.stableSeen[key] = true
 		}
 		if t.STime > c.maxSTime {
 			c.maxSTime = t.STime
@@ -219,7 +234,9 @@ func (c *Client) consume(t tuple.Tuple) {
 		}
 	case t.Type == tuple.Undo:
 		c.undos++
-		c.view = tuple.ApplyUndo(c.view, t.ID)
+		if !c.cfg.NoAudit {
+			c.view = tuple.ApplyUndo(c.view, t.ID)
+		}
 	case t.Type == tuple.RecDone:
 		c.recDones++
 	}

@@ -64,6 +64,8 @@ type ChainSpec struct {
 	FineGrained bool
 	// RecordClient keeps the client's delivery trace.
 	RecordClient bool
+	// PerTuple runs every node on the reference per-tuple data plane.
+	PerTuple bool
 }
 
 func (s *ChainSpec) normalize() error {
@@ -158,6 +160,7 @@ func BuildChain(spec ChainSpec) (*Deployment, error) {
 		StallTimeout:     spec.StallTimeout,
 		KeepAlive:        spec.KeepAlive,
 		AckInterval:      spec.AckInterval,
+		PerTuple:         spec.PerTuple,
 		Client: TopologyClient{
 			Stream:              levelStream(spec.Depth),
 			BucketSize:          spec.BucketSize,
@@ -294,6 +297,7 @@ type SUnionTreeSpec struct {
 	FailurePolicy, StabilizationPolicy         operator.DelayPolicy
 	StallTimeout                               int64
 	RecordClient                               bool
+	PerTuple                                   bool
 }
 
 // BuildSUnionTree assembles the Fig. 10/11 deployment as a preset over
@@ -317,6 +321,7 @@ func BuildSUnionTree(spec SUnionTreeSpec) (*Deployment, error) {
 		BoundaryInterval: spec.BoundaryInterval,
 		TickInterval:     spec.TickInterval,
 		StallTimeout:     spec.StallTimeout,
+		PerTuple:         spec.PerTuple,
 		Client: TopologyClient{
 			Stream: "t1",
 			Delay:  50 * vtime.Millisecond,

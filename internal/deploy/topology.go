@@ -83,6 +83,9 @@ type TopologyClient struct {
 	TentativeBoundaries bool
 	// Record keeps the per-delivery trace.
 	Record bool
+	// NoAudit strips the client's consistency-audit instrumentation
+	// (throughput benchmarks only; see client.Config.NoAudit).
+	NoAudit bool
 }
 
 // TopologySpec describes a full deployment: sources, a DAG of replicated
@@ -97,6 +100,9 @@ type TopologySpec struct {
 	// StallTimeout / KeepAlive / AckInterval tune failure detection and
 	// output-buffer truncation on every node and the client.
 	StallTimeout, KeepAlive, AckInterval int64
+	// PerTuple runs every node and the client proxy on the reference
+	// per-tuple data plane instead of the staged batch plane.
+	PerTuple bool
 }
 
 func (s *TopologySpec) normalize() error {
@@ -423,6 +429,7 @@ func BuildTopologyOn(rt runtime.Runtime, spec TopologySpec) (*Deployment, error)
 				FineGrained:         g.FineGrained,
 				CM:                  node.CMConfig{KeepAlive: spec.KeepAlive},
 				AckInterval:         spec.AckInterval,
+				PerTuple:            spec.PerTuple,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("deploy: group %q replica %d: %w", g.Name, r, err)
@@ -445,6 +452,8 @@ func BuildTopologyOn(rt runtime.Runtime, spec TopologySpec) (*Deployment, error)
 		AckInterval:         spec.AckInterval,
 		TentativeBoundaries: spec.Client.TentativeBoundaries,
 		Record:              spec.Client.Record,
+		NoAudit:             spec.Client.NoAudit,
+		PerTuple:            spec.PerTuple,
 	})
 	if err != nil {
 		return nil, err

@@ -42,6 +42,12 @@ type Config struct {
 	// Zero means infinitely fast (tuples are dispatched immediately),
 	// which is convenient for protocol unit tests.
 	Capacity float64
+	// PerTuple disables the staged batch data plane and dispatches every
+	// tuple through the diagram one at a time — the reference
+	// implementation the batch path is differentially tested against.
+	// Both planes produce byte-identical output; the batch plane is the
+	// default because it is substantially faster on stable traffic.
+	PerTuple bool
 }
 
 type work struct {
@@ -55,6 +61,40 @@ type work struct {
 type consumer struct {
 	op   operator.Operator
 	port int
+}
+
+// stage is one operator of a precomputed linear chain (see chain).
+type stage struct {
+	op   operator.Operator
+	bp   operator.BatchProcessor // non-nil when op implements it
+	port int
+	// clean is set when op is operator.CleanPreserving: an accepted
+	// ProcessBatch call provably emits only stable insertions and stable
+	// boundaries given a clean input, so the dispatcher skips the
+	// per-tuple Gate B rescan of the stage's output.
+	clean bool
+}
+
+// chain is the wire-time precomputed path a batch takes from one external
+// input binding through the diagram, following single-consumer non-output
+// edges. The staged batch plane runs it operator-at-a-time: every tuple of
+// the batch through stage 0, the collected emissions through stage 1, and
+// so on — the iterator-composition shape, without per-tuple virtual
+// dispatch through the whole diagram per tuple.
+//
+// A chain ends either at a pure output operator (outStream non-empty; its
+// collected emissions are published as one batch) or at the first operator
+// with fan-out or an output-with-consumers (truncated: that operator runs
+// per-tuple through its normal emit closure, which routes the rest of the
+// diagram exactly as the reference plane does).
+type chain struct {
+	stages    []stage
+	outStream string
+	truncated bool
+	// copyInput is set when the first stage may rewrite its input frame in
+	// place (operator.MutatesBatch): the ingested batch belongs to the
+	// caller, so the dispatcher hands such a stage a pool copy instead.
+	copyInput bool
 }
 
 // Snapshot is a whole-diagram checkpoint.
@@ -71,6 +111,24 @@ type Engine struct {
 	onOutput func(stream string, t tuple.Tuple)
 	onSignal func(operator.Signal)
 	onIdle   func()
+	// onOutputBatch, when set, receives whole output batches from the
+	// staged plane in one call; unset, the staged plane falls back to
+	// per-tuple onOutput calls.
+	onOutputBatch func(stream string, ts []tuple.Tuple)
+
+	// Staged batch plane. chains precomputes, per external input stream,
+	// the linear operator path a batch can be run through
+	// operator-at-a-time. While a stage runs, collectOp names it and the
+	// stage's emissions are captured in collectBuf instead of being routed
+	// downstream; frames recycles the capture buffers.
+	chains     map[string]*chain
+	collectOp  operator.Operator
+	collectBuf []tuple.Tuple
+	// collectLoan marks collectBuf as an array loaned by the running
+	// stage's operator (Env.EmitLoan): used in place as the stage frame,
+	// never returned to the frame pool.
+	collectLoan bool
+	frames      tuple.FramePool
 
 	// queue is a ring buffer of pending batches: slots are reused across
 	// the engine's lifetime, so steady-state ingest enqueues without
@@ -118,6 +176,13 @@ func (e *Engine) Diagram() *diagram.Diagram { return e.d }
 // external output stream.
 func (e *Engine) OnOutput(fn func(stream string, t tuple.Tuple)) { e.onOutput = fn }
 
+// OnOutputBatch registers the callback receiving whole batches emitted on
+// an external output stream by the staged batch plane. The slice is only
+// valid for the duration of the call (it is a pooled frame); the callback
+// must copy what it retains. Tuples still reach OnOutput per-tuple whenever
+// the staged plane is not in effect, so both callbacks should be set.
+func (e *Engine) OnOutputBatch(fn func(stream string, ts []tuple.Tuple)) { e.onOutputBatch = fn }
+
 // OnSignal registers the callback receiving SUnion/SOutput control signals.
 func (e *Engine) OnSignal(fn func(operator.Signal)) { e.onSignal = fn }
 
@@ -156,10 +221,21 @@ func (e *Engine) wire() {
 			cons[i] = consumer{op: e.d.Op(edge.To), port: edge.Port}
 		}
 		stream, isOutput := outputOf[name]
+		// Both closures first check whether the staged batch plane is
+		// collecting this operator's emissions; the collector defers the
+		// divergence bookkeeping to the staged dispatcher, which replicates
+		// the reference plane's write timing exactly (see dispatchStaged).
 		var emit func(tuple.Tuple)
 		if len(cons) == 1 && !isOutput {
 			to := cons[0]
 			emit = func(t tuple.Tuple) {
+				if e.collectOp == op {
+					if e.collectBuf == nil {
+						e.collectBuf = e.frames.Get()
+					}
+					e.collectBuf = append(e.collectBuf, t)
+					return
+				}
 				if t.Type == tuple.Tentative {
 					e.diverged = true
 				}
@@ -167,6 +243,13 @@ func (e *Engine) wire() {
 			}
 		} else {
 			emit = func(t tuple.Tuple) {
+				if e.collectOp == op {
+					if e.collectBuf == nil {
+						e.collectBuf = e.frames.Get()
+					}
+					e.collectBuf = append(e.collectBuf, t)
+					return
+				}
 				if t.Type == tuple.Tentative {
 					e.diverged = true
 				}
@@ -178,10 +261,52 @@ func (e *Engine) wire() {
 				}
 			}
 		}
+		// The bulk path a ProcessBatch implementation hands its staged
+		// output to: a single append when the staged plane is collecting
+		// this operator, the reference per-tuple chain otherwise.
+		emitBatch := func(ts []tuple.Tuple) {
+			if e.collectOp == op {
+				if len(ts) == 0 {
+					return
+				}
+				if e.collectBuf == nil {
+					e.collectBuf = e.frames.Get()
+				}
+				e.collectBuf = append(e.collectBuf, ts...)
+				return
+			}
+			for i := range ts {
+				emit(ts[i])
+			}
+		}
+		// The zero-copy variant: when this operator is the running stage
+		// and nothing has been collected yet, the loaned array becomes
+		// the stage frame outright — the usual case for a ProcessBatch
+		// that stages its whole output in a scratch buffer.
+		emitLoan := func(ts []tuple.Tuple) bool {
+			if e.collectOp == op {
+				if len(ts) == 0 {
+					return false
+				}
+				if e.collectBuf == nil {
+					e.collectBuf = ts
+					e.collectLoan = true
+					return true
+				}
+				e.collectBuf = append(e.collectBuf, ts...)
+				return false
+			}
+			for i := range ts {
+				emit(ts[i])
+			}
+			return false
+		}
 		env := &operator.Env{
-			Now:   e.clk.Now,
-			After: e.clk.After,
-			Emit:  emit,
+			Now:       e.clk.Now,
+			After:     e.clk.After,
+			Emit:      emit,
+			EmitBatch: emitBatch,
+			EmitLoan:  emitLoan,
 			Signal: func(s operator.Signal) {
 				if e.onSignal != nil {
 					e.onSignal(s)
@@ -203,6 +328,50 @@ func (e *Engine) wire() {
 	e.sunions = e.sunions[:0]
 	for _, name := range e.d.SUnions() {
 		e.sunions = append(e.sunions, e.d.Op(name).(*operator.SUnion))
+	}
+	e.chains = make(map[string]*chain)
+	for _, in := range e.d.Inputs() {
+		ch := e.buildChain(in.Op, in.Port, outputOf)
+		// A single truncated stage degenerates to exactly the per-tuple
+		// loop; skip the gate scans and dispatch it directly.
+		if len(ch.stages) > 1 || !ch.truncated {
+			e.chains[in.Stream] = ch
+		}
+	}
+}
+
+// buildChain walks the diagram from an input binding along single-consumer
+// non-output edges, producing the linear path the staged batch plane runs
+// operator-at-a-time. Diagrams are acyclic, so the walk terminates.
+func (e *Engine) buildChain(opName string, port int, outputOf map[string]string) *chain {
+	ch := &chain{}
+	name := opName
+	for {
+		op := e.d.Op(name)
+		st := stage{op: op, port: port}
+		st.bp, _ = op.(operator.BatchProcessor)
+		_, st.clean = op.(operator.CleanPreserving)
+		if len(ch.stages) == 0 {
+			_, ch.copyInput = op.(operator.MutatesBatch)
+		}
+		ch.stages = append(ch.stages, st)
+		edges := e.d.Downstream(name)
+		stream, isOutput := outputOf[name]
+		switch {
+		case len(edges) == 0 && isOutput:
+			ch.outStream = stream
+			return ch
+		case len(edges) == 1 && !isOutput:
+			name = edges[0].To
+			port = edges[0].Port
+		default:
+			// Fan-out, an output that also has consumers, or a dead end:
+			// this operator runs per-tuple through its normal emit
+			// closure, which routes the rest of the diagram exactly as
+			// the reference plane does.
+			ch.truncated = true
+			return ch
+		}
 	}
 }
 
@@ -306,16 +475,169 @@ func (e *Engine) svcDone(any) {
 	e.kick()
 }
 
-// dispatch pushes a serviced batch through the diagram.
+// dispatch pushes a serviced batch through the diagram: along the staged
+// batch plane when the safety gates hold, per-tuple otherwise.
 func (e *Engine) dispatch(batch work) {
 	in, ok := e.inBind[batch.stream]
 	if !ok {
 		return
 	}
 	ts := batch.tuples
+	if !e.cfg.PerTuple {
+		if ch := e.chains[batch.stream]; ch != nil && e.stageable(ts) {
+			e.dispatchStaged(ch, ts)
+			return
+		}
+	}
 	for i := range ts {
 		e.Processed++
 		in.op.Process(in.port, ts[i])
+	}
+}
+
+// stageable is the staged plane's entry gate. Gate A: every SUnion must be
+// under PolicyNone or PolicySuspend — the tentative-emitting policies arm
+// flush timers whose heap order depends on per-tuple interleaving, which
+// operator-at-a-time execution would reorder. Gate B (entry half): the
+// batch must hold only stable traffic; anything else takes the reference
+// path, whose ordering around undo/reconciliation is the spec.
+func (e *Engine) stageable(ts []tuple.Tuple) bool {
+	for _, su := range e.sunions {
+		if p := su.Policy(); p != operator.PolicyNone && p != operator.PolicySuspend {
+			return false
+		}
+	}
+	return cleanBatch(ts)
+}
+
+// cleanBatch reports whether ts carries only stable traffic: insertions and
+// stable boundaries. Tentative boundaries (Src==1, footnote 5 of the paper)
+// are excluded along with tentative data — they only occur while some
+// SUnion is emitting tentatively, exactly when staging must stand down.
+func cleanBatch(ts []tuple.Tuple) bool {
+	for i := range ts {
+		if ts[i].Type != tuple.Insertion && !(ts[i].Type == tuple.Boundary && ts[i].Src == 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// dispatchStaged runs a batch through a chain operator-at-a-time: every
+// tuple through stage 0, stage 0's collected emissions through stage 1, and
+// so on. Each stage's output is re-checked against Gate B — the moment a
+// stage emits anything non-stable, the remaining diagram runs per-tuple
+// through the reference plane's emit closures, with the divergence flag
+// written per tentative tuple immediately before the downstream Process
+// call, exactly as the reference emit closure would have.
+//
+// Equivalence argument: within one synchronous dispatch the clock is
+// constant, only SUnions arm timers (never under Gate A's policies), only
+// SOutput reads the divergence flag (and it is terminal in every chain),
+// and the flag can only transition on a tentative emission — which Gate B
+// turns into a fallback at the emitting stage. So reordering per-tuple
+// depth-first traversal into operator-at-a-time stages changes no
+// observable state transition.
+func (e *Engine) dispatchStaged(ch *chain, ts []tuple.Tuple) {
+	e.Processed += uint64(len(ts))
+	cur := ts
+	curPooled := false // cur is a pool frame (not the input, not a loan)
+	if ch.copyInput {
+		cur = append(e.frames.Get(), ts...)
+		curPooled = true
+	}
+	for si := range ch.stages {
+		st := ch.stages[si]
+		last := si == len(ch.stages)-1
+		if last && ch.truncated {
+			// Truncated tail: the fan-out (or consumed-output) operator
+			// routes the rest of the diagram through its normal closures.
+			for i := range cur {
+				st.op.Process(st.port, cur[i])
+			}
+			break
+		}
+		out, pooled, fast := e.collectStage(st, cur)
+		if len(out) > 0 && len(cur) > 0 && &out[0] == &cur[0] {
+			// The stage re-emitted its input frame in place (a self-loan,
+			// possibly compacted shorter): ownership of the frame carries
+			// over unchanged, so it must not be recycled here.
+			cur = out
+		} else {
+			if curPooled {
+				e.frames.Put(cur)
+			}
+			cur, curPooled = out, pooled
+		}
+		if last {
+			e.publishStaged(ch.outStream, out)
+			break
+		}
+		if (!fast || !st.clean) && !cleanBatch(out) {
+			// Gate B fallback: feed this stage's emissions per-tuple into
+			// the next stage; its emit closures take over from there.
+			next := ch.stages[si+1]
+			for i := range out {
+				if out[i].Type == tuple.Tentative {
+					e.diverged = true
+				}
+				next.op.Process(next.port, out[i])
+			}
+			break
+		}
+	}
+	if curPooled {
+		e.frames.Put(cur)
+	}
+}
+
+// collectStage runs one batch through one operator, capturing its
+// emissions. The batch-processing fast path is taken when the operator
+// offers one and accepts; otherwise the reference per-tuple loop runs with
+// the collector still capturing. The capture buffer is materialized lazily:
+// a pool frame on the first per-tuple or copying emission, or the
+// operator's own loaned array (Env.EmitLoan) aliased in place — the second
+// return value reports whether the result belongs to the frame pool, the
+// third whether the batch fast path accepted (needed for the Gate B
+// rescan-skip, which only CleanPreserving ProcessBatch calls license).
+func (e *Engine) collectStage(st stage, ts []tuple.Tuple) ([]tuple.Tuple, bool, bool) {
+	e.collectOp = st.op
+	e.collectBuf = nil
+	e.collectLoan = false
+	fast := st.bp != nil && st.bp.ProcessBatch(st.port, ts)
+	if !fast {
+		for i := range ts {
+			st.op.Process(st.port, ts[i])
+		}
+	}
+	out, pooled := e.collectBuf, !e.collectLoan
+	e.collectOp = nil
+	e.collectBuf = nil
+	e.collectLoan = false
+	return out, pooled, fast
+}
+
+// publishStaged delivers a terminal output operator's collected emissions.
+// The divergence scan mirrors the reference emit closure (which sets the
+// flag before publishing each tentative tuple); nothing on the publish side
+// reads the flag, so setting it for the whole batch up front is exact.
+func (e *Engine) publishStaged(stream string, out []tuple.Tuple) {
+	for i := range out {
+		if out[i].Type == tuple.Tentative {
+			e.diverged = true
+		}
+	}
+	if len(out) == 0 {
+		return
+	}
+	if e.onOutputBatch != nil {
+		e.onOutputBatch(stream, out)
+		return
+	}
+	if e.onOutput != nil {
+		for i := range out {
+			e.onOutput(stream, out[i])
+		}
 	}
 }
 

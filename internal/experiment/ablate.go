@@ -50,12 +50,12 @@ func AblateBuffers(opts Options) BufferAblationResult {
 		{"block-on-full", node.BufferBlock, res.Cap},
 	}
 	for _, tc := range cases {
-		res.Rows = append(res.Rows, bufferRun(tc.name, tc.mode, tc.cap, failSecs))
+		res.Rows = append(res.Rows, bufferRun(tc.name, tc.mode, tc.cap, failSecs, opts))
 	}
 	return res
 }
 
-func bufferRun(name string, mode node.BufferMode, capTuples int, failSecs int64) BufferAblationRow {
+func bufferRun(name string, mode node.BufferMode, capTuples int, failSecs int64, opts Options) BufferAblationRow {
 	spec := deploy.ChainSpec{
 		Depth:      1,
 		Replicas:   2,
@@ -64,6 +64,7 @@ func bufferRun(name string, mode node.BufferMode, capTuples int, failSecs int64)
 		Delay:      2 * vtime.Second,
 		BufferMode: mode,
 		BufferCap:  capTuples,
+		PerTuple:   opts.PerTuple,
 		// No acks: the buffer can only grow during the failure, which
 		// is exactly the §8.1 stress.
 	}

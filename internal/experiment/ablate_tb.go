@@ -29,17 +29,17 @@ func AblateTentativeBoundaries(opts Options) TBAblationResult {
 	}
 	res := TBAblationResult{Depths: depths}
 	for _, d := range depths {
-		p, n := tbRun(d, false)
+		p, n := tbRun(d, false, opts)
 		res.Without = append(res.Without, p)
 		res.TentWithout = append(res.TentWithout, n)
-		p, n = tbRun(d, true)
+		p, n = tbRun(d, true, opts)
 		res.With = append(res.With, p)
 		res.TentWith = append(res.TentWith, n)
 	}
 	return res
 }
 
-func tbRun(depth int, tb bool) (float64, uint64) {
+func tbRun(depth int, tb bool, opts Options) (float64, uint64) {
 	spec := deploy.ChainSpec{
 		Depth:               depth,
 		Replicas:            2,
@@ -51,6 +51,7 @@ func tbRun(depth int, tb bool) (float64, uint64) {
 		StabilizationPolicy: operator.PolicyProcess,
 		TentativeBoundaries: tb,
 		AckInterval:         vtime.Second,
+		PerTuple:            opts.PerTuple,
 	}
 	dep, err := deploy.BuildChain(spec)
 	if err != nil {

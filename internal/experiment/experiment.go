@@ -18,6 +18,11 @@ import (
 type Options struct {
 	// Quick shrinks duration sweeps for use inside `go test -bench`.
 	Quick bool
+	// PerTuple runs every deployment on the reference per-tuple data
+	// plane instead of the staged batch plane. Metrics are identical
+	// either way (the experiment tests pin both); the knob exists for
+	// differential benchmarking.
+	PerTuple bool
 }
 
 // Seconds renders a µs virtual duration in seconds.

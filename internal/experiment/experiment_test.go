@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -14,7 +15,7 @@ var q = Options{Quick: true}
 
 func TestFig11aShape(t *testing.T) {
 	t.Parallel()
-	r := Fig11(true)
+	r := Fig11(true, q)
 	if !r.ConsistencyOK {
 		t.Fatalf("fig11a eventual consistency failed: %s", r.AuditReason)
 	}
@@ -31,7 +32,7 @@ func TestFig11aShape(t *testing.T) {
 
 func TestFig11bShape(t *testing.T) {
 	t.Parallel()
-	r := Fig11(false)
+	r := Fig11(false, q)
 	if !r.ConsistencyOK {
 		t.Fatalf("fig11b eventual consistency failed: %s", r.AuditReason)
 	}
@@ -42,7 +43,7 @@ func TestFig11bShape(t *testing.T) {
 
 func TestFig11CSV(t *testing.T) {
 	t.Parallel()
-	r := Fig11(true)
+	r := Fig11(true, q)
 	var buf bytes.Buffer
 	r.TraceCSV(&buf)
 	out := buf.String()
@@ -188,7 +189,7 @@ func TestTable4Table5Shapes(t *testing.T) {
 
 func TestSwitchoverShape(t *testing.T) {
 	t.Parallel()
-	r := Switchover()
+	r := Switchover(q)
 	if r.Tentative != 0 {
 		t.Fatalf("crash switchover must be masked, got %d tentative", r.Tentative)
 	}
@@ -239,15 +240,60 @@ func TestPrintersProduceOutput(t *testing.T) {
 	Fig15(Options{Quick: true}).Print(&buf)
 	Fig19(Options{Quick: true}).Print(&buf)
 	Table4(Options{Quick: true}).Print(&buf)
-	Switchover().Print(&buf)
+	Switchover(q).Print(&buf)
 	AblateBuffers(Options{Quick: true}).Print(&buf)
 	AblateTentativeBoundaries(Options{Quick: true}).Print(&buf)
-	Fig11(true).Print(&buf)
+	Fig11(true, q).Print(&buf)
 	out := buf.String()
 	for _, want := range []string{"Table III", "chain depth", "X = 8 s", "Table IV", "switchover", "buffer management", "tentative boundaries", "Fig. 11(a)"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("printer output missing %q", want)
 		}
+	}
+}
+
+// TestExperimentsBothPlanes pins every experiment's full result struct
+// across the two data planes: the staged batch plane and the per-tuple
+// reference must produce byte-identical metrics (JSON-rendered) for the
+// whole evaluation suite. This is the experiment-level analogue of the
+// scenario golden proof — any batch-plane shortcut that changed a single
+// delivered tuple, latency, or counter anywhere in §5-§8 would show here.
+func TestExperimentsBothPlanes(t *testing.T) {
+	t.Parallel()
+	batch := Options{Quick: true}
+	ref := Options{Quick: true, PerTuple: true}
+	for _, tc := range []struct {
+		name string
+		run  func(Options) any
+	}{
+		{"fig11a", func(o Options) any { return Fig11(true, o) }},
+		{"fig11b", func(o Options) any { return Fig11(false, o) }},
+		{"table3", func(o Options) any { return Table3(o) }},
+		{"fig13", func(o Options) any { return Fig13(o) }},
+		{"fig15", func(o Options) any { return Fig15(o) }},
+		{"fig16", func(o Options) any { return Fig16(o, 5) }},
+		{"fig19", func(o Options) any { return Fig19(o) }},
+		{"table4", func(o Options) any { return Table4(o) }},
+		{"table5", func(o Options) any { return Table5(o) }},
+		{"switchover", func(o Options) any { return Switchover(o) }},
+		{"ablate-buffers", func(o Options) any { return AblateBuffers(o) }},
+		{"ablate-tb", func(o Options) any { return AblateTentativeBoundaries(o) }},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			b, err := json.Marshal(tc.run(batch))
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := json.Marshal(tc.run(ref))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(b, p) {
+				t.Fatalf("experiment diverges across data planes\nbatch:     %s\nper-tuple: %s", b, p)
+			}
+		})
 	}
 }
 

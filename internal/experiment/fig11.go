@@ -33,8 +33,8 @@ type Fig11Result struct {
 }
 
 // Fig11 runs scenario (a) when overlap is true, else scenario (b).
-func Fig11(overlap bool) Fig11Result {
-	spec := deploy.SUnionTreeSpec{Rate: 400, Delay: 2 * vtime.Second, RecordClient: true}
+func Fig11(overlap bool, opts Options) Fig11Result {
+	spec := deploy.SUnionTreeSpec{Rate: 400, Delay: 2 * vtime.Second, RecordClient: true, PerTuple: opts.PerTuple}
 	dep, err := deploy.BuildSUnionTree(spec)
 	if err != nil {
 		panic(err)
@@ -92,7 +92,7 @@ func Fig11(overlap bool) Fig11Result {
 	st := dep.Client.Stats()
 	res.Corrections = st.NewTuples // informational
 
-	ref, err := deploy.BuildSUnionTree(deploy.SUnionTreeSpec{Rate: spec.Rate, Delay: spec.Delay})
+	ref, err := deploy.BuildSUnionTree(deploy.SUnionTreeSpec{Rate: spec.Rate, Delay: spec.Delay, PerTuple: spec.PerTuple})
 	if err != nil {
 		panic(err)
 	}

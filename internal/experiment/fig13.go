@@ -43,7 +43,7 @@ func Fig13(opts Options) Fig13Result {
 		var procs []float64
 		var tents []uint64
 		for _, secs := range durations {
-			p, n := fig13Run(v, secs)
+			p, n := fig13Run(v, secs, opts)
 			procs = append(procs, p)
 			tents = append(tents, n)
 		}
@@ -53,7 +53,7 @@ func Fig13(opts Options) Fig13Result {
 	return res
 }
 
-func fig13Run(v Variant, failSecs int64) (float64, uint64) {
+func fig13Run(v Variant, failSecs int64, opts Options) (float64, uint64) {
 	spec := deploy.ChainSpec{
 		Depth:               1,
 		Replicas:            2,
@@ -64,6 +64,7 @@ func fig13Run(v Variant, failSecs int64) (float64, uint64) {
 		FailurePolicy:       v.Failure,
 		StabilizationPolicy: v.Stabilization,
 		AckInterval:         vtime.Second,
+		PerTuple:            opts.PerTuple,
 	}
 	fail := failSecs * vtime.Second
 	dep, err := deploy.BuildChain(spec)

@@ -21,7 +21,7 @@ type ChainResult struct {
 
 // chainRun runs one chain configuration and returns (Procnew seconds,
 // Ntentative tuples) measured at the client from failure start onward.
-func chainRun(depth int, fp, sp operator.DelayPolicy, failSecs int64, delayOverride func(int) int64, perNodeDelay int64) (float64, uint64) {
+func chainRun(depth int, fp, sp operator.DelayPolicy, failSecs int64, delayOverride func(int) int64, perNodeDelay int64, opts Options) (float64, uint64) {
 	spec := deploy.ChainSpec{
 		Depth:               depth,
 		Replicas:            2,
@@ -33,6 +33,7 @@ func chainRun(depth int, fp, sp operator.DelayPolicy, failSecs int64, delayOverr
 		FailurePolicy:       fp,
 		StabilizationPolicy: sp,
 		AckInterval:         vtime.Second,
+		PerTuple:            opts.PerTuple,
 	}
 	dep, err := deploy.BuildChain(spec)
 	if err != nil {
@@ -68,9 +69,9 @@ func Fig15(opts Options) ChainResult {
 		PerNodeDelay: 2 * vtime.Second,
 	}
 	for _, d := range depths {
-		p, _ := chainRun(d, operator.PolicyDelay, operator.PolicyDelay, res.FailureSecs, nil, res.PerNodeDelay)
+		p, _ := chainRun(d, operator.PolicyDelay, operator.PolicyDelay, res.FailureSecs, nil, res.PerNodeDelay, opts)
 		res.DelayDelay = append(res.DelayDelay, p)
-		p, _ = chainRun(d, operator.PolicyProcess, operator.PolicyProcess, res.FailureSecs, nil, res.PerNodeDelay)
+		p, _ = chainRun(d, operator.PolicyProcess, operator.PolicyProcess, res.FailureSecs, nil, res.PerNodeDelay, opts)
 		res.ProcProc = append(res.ProcProc, p)
 	}
 	return res
@@ -105,9 +106,9 @@ func Fig16(opts Options, durations ...int64) Fig16Result {
 			PerNodeDelay: 2 * vtime.Second,
 		}
 		for _, d := range depths {
-			_, n := chainRun(d, operator.PolicyDelay, operator.PolicyDelay, f, nil, panel.PerNodeDelay)
+			_, n := chainRun(d, operator.PolicyDelay, operator.PolicyDelay, f, nil, panel.PerNodeDelay, opts)
 			panel.DelayDelay = append(panel.DelayDelay, float64(n))
-			_, n = chainRun(d, operator.PolicyProcess, operator.PolicyProcess, f, nil, panel.PerNodeDelay)
+			_, n = chainRun(d, operator.PolicyProcess, operator.PolicyProcess, f, nil, panel.PerNodeDelay, opts)
 			panel.ProcProc = append(panel.ProcProc, float64(n))
 		}
 		res.Panels = append(res.Panels, panel)

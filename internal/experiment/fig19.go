@@ -49,13 +49,13 @@ func Fig19(opts Options) Fig19Result {
 	}
 	whole := func(int) int64 { return res.WholeDelay }
 	for _, f := range durations {
-		p, n := chainRun(res.Depth, operator.PolicyDelay, operator.PolicyDelay, f, nil, 2*vtime.Second)
+		p, n := chainRun(res.Depth, operator.PolicyDelay, operator.PolicyDelay, f, nil, 2*vtime.Second, opts)
 		res.ProcUniformDD = append(res.ProcUniformDD, p)
 		res.TentUniformDD = append(res.TentUniformDD, n)
-		p, n = chainRun(res.Depth, operator.PolicyProcess, operator.PolicyProcess, f, nil, 2*vtime.Second)
+		p, n = chainRun(res.Depth, operator.PolicyProcess, operator.PolicyProcess, f, nil, 2*vtime.Second, opts)
 		res.ProcUniformPP = append(res.ProcUniformPP, p)
 		res.TentUniformPP = append(res.TentUniformPP, n)
-		p, n = chainRun(res.Depth, operator.PolicyProcess, operator.PolicyProcess, f, whole, 2*vtime.Second)
+		p, n = chainRun(res.Depth, operator.PolicyProcess, operator.PolicyProcess, f, whole, 2*vtime.Second, opts)
 		res.ProcWholePP = append(res.ProcWholePP, p)
 		res.TentWholePP = append(res.TentWholePP, n)
 	}

@@ -28,7 +28,7 @@ type SwitchoverResult struct {
 
 // Switchover crashes the client's current upstream replica and measures
 // the delivery gap.
-func Switchover() SwitchoverResult {
+func Switchover(opts Options) SwitchoverResult {
 	spec := deploy.ChainSpec{
 		Depth:       1,
 		Replicas:    2,
@@ -36,6 +36,7 @@ func Switchover() SwitchoverResult {
 		Rate:        500,
 		Delay:       2 * vtime.Second,
 		AckInterval: vtime.Second,
+		PerTuple:    opts.PerTuple,
 	}
 	dep, err := deploy.BuildChain(spec)
 	if err != nil {

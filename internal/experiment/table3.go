@@ -42,14 +42,14 @@ func Table3(opts Options) Table3Result {
 	}
 	res := Table3Result{D: 3 * vtime.Second, Durations: durations}
 	for _, secs := range durations {
-		proc, ok := table3Run(secs)
+		proc, ok := table3Run(secs, opts)
 		res.Procnew = append(res.Procnew, proc)
 		res.ConsistencyOK = append(res.ConsistencyOK, ok)
 	}
 	return res
 }
 
-func table3Run(failSecs int64) (float64, bool) {
+func table3Run(failSecs int64, opts Options) (float64, bool) {
 	spec := table3Spec()
 	fail := failSecs * vtime.Second
 	dep, err := deploy.BuildChain(spec)

@@ -55,7 +55,7 @@ func overheadSweep(varyBucket bool, opts Options) OverheadResult {
 		if !varyBucket {
 			bucket, interval = 10*vtime.Millisecond, p*vtime.Millisecond
 		}
-		res.Rows = append(res.Rows, overheadRun(p, bucket, interval, runSecs))
+		res.Rows = append(res.Rows, overheadRun(p, bucket, interval, runSecs, opts))
 	}
 	return res
 }
@@ -113,7 +113,7 @@ func (ls *latencySink) row(param int64) OverheadRow {
 
 // overheadRun builds the Fig. 22 pipeline. A zero bucket builds the
 // baseline (plain Union, no boundaries, Fig. 22(b)).
-func overheadRun(param, bucket, interval, runSecs int64) OverheadRow {
+func overheadRun(param, bucket, interval, runSecs int64, opts Options) OverheadRow {
 	sim := runtime.NewVirtual()
 	net := netsim.New(sim)
 
@@ -142,6 +142,7 @@ func overheadRun(param, bucket, interval, runSecs int64) OverheadRow {
 		ID:           "n1",
 		Upstreams:    map[string][]string{"s1": {"src1"}},
 		StallTimeout: 1 << 60, // no failures in the overhead runs
+		PerTuple:     opts.PerTuple,
 	})
 	if err != nil {
 		panic(err)

@@ -37,6 +37,11 @@ const diffParallelCopies = 4
 //     (Parallelism 1) versus across all cores (Parallelism 0) must
 //     produce byte-identical reports — the guarantee every sweep, grid,
 //     and fuzz campaign in this repository leans on.
+//   - dataplane: the spec on the staged batch data plane (the default)
+//     versus the reference per-tuple dispatch must produce byte-identical
+//     reports and an identical stable output stream. This is the wall
+//     that lets the batch plane claim exact equivalence rather than
+//     approximate speed.
 //
 // The oracle is self-contained (it runs the spec itself rather than
 // auditing an existing report), so it does not join Check's per-report
@@ -47,6 +52,7 @@ func CheckDifferential(s *scenario.Spec) []Finding {
 	var fs []Finding
 	fs = append(fs, diffClock(s)...)
 	fs = append(fs, diffParallel(s)...)
+	fs = append(fs, diffDataPlane(s)...)
 	return fs
 }
 
@@ -78,13 +84,64 @@ func diffClock(s *scenario.Spec) []Finding {
 // stableStream builds the spec on the given runtime, drives it for the
 // spec duration, and returns the client's stable output.
 func stableStream(s *scenario.Spec, rt rtpkg.Runtime) ([]tuple.Tuple, error) {
-	dep, err := scenario.Build(s, scenario.Options{Runtime: rt})
+	return stableStreamOpts(s, scenario.Options{Runtime: rt})
+}
+
+// stableStreamOpts is stableStream with full control over the run options
+// (the data-plane leg needs PerTuple).
+func stableStreamOpts(s *scenario.Spec, opts scenario.Options) ([]tuple.Tuple, error) {
+	dep, err := scenario.Build(s, opts)
 	if err != nil {
 		return nil, err
 	}
 	dep.Start()
 	dep.RunFor(int64(math.Round(s.DurationS * 1e6)))
 	return dep.Client.StableView(), nil
+}
+
+// diffDataPlane compares the staged batch data plane against the reference
+// per-tuple dispatch: byte-identical reports and an identical stable
+// output stream, tuple for tuple. The consistency-reference leg of each
+// report run is skipped — it shares the data plane under test, so it adds
+// cost without adding signal; output content is compared directly here.
+func diffDataPlane(s *scenario.Spec) []Finding {
+	var fs []Finding
+	batchRep, err := scenario.Run(s, scenario.Options{SkipConsistency: true})
+	if err != nil {
+		return findf(fs, OracleDifferential, "dataplane: batch run failed: %v", err)
+	}
+	tupleRep, err := scenario.Run(s, scenario.Options{SkipConsistency: true, PerTuple: true})
+	if err != nil {
+		return findf(fs, OracleDifferential, "dataplane: per-tuple run failed: %v", err)
+	}
+	a, errA := json.Marshal(batchRep)
+	b, errB := json.Marshal(tupleRep)
+	if errA != nil || errB != nil {
+		return findf(fs, OracleDifferential, "dataplane: report failed to marshal: %v / %v", errA, errB)
+	}
+	if !bytes.Equal(a, b) {
+		return findf(fs, OracleDifferential,
+			"dataplane: batch and per-tuple reports differ:\nbatch: %s\ntuple: %s", a, b)
+	}
+	batch, err := stableStreamOpts(s, scenario.Options{})
+	if err != nil {
+		return findf(fs, OracleDifferential, "dataplane: batch stream run failed: %v", err)
+	}
+	ref, err := stableStreamOpts(s, scenario.Options{PerTuple: true})
+	if err != nil {
+		return findf(fs, OracleDifferential, "dataplane: per-tuple stream run failed: %v", err)
+	}
+	if len(batch) != len(ref) {
+		return findf(fs, OracleDifferential,
+			"dataplane: batch plane delivered %d stable tuples, per-tuple %d", len(batch), len(ref))
+	}
+	for i := range batch {
+		if !tuple.Equal(batch[i], ref[i]) {
+			return findf(fs, OracleDifferential,
+				"dataplane: stable position %d differs: batch %s, per-tuple %s", i, batch[i], ref[i])
+		}
+	}
+	return nil
 }
 
 // diffParallel fans diffParallelCopies copies of the spec through

@@ -242,3 +242,54 @@ func TestIMStartLogResets(t *testing.T) {
 		t.Fatal("StopLog must stop logging")
 	}
 }
+
+func TestIMScanStopsAtFirstUndo(t *testing.T) {
+	// Tuples after the first undo do not affect the batch classification:
+	// a tentative tuple that only appears after the undo must not declare
+	// a fresh FailTentative (the undo starts a correction sequence, which
+	// is a recovery in progress, not a new failure).
+	h := newIMHarness(0)
+	h.handle("up", []tuple.Tuple{ins(1, 10)})
+	// First undo on a fresh subscription is the seamless replay patch.
+	h.handle("up", []tuple.Tuple{tuple.NewUndo(1), tent(2, 20)})
+	if len(h.failures) != 0 {
+		t.Fatalf("tentative after an undo must not declare failure: %v", h.failures)
+	}
+	// Out of the seamless grace, a second undo starts a real correction
+	// sequence — and the tentative behind it still declares nothing.
+	h.handle("up", []tuple.Tuple{tuple.NewUndo(1), tent(3, 30)})
+	if len(h.failures) != 0 {
+		t.Fatalf("tentative after an undo must not declare failure: %v", h.failures)
+	}
+	if !h.im.correcting {
+		t.Fatal("undo must flip the connection into correcting mode")
+	}
+}
+
+func TestIMDedupOnlyAppliesToReplayPrefix(t *testing.T) {
+	// A seq-1 replay drops stable ids at or below the watermark — but only
+	// before the first correction tuple. A replayed correction sequence
+	// re-sends stable tuples with recycled ids that are NOT duplicates.
+	h := newIMHarness(0)
+	h.handle("up", []tuple.Tuple{ins(1, 10), ins(2, 20)})
+
+	// Fresh subscription (seq 1 on a new endpoint) replaying an overlap.
+	h.im.SetConnections("up2", "", true)
+	h.handle("up2", []tuple.Tuple{ins(2, 20), ins(3, 30)})
+	if h.im.DroppedDup != 1 {
+		t.Fatalf("overlapping replay tuple not deduped: %d", h.im.DroppedDup)
+	}
+	if h.im.LastStableID() != 3 {
+		t.Fatalf("LastStableID = %d", h.im.LastStableID())
+	}
+
+	// Same watermark, but the batch opens with an undo: ids at or below
+	// the watermark after it are corrections, not duplicates.
+	h.handle("up2", []tuple.Tuple{tuple.NewUndo(1), ins(2, 21), ins(3, 31), tuple.NewRecDone(40)})
+	if h.im.DroppedDup != 1 {
+		t.Fatalf("correction tuples wrongly deduped: %d", h.im.DroppedDup)
+	}
+	if h.im.LastStableID() != 3 {
+		t.Fatalf("LastStableID after correction = %d", h.im.LastStableID())
+	}
+}

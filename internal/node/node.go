@@ -51,6 +51,10 @@ type Config struct {
 	// AckInterval paces acknowledgment messages to upstream neighbors
 	// (0 disables acks).
 	AckInterval int64
+	// PerTuple disables the engine's staged batch data plane and runs the
+	// reference per-tuple dispatch instead (differential testing and
+	// benchmarking; output is byte-identical either way).
+	PerTuple bool
 }
 
 // Node is one DPC processing node: engine + data path + input managers +
@@ -124,8 +128,9 @@ func New(clk runtime.Clock, net *netsim.Net, d *diagram.Diagram, cfg Config) (*N
 		failed:  make(map[string]bool),
 		state:   StateStable,
 	}
-	n.eng = engine.New(clk, d, engine.Config{Capacity: cfg.Capacity})
+	n.eng = engine.New(clk, d, engine.Config{Capacity: cfg.Capacity, PerTuple: cfg.PerTuple})
 	n.eng.OnOutput(n.publish)
+	n.eng.OnOutputBatch(n.publishBatch)
 	n.eng.OnSignal(n.onSignal)
 	n.eng.OnIdle(func() { n.maybeFinishRecovery() })
 	for _, in := range d.Inputs() {
@@ -307,6 +312,27 @@ func (n *Node) publish(stream string, t tuple.Tuple) {
 	if !ob.Publish(t) {
 		// BufferBlock back-pressure: stop the inflow entirely; the
 		// upstream buffers (and ultimately the sources) absorb it.
+		n.pauseInputs()
+	}
+}
+
+// publishBatch routes a staged-plane output batch into the stream's output
+// buffer. The deliver taps run first for the whole batch, then the buffer
+// takes it in one call: the tap never touches the buffer and the buffer
+// never calls back, so the interleaving is indistinguishable from the
+// per-tuple publish path. One pauseInputs covers any number of refused
+// tuples — unsubscribe is idempotent per upstream.
+func (n *Node) publishBatch(stream string, ts []tuple.Tuple) {
+	if n.onDeliver != nil {
+		for i := range ts {
+			n.onDeliver(stream, ts[i])
+		}
+	}
+	ob := n.outputs[stream]
+	if ob == nil {
+		return
+	}
+	if !ob.PublishBatch(ts) {
 		n.pauseInputs()
 	}
 }

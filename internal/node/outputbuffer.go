@@ -54,7 +54,12 @@ type OutputBuffer struct {
 	expected []string
 
 	// pending batches emissions of the same instant into one DataMsg.
+	// flush hands the filled slice to the network layer, where it is
+	// shared by every subscriber's in-flight message, so each flush needs
+	// a fresh array; pendHint remembers the high-water flush size so that
+	// array is allocated once at full size instead of grown per append.
 	pending    []tuple.Tuple
+	pendHint   int
 	flushTimer runtime.Timer
 	flushFn    func() // bound once; scheduling a flush allocates no closure
 	clk        runtime.Clock
@@ -127,6 +132,32 @@ func (ob *OutputBuffer) appendBuf(t tuple.Tuple) {
 	ob.buf = append(ob.buf, t)
 }
 
+// reserve makes room for n more tuples with appendBuf's policy applied
+// once for the whole batch: dead head space is reclaimed in place when no
+// more than half the array stays live, otherwise the array grows to twice
+// the post-append live size.
+func (ob *OutputBuffer) reserve(n int) {
+	if len(ob.buf)+n <= cap(ob.buf) {
+		return
+	}
+	live := len(ob.buf) - ob.head
+	if ob.head > 0 && live <= cap(ob.buf)/2 && live+n <= cap(ob.buf) {
+		copy(ob.buf, ob.buf[ob.head:])
+		clear(ob.buf[live:])
+		ob.buf = ob.buf[:live]
+		ob.head = 0
+		return
+	}
+	nc := 2 * (live + n)
+	if nc < 64 {
+		nc = 64
+	}
+	nb := make([]tuple.Tuple, live, nc)
+	copy(nb, ob.buf[ob.head:])
+	ob.buf = nb
+	ob.head = 0
+}
+
 // Reset clears the buffer, subscriptions, and acknowledgments: crash
 // recovery (§4.5) starts the stream over — buffers are volatile (§2.2) and
 // pre-crash subscribers must re-subscribe (their sequence tracking detects
@@ -191,11 +222,62 @@ func (ob *OutputBuffer) Publish(t tuple.Tuple) bool {
 	return true
 }
 
+// PublishBatch handles a whole batch emitted by the staged data plane in
+// one call, reporting false when any tuple hit BufferBlock back-pressure.
+// When the batch is pure data/boundary traffic and fits without touching
+// the capacity limit, the buffer append and the subscriber send are done
+// in bulk — one pending-append and at most one flush-timer arm for the
+// whole batch, which per-tuple Publish calls would also have produced
+// (the timer only ever arms once per instant), so the paths are exactly
+// equivalent. Anything else — undo compaction, capacity pressure —
+// takes the per-tuple loop.
+func (ob *OutputBuffer) PublishBatch(ts []tuple.Tuple) bool {
+	bulk := ob.cap <= 0 || ob.Len()+len(ts) <= ob.cap
+	if bulk {
+		for i := range ts {
+			if !ts[i].IsData() && ts[i].Type != tuple.Boundary {
+				bulk = false
+				break
+			}
+		}
+	}
+	if !bulk {
+		ok := true
+		for i := range ts {
+			if !ob.Publish(ts[i]) {
+				ok = false
+			}
+		}
+		return ok
+	}
+	ob.reserve(len(ts))
+	ob.buf = append(ob.buf, ts...)
+	if len(ob.subs) > 0 {
+		if ob.pending == nil {
+			// One bulk publish usually carries the instant's whole
+			// flush, so size the message array exactly: a boundary-only
+			// instant then allocates a couple of slots, not the
+			// high-water mark a bucket flush once reached (pendHint
+			// stays in use on the per-tuple send path, where growing
+			// one append at a time would thrash).
+			ob.pending = make([]tuple.Tuple, 0, len(ts))
+		}
+		ob.pending = append(ob.pending, ts...)
+		if ob.flushTimer == nil {
+			ob.flushTimer = ob.clk.After(0, ob.flushFn)
+		}
+	}
+	return true
+}
+
 // send queues the tuple for delivery to all subscribers, coalescing
 // same-instant emissions into one network message per subscriber.
 func (ob *OutputBuffer) send(t tuple.Tuple) {
 	if len(ob.subs) == 0 {
 		return
+	}
+	if ob.pending == nil && ob.pendHint > 0 {
+		ob.pending = make([]tuple.Tuple, 0, ob.pendHint)
 	}
 	ob.pending = append(ob.pending, t)
 	if ob.flushTimer == nil {
@@ -210,6 +292,9 @@ func (ob *OutputBuffer) flush() {
 	}
 	batch := ob.pending
 	ob.pending = nil
+	if len(batch) > ob.pendHint {
+		ob.pendHint = len(batch)
+	}
 	for _, ep := range ob.Subscribers() {
 		sub := ob.subs[ep]
 		sub.seq++

@@ -218,3 +218,75 @@ func TestOutputBufferReplayAfterTruncationStartsAtCut(t *testing.T) {
 		t.Fatalf("replay after truncation wrong: %v", got)
 	}
 }
+
+func TestOutputBufferPublishBatchMatchesPublish(t *testing.T) {
+	batch := []tuple.Tuple{ins(1, 10), ins(2, 20), tuple.NewBoundary(25), ins(3, 30)}
+
+	run := func(bulk bool) ([]tuple.Tuple, []tuple.Tuple) {
+		sim, _, ob, boxes := obSetup(BufferUnbounded, 0, nil)
+		ob.Subscribe("d1", SubscribeMsg{Stream: "s"})
+		sim.Run()
+		if bulk {
+			if !ob.PublishBatch(batch) {
+				t.Fatal("unbounded PublishBatch must not block")
+			}
+		} else {
+			for _, tp := range batch {
+				ob.Publish(tp)
+			}
+		}
+		sim.Run()
+		buffered := append([]tuple.Tuple(nil), ob.live()...)
+		return buffered, *boxes["d1"]
+	}
+
+	refBuf, refOut := run(false)
+	gotBuf, gotOut := run(true)
+	for name, pair := range map[string][2][]tuple.Tuple{
+		"buffer":     {gotBuf, refBuf},
+		"subscriber": {gotOut, refOut},
+	} {
+		got, want := pair[0], pair[1]
+		if len(got) != len(want) {
+			t.Fatalf("%s length differs: %d vs %d", name, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].Type != want[i].Type || got[i].ID != want[i].ID || got[i].STime != want[i].STime {
+				t.Fatalf("%s tuple %d differs: %+v vs %+v", name, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestOutputBufferPublishBatchFallsBackUnderPressure(t *testing.T) {
+	// A bounded blocking buffer near capacity must take the per-tuple path
+	// and report back-pressure exactly as Publish would.
+	sim, _, ob, _ := obSetup(BufferBlock, 2, nil)
+	sim.Run()
+	if ob.PublishBatch([]tuple.Tuple{ins(1, 10), ins(2, 20), ins(3, 30)}) {
+		t.Fatal("over-capacity batch must report back-pressure")
+	}
+	if ob.Len() != 2 {
+		t.Fatalf("blocking buffer overfilled: %d tuples", ob.Len())
+	}
+	if !ob.Blocked {
+		t.Fatal("back-pressure flag not raised")
+	}
+}
+
+func TestOutputBufferPublishBatchUndoTakesPerTuplePath(t *testing.T) {
+	// A batch containing an undo must compact the tentative suffix exactly
+	// like sequential Publish calls.
+	sim, _, ob, boxes := obSetup(BufferUnbounded, 0, nil)
+	ob.Subscribe("d1", SubscribeMsg{Stream: "s"})
+	sim.Run()
+	ob.PublishBatch([]tuple.Tuple{ins(1, 10), tent(2, 20), tent(3, 30), tuple.NewUndo(1)})
+	sim.Run()
+	if n := ob.Len(); n != 1 {
+		t.Fatalf("undo did not compact the buffer: %d tuples live", n)
+	}
+	got := *boxes["d1"]
+	if len(got) != 4 || got[3].Type != tuple.Undo {
+		t.Fatalf("live subscriber must still see the undo: %v", got)
+	}
+}

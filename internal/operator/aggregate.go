@@ -115,6 +115,11 @@ type Aggregate struct {
 	watermark     int64
 	closedThrough int64
 	sentBound     int64
+
+	// Reusable scratch for windowStarts and advance — allocation reuse
+	// only, never checkpointed.
+	startsScratch []int64
+	keysScratch   []int64
 }
 
 // NewAggregate builds an aggregate operator.
@@ -154,10 +159,11 @@ func (a *Aggregate) windowStarts(stime int64) []int64 {
 	for start > stime {
 		start -= a.cfg.Slide
 	}
-	var out []int64
+	out := a.startsScratch[:0]
 	for s := start; s <= stime; s += a.cfg.Slide {
 		out = append(out, s)
 	}
+	a.startsScratch = out
 	return out
 }
 
@@ -206,8 +212,10 @@ func (a *Aggregate) advance(stime int64, tentativeEvidence bool) {
 		return
 	}
 	a.watermark = stime
-	// Collect closable windows in deterministic (start) order.
-	var starts []int64
+	// Collect closable windows in deterministic (start) order. advance is
+	// not reentered through Emit (diagrams are acyclic), so the scratch
+	// slices cannot be aliased mid-loop.
+	starts := a.keysScratch[:0]
 	for ws := range a.windows {
 		if ws+a.cfg.Size <= a.watermark {
 			starts = append(starts, ws)
@@ -239,6 +247,7 @@ func (a *Aggregate) advance(stime int64, tentativeEvidence bool) {
 		}
 		delete(a.windows, ws)
 	}
+	a.keysScratch = starts[:0]
 }
 
 type aggState struct {

@@ -29,6 +29,12 @@ type SJoin struct {
 	left, right []tuple.Tuple
 	watermark   int64
 	sentBound   int64
+
+	// matchScratch is the reusable candidate buffer of match(); arena
+	// carves output payloads. Both are pure allocation reuse — neither is
+	// operator state, so neither is checkpointed.
+	matchScratch []tuple.Tuple
+	arena        tuple.I64Arena
 }
 
 // NewSJoin builds an SJoin.
@@ -85,7 +91,7 @@ func (j *SJoin) match(t tuple.Tuple, opposite []tuple.Tuple, myKey, otherKey int
 	key := t.Field(myKey)
 	// Walk backwards: buffers are stime-ordered, so we can stop at the
 	// first tuple older than the window allows.
-	var matches []tuple.Tuple
+	matches := j.matchScratch[:0]
 	for i := len(opposite) - 1; i >= 0; i-- {
 		o := opposite[i]
 		if o.STime < t.STime-j.cfg.Window {
@@ -109,11 +115,14 @@ func (j *SJoin) match(t tuple.Tuple, opposite []tuple.Tuple, myKey, otherKey int
 		if l.Type == tuple.Tentative || r.Type == tuple.Tentative {
 			out.Type = tuple.Tentative
 		}
-		out.Data = make([]int64, 0, len(l.Data)+len(r.Data))
-		out.Data = append(out.Data, l.Data...)
-		out.Data = append(out.Data, r.Data...)
+		data := j.arena.Alloc(len(l.Data) + len(r.Data))
+		n := copy(data, l.Data)
+		copy(data[n:], r.Data)
+		out.Data = data
 		j.Emit(out)
 	}
+	clear(matches)
+	j.matchScratch = matches[:0]
 }
 
 // prune drops buffered tuples too old to match anything at or beyond the

@@ -30,6 +30,10 @@ type SOutput struct {
 	undoArmed    bool   // emit UNDO before the next data tuple if needed
 	undos        uint64
 	recDone      uint64
+
+	// scratch stages ProcessBatch output; reused across batches, never
+	// part of operator state.
+	scratch []tuple.Tuple
 }
 
 // NewSOutput builds an SOutput.

@@ -126,6 +126,13 @@ type SUnion struct {
 
 	bfree *sunionBucket // recycled buckets
 
+	// loaned is the bucket whose Tuples array is out on loan to the engine
+	// as a stage frame (emitBucket's EmitLoan was taken). It is recycled at
+	// the next ProcessBatch entry — the earliest point provably after the
+	// engine consumed the frame — never mid-dispatch, where a refill by a
+	// later insert of the same call would corrupt the frame.
+	loaned *sunionBucket
+
 	// Runtime state, deliberately NOT checkpointed: failure handling is
 	// re-established by the node controller after a restore.
 	policy        DelayPolicy
@@ -271,13 +278,24 @@ func (s *SUnion) allocBucket(start int64) *sunionBucket {
 	return b
 }
 
-// freeBucket recycles an emitted bucket, clearing tuple payload references
-// so the pool does not pin emitted data.
+// freeBucket recycles an emitted bucket. The slots are not cleared: the
+// array pins the previous bucket's payloads until refilled, bounded by the
+// free list's handful of buckets — cheaper than a per-bucket memclr on the
+// hot path.
 func (s *SUnion) freeBucket(b *sunionBucket) {
-	clear(b.Tuples)
 	b.Tuples = b.Tuples[:0]
 	b.next = s.bfree
 	s.bfree = b
+}
+
+// reclaimLoan returns the parked loaned bucket (if any) to the free list.
+// Called only from points that are outside any dispatch that could still
+// alias the bucket's array: ProcessBatch entry and Restore.
+func (s *SUnion) reclaimLoan() {
+	if s.loaned != nil {
+		s.freeBucket(s.loaned)
+		s.loaned = nil
+	}
 }
 
 // getBucket returns the bucket starting at start, creating and inserting it
@@ -446,7 +464,6 @@ func (s *SUnion) pumpOnce() {
 			s.cursor = end
 			advanced = true
 			s.emitBucket(b, false)
-			s.freeBucket(b)
 			continue
 		}
 		if s.policy == PolicyNone || s.policy == PolicySuspend {
@@ -469,7 +486,6 @@ func (s *SUnion) pumpOnce() {
 		s.cursor = lead.Start + s.cfg.BucketSize
 		advanced = true
 		s.emitBucket(lead, true)
-		s.freeBucket(lead)
 	}
 	if advanced || stable > s.sentBound {
 		// Forward the punctuation watermark: never beyond the cursor
@@ -534,20 +550,50 @@ func (s *SUnion) releaseAt(b *sunionBucket) int64 {
 	return int64(1) << 62
 }
 
-// emitBucket sorts and emits one bucket. Tentative buckets are emitted with
-// every data tuple marked TENTATIVE (§4.1: results from processing a subset
-// of inputs).
+// emitBucket sorts, emits, and recycles one bucket. Tentative buckets are
+// emitted with every data tuple marked TENTATIVE (§4.1: results from
+// processing a subset of inputs).
 func (s *SUnion) emitBucket(b *sunionBucket, tentative bool) {
 	// A stable sort keeps arrival order for fully-tied tuples, which is
 	// itself deterministic because every upstream SUnion emits a
-	// deterministic sequence.
-	slices.SortStableFunc(b.Tuples, tuple.Compare)
-	for _, t := range b.Tuples {
-		if tentative {
-			t = t.AsTentative()
+	// deterministic sequence. Buckets fed by in-order upstreams usually
+	// arrive already sorted, so a linear pre-scan skips the sort: a plain
+	// int64 compare decides each strictly-increasing pair, and only stime
+	// ties (synchronized sources emit plenty) pay the full comparator for
+	// the src/id tie-breaks.
+	sorted := true
+	for i := 1; i < len(b.Tuples); i++ {
+		if b.Tuples[i].STime > b.Tuples[i-1].STime {
+			continue
 		}
-		s.Emit(t)
+		if b.Tuples[i].STime < b.Tuples[i-1].STime ||
+			tuple.Compare(b.Tuples[i-1], b.Tuples[i]) > 0 {
+			sorted = false
+			break
+		}
 	}
+	if !sorted {
+		slices.SortStableFunc(b.Tuples, tuple.Compare)
+	}
+	if tentative {
+		for _, t := range b.Tuples {
+			s.Emit(t.AsTentative())
+		}
+		s.freeBucket(b)
+		return
+	}
+	// Stable buckets go downstream as one bulk emission. When the engine
+	// takes the loan (aliases b.Tuples as its stage frame) the bucket is
+	// parked on s.loaned instead of the free list: freeing it now would let
+	// a later insert of the same dispatch refill the array mid-loan. At
+	// most one loan can be outstanding — the engine only loans the first
+	// emission of a dispatch, and every dispatch starts by reclaiming — so
+	// a plain overwrite never leaks more than to the garbage collector.
+	if s.EmitLoan(b.Tuples) {
+		s.loaned = b
+		return
+	}
+	s.freeBucket(b)
 }
 
 func (s *SUnion) armTimer(at int64) {
@@ -605,6 +651,7 @@ func (s *SUnion) Checkpoint() any {
 
 // Restore reinstates a snapshot and cancels any pending flush timer.
 func (s *SUnion) Restore(snap any) {
+	s.reclaimLoan()
 	st := snap.(sunionState)
 	copy(s.bounds, st.Bounds)
 	for _, b := range s.buckets {

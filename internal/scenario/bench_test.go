@@ -6,6 +6,7 @@ package scenario
 
 import (
 	"encoding/json"
+	"os"
 	goruntime "runtime"
 	"testing"
 
@@ -71,7 +72,7 @@ func BenchmarkCompile(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rt, err := compile(rtpkg.NewVirtual(), spec, true, true, nil)
+		rt, err := compile(rtpkg.NewVirtual(), spec, true, true, false, false, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -136,3 +137,56 @@ func BenchmarkRunManySerial(b *testing.B) {
 		}
 	}
 }
+
+// planeSpec loads the fault-free chain used by the data-plane throughput
+// benchmarks: the chain-throughput harness topology with its fault schedule
+// stripped, so the measurement is a pure steady-state pipeline.
+func planeSpec(b *testing.B) *Spec {
+	b.Helper()
+	spec, err := Load("../../scenarios/bench/chain-throughput.json")
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec = spec.Clone()
+	spec.Faults = nil
+	spec.VerifyConsistency = false
+	return spec
+}
+
+// benchPlane runs the fault-free chain on one data plane and reports
+// engine-processed tuples per wall second. The quick (10s) variant keeps
+// CI cheap; set BENCH_FULL=1 for the spec's full duration when profiling.
+func benchPlane(b *testing.B, perTuple bool) {
+	spec := planeSpec(b)
+	if err := spec.Validate(); err != nil {
+		b.Fatal(err)
+	}
+	quick := os.Getenv("BENCH_FULL") == ""
+	b.ReportAllocs()
+	b.ResetTimer()
+	var processed uint64
+	for i := 0; i < b.N; i++ {
+		rt, err := compile(rtpkg.NewVirtual(), spec, quick, true, perTuple, true, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rt.dep.Start()
+		rt.dep.RunFor(rt.durationUS)
+		processed = 0
+		for _, group := range rt.dep.Nodes {
+			for _, n := range group {
+				processed += n.Engine().Processed
+			}
+		}
+	}
+	b.ReportMetric(float64(processed)*float64(b.N)/b.Elapsed().Seconds(), "tuples/s")
+}
+
+// BenchmarkPlaneBatch measures the staged batch data plane on the
+// fault-free chain; compare with BenchmarkPlanePerTuple — the CI
+// throughput smoke asserts batch ≥ per-tuple on this pair.
+func BenchmarkPlaneBatch(b *testing.B) { benchPlane(b, false) }
+
+// BenchmarkPlanePerTuple measures the per-tuple reference plane on the
+// same workload.
+func BenchmarkPlanePerTuple(b *testing.B) { benchPlane(b, true) }

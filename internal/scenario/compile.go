@@ -199,8 +199,16 @@ func compileOperators(n *NodeSpec, inputCount int) func() []operator.Operator {
 				if scale == 0 {
 					scale = 2
 				}
+				// Payloads come from a per-operator arena: map output
+				// lives exactly as long as any other payload (logs,
+				// buffers), and chunk-carving keeps millions of tiny
+				// []int64 from individually burdening the GC. The
+				// operator is single-threaded, so the arena needs no
+				// locking; slices are immutable downstream.
+				var arena tuple.I64Arena
 				ops = append(ops, operator.NewMap(name, func(d []int64) []int64 {
-					out := append([]int64(nil), d...)
+					out := arena.Alloc(len(d))
+					copy(out, d)
 					if field < len(out) {
 						out[field] *= scale
 					}
@@ -258,7 +266,7 @@ func parseBufferMode(s string) node.BufferMode {
 // deployment, installs workload schedules, and — when withFaults is set —
 // the fault timeline. The reference run for the consistency audit compiles
 // with withFaults=false and is otherwise identical.
-func compile(exec rtpkg.Runtime, s *Spec, quick, withFaults bool, trace node.TraceFn) (*run, error) {
+func compile(exec rtpkg.Runtime, s *Spec, quick, withFaults, perTuple, noAudit bool, trace node.TraceFn) (*run, error) {
 	rt := &run{
 		spec:       s,
 		quick:      quick,
@@ -275,12 +283,14 @@ func compile(exec rtpkg.Runtime, s *Spec, quick, withFaults bool, trace node.Tra
 		StallTimeout:     millis(s.Defaults.StallTimeoutMS),
 		KeepAlive:        millis(s.Defaults.KeepAliveMS),
 		AckInterval:      millis(s.Defaults.AckIntervalMS),
+		PerTuple:         perTuple,
 		Client: deploy.TopologyClient{
 			Stream:              nodeStream(s.clientInput()),
 			BucketSize:          millis(s.Client.BucketMS),
 			Delay:               millis(s.Client.DelayMS),
 			TentativeWait:       millis(s.Client.TentativeWaitMS),
 			TentativeBoundaries: s.Client.TentativeBoundaries,
+			NoAudit:             noAudit,
 		},
 	}
 	members := 0

@@ -68,3 +68,50 @@ func TestGoldenScenarios(t *testing.T) {
 		})
 	}
 }
+
+// TestGoldenScenariosBothPlanes is the golden-preservation proof of the
+// staged batch data plane: every curated golden file — all of them written
+// before the batch plane existed — must be reproduced byte-for-byte by BOTH
+// planes. TestGoldenScenarios covers the batch default; this test pins the
+// per-tuple reference to the same bytes, so the pair proves the planes
+// agree with each other and with history. The golden files are never
+// regenerated for a data-plane change: if either plane drifts, the plane
+// is wrong.
+func TestGoldenScenariosBothPlanes(t *testing.T) {
+	paths, err := filepath.Glob("../../scenarios/*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no curated scenarios found")
+	}
+	for _, path := range paths {
+		name := strings.TrimSuffix(filepath.Base(path), ".json")
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			spec, err := Load(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			golden := filepath.Join("testdata", name+".golden.json")
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("%v (goldens must exist before the data-plane proof runs)", err)
+			}
+			for _, perTuple := range []bool{false, true} {
+				rep, err := Run(spec, Options{Quick: true, PerTuple: perTuple})
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := rep.JSON()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Fatalf("perTuple=%v report drifted from golden file %s\n--- got ---\n%s\n--- want ---\n%s",
+						perTuple, golden, got, want)
+				}
+			}
+		})
+	}
+}

@@ -78,8 +78,11 @@ func TestGridRowMajor(t *testing.T) {
 
 // TestParallelDeterminism is the tentpole's core guarantee: the same
 // sweep and the same grid produce byte-identical JSON for Parallelism 1,
-// 2 and 8, and the Parallelism-1 result equals the pre-pool serial path
-// by construction (one worker runs the same runValidated loop in order).
+// 2 and 8, on both data planes — and the two planes' renders equal each
+// other, so cross-parallelism determinism and cross-plane equivalence are
+// pinned by one test. The Parallelism-1 result equals the pre-pool serial
+// path by construction (one worker runs the same runValidated loop in
+// order).
 func TestParallelDeterminism(t *testing.T) {
 	spec, err := Load("../../scenarios/chain-disconnect.json")
 	if err != nil {
@@ -88,38 +91,70 @@ func TestParallelDeterminism(t *testing.T) {
 	spec.VerifyConsistency = false
 
 	var sweepRenders, gridRenders [][]byte
-	for _, par := range []int{1, 2, 8} {
-		opts := Options{Quick: true, Parallelism: par}
-		rows, err := Sweep(spec, SweepSpec{Field: "delay", From: 1, To: 3, Steps: 3}, opts)
-		if err != nil {
-			t.Fatal(err)
-		}
-		b, err := json.Marshal(rows)
-		if err != nil {
-			t.Fatal(err)
-		}
-		sweepRenders = append(sweepRenders, b)
+	for _, perTuple := range []bool{false, true} {
+		for _, par := range []int{1, 2, 8} {
+			opts := Options{Quick: true, Parallelism: par, PerTuple: perTuple}
+			rows, err := Sweep(spec, SweepSpec{Field: "delay", From: 1, To: 3, Steps: 3}, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := json.Marshal(rows)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sweepRenders = append(sweepRenders, b)
 
-		cells, err := Grid(spec, GridSpec{
-			Field1: SweepSpec{Field: "delay", From: 1, To: 2, Steps: 2},
-			Field2: SweepSpec{Field: "fault_duration", From: 2, To: 4, Steps: 2},
-		}, opts)
-		if err != nil {
-			t.Fatal(err)
+			cells, err := Grid(spec, GridSpec{
+				Field1: SweepSpec{Field: "delay", From: 1, To: 2, Steps: 2},
+				Field2: SweepSpec{Field: "fault_duration", From: 2, To: 4, Steps: 2},
+			}, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err = json.Marshal(cells)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gridRenders = append(gridRenders, b)
 		}
-		b, err = json.Marshal(cells)
-		if err != nil {
-			t.Fatal(err)
-		}
-		gridRenders = append(gridRenders, b)
 	}
 	for i := 1; i < len(sweepRenders); i++ {
 		if !bytes.Equal(sweepRenders[0], sweepRenders[i]) {
-			t.Fatalf("sweep output differs between Parallelism settings 1 and %d", []int{1, 2, 8}[i])
+			t.Fatalf("sweep output differs between run %d and run 0 (plane × parallelism matrix)", i)
 		}
 		if !bytes.Equal(gridRenders[0], gridRenders[i]) {
-			t.Fatalf("grid output differs between Parallelism settings 1 and %d", []int{1, 2, 8}[i])
+			t.Fatalf("grid output differs between run %d and run 0 (plane × parallelism matrix)", i)
 		}
+	}
+}
+
+// TestRepeatStatsAcrossPlanes: a -repeat seed family produces identical
+// per-metric statistics on the batch and per-tuple planes — the repeat
+// machinery composes with the data-plane knob without perturbing seeds.
+func TestRepeatStatsAcrossPlanes(t *testing.T) {
+	spec, err := Load("../../scenarios/chain-disconnect.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.VerifyConsistency = false
+	var renders [][]byte
+	for _, perTuple := range []bool{false, true} {
+		reports, err := RunMany(SeedFamily(spec, 3), Options{Quick: true, PerTuple: perTuple})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats, err := RepeatStats(reports)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(stats)
+		if err != nil {
+			t.Fatal(err)
+		}
+		renders = append(renders, b)
+	}
+	if !bytes.Equal(renders[0], renders[1]) {
+		t.Fatalf("repeat stats differ across data planes:\nbatch: %s\ntuple: %s", renders[0], renders[1])
 	}
 }
 

@@ -13,6 +13,11 @@ type Options struct {
 	// SkipConsistency suppresses the reference run even when the spec
 	// asks for the audit (halves the runtime of a smoke run).
 	SkipConsistency bool
+	// NoAudit additionally strips the client's per-delivery audit
+	// instrumentation (undo-compacted view, duplicate tracking), so a
+	// throughput measurement times the data plane rather than the audit
+	// harness. Implies no consistency report; bench-only.
+	NoAudit bool
 	// Runtime selects the execution substrate for the main run: nil means
 	// a fresh virtual clock (deterministic, instant); a WallClock paces
 	// the scenario against real time. The consistency reference always
@@ -33,6 +38,11 @@ type Options struct {
 	// from every node replica, in deterministic virtual-time order. The
 	// consistency reference run is never traced. See node.TraceFn.
 	Trace func(atUS int64, replica, event, detail string)
+	// PerTuple runs every node (and the consistency reference, so both
+	// executions share one data plane) on the reference per-tuple dispatch
+	// instead of the staged batch plane. Reports are byte-identical either
+	// way — the batch-vs-tuple differential oracle enforces it.
+	PerTuple bool
 }
 
 // freshRuntime resolves the substrate, rejecting a clock that has already
@@ -69,15 +79,15 @@ func runValidated(s *Spec, opts Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	rt, err := compile(exec, s, opts.Quick, true, opts.Trace)
+	rt, err := compile(exec, s, opts.Quick, true, opts.PerTuple, opts.NoAudit, opts.Trace)
 	if err != nil {
 		return nil, err
 	}
 	rt.dep.Start()
 	rt.dep.RunFor(rt.durationUS)
 	rep := rt.report()
-	if s.VerifyConsistency && !opts.SkipConsistency {
-		ref, err := compile(rtpkg.NewVirtual(), s, opts.Quick, false, nil)
+	if s.VerifyConsistency && !opts.SkipConsistency && !opts.NoAudit {
+		ref, err := compile(rtpkg.NewVirtual(), s, opts.Quick, false, opts.PerTuple, false, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -113,7 +123,7 @@ func Build(s *Spec, opts Options) (*deploy.Deployment, error) {
 	if err != nil {
 		return nil, err
 	}
-	rt, err := compile(exec, s, opts.Quick, true, opts.Trace)
+	rt, err := compile(exec, s, opts.Quick, true, opts.PerTuple, opts.NoAudit, opts.Trace)
 	if err != nil {
 		return nil, err
 	}

@@ -251,6 +251,53 @@ func Append(ts []Tuple, t Tuple) []Tuple {
 	return append(ts, t)
 }
 
+// AppendBatch bulk-appends batch to a long-lived tuple log under the same
+// doubling growth policy as Append, in one copy.
+func AppendBatch(ts, batch []Tuple) []Tuple {
+	if need := len(ts) + len(batch); need > cap(ts) && len(ts) >= 1024 {
+		nc := 2 * cap(ts)
+		for nc < need {
+			nc *= 2
+		}
+		nb := make([]Tuple, len(ts), nc)
+		copy(nb, ts)
+		ts = nb
+	}
+	return append(ts, batch...)
+}
+
+// FramePool recycles the []Tuple frames the batch data plane stages tuples
+// through (engine stage buffers, collected operator emissions). A staged
+// dispatch borrows a frame per operator stage and returns it before the
+// next batch, so steady-state batch execution allocates no frame memory at
+// all. Returned frames are NOT cleared: a pooled frame pins the payloads of
+// its previous batch until the slots are overwritten, which is bounded by
+// the pool's handful of frames and one batch each — a deliberate trade
+// against a per-batch memclr on the hot path.
+type FramePool struct {
+	free [][]Tuple
+}
+
+// Get returns an empty frame with whatever capacity a previous user grew it
+// to (fresh frames start at 256 tuples).
+func (p *FramePool) Get() []Tuple {
+	if n := len(p.free); n > 0 {
+		f := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		return f
+	}
+	return make([]Tuple, 0, 256)
+}
+
+// Put returns a frame to the pool.
+func (p *FramePool) Put(f []Tuple) {
+	if cap(f) == 0 {
+		return
+	}
+	p.free = append(p.free, f[:0])
+}
+
 // I64Arena chunk-allocates small immutable payload slices. Streams produce
 // millions of 1-2 element Data slices that live as long as the logs and
 // buffers retaining them; carving them out of shared chunks collapses the
