@@ -1,0 +1,241 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"borealis/internal/cluster"
+	"borealis/internal/runtime"
+	"borealis/internal/scenario"
+)
+
+// runWorkerCmd is the `borealis-sim worker` subcommand: one cluster worker
+// process, spawned and controlled by the boss over stdio. Flags follow the
+// subcommand name (the boss builds the argv), so it parses its own FlagSet
+// rather than the global flags.
+func runWorkerCmd(args []string) {
+	fs := flag.NewFlagSet("worker", flag.ExitOnError)
+	specPath := fs.String("spec", "", "scenario file (the same file the boss loaded)")
+	name := fs.String("worker-name", "w0", "label for this worker's report fragment")
+	listen := fs.String("listen", "127.0.0.1:0", "TCP listen address for the transport")
+	owned := fs.String("owned", "", "comma-separated endpoint IDs this worker hosts")
+	speed := fs.Float64("speed", 1, "wall clock time-scale factor")
+	startUS := fs.Int64("start-us", 0, "start the clock at this scenario microsecond (respawn)")
+	recover := fs.Bool("recover", false, "bring hosted replicas up through §4.5 crash recovery")
+	quick := fs.Bool("quick", false, "use the spec's reduced duration")
+	fs.Parse(args)
+	if *specPath == "" || *owned == "" {
+		fmt.Fprintf(os.Stderr, "usage: borealis-sim worker -spec FILE -owned a,b,... [-worker-name W] [-listen ADDR] [-speed N] [-start-us T] [-recover] [-quick]\n")
+		os.Exit(2)
+	}
+	spec, err := scenario.Load(*specPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "borealis-sim: %v\n", err)
+		os.Exit(1)
+	}
+	cfg := cluster.WorkerConfig{
+		Spec:    spec,
+		Name:    *name,
+		Listen:  *listen,
+		Owned:   strings.Split(*owned, ","),
+		Quick:   *quick,
+		Speed:   *speed,
+		StartUS: *startUS,
+		Recover: *recover,
+	}
+	if err := cluster.RunWorker(cfg, os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "borealis-sim: worker %s: %v\n", *name, err)
+		os.Exit(1)
+	}
+}
+
+// runClusterCmd is the `borealis-sim cluster` subcommand: the boss. It
+// spawns the workers, drives the real fault schedule, merges their report
+// fragments and audits Definition 1 against a virtual-clock reference run.
+func runClusterCmd(args []string) {
+	fs := flag.NewFlagSet("cluster", flag.ExitOnError)
+	workers := fs.Int("workers", 2, "number of worker processes")
+	speed := fs.Float64("speed", 1, "wall clock time-scale factor (1 = true real time)")
+	quick := fs.Bool("quick", false, "use the spec's reduced duration")
+	asJSON := fs.Bool("json", false, "emit the merged report as canonical JSON")
+	faultMode := fs.String("fault-mode", cluster.FaultModeKill, "crash fault translation: kill (SIGKILL + respawn) or stop (SIGSTOP/SIGCONT)")
+	noAudit := fs.Bool("no-audit", false, "skip the consistency reference run")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fmt.Fprintf(os.Stderr, "usage: borealis-sim cluster [-workers N] [-speed N] [-quick] [-json] [-fault-mode kill|stop] [-no-audit] <file.json>\n")
+		os.Exit(2)
+	}
+	start := time.Now()
+	res, err := cluster.Run(cluster.Options{
+		SpecPath:  fs.Arg(0),
+		Workers:   *workers,
+		Quick:     *quick,
+		Speed:     *speed,
+		FaultMode: *faultMode,
+		SkipAudit: *noAudit,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "borealis-sim: %v\n", err)
+		os.Exit(1)
+	}
+	if *asJSON {
+		b, err := res.Report.JSON()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "borealis-sim: %v\n", err)
+			os.Exit(1)
+		}
+		if len(b) > 0 && b[len(b)-1] != '\n' {
+			b = append(b, '\n')
+		}
+		os.Stdout.Write(b)
+	} else {
+		res.Report.Print(os.Stdout)
+		fmt.Printf("(%d workers in %.1fs wall time)\n", *workers, time.Since(start).Seconds())
+	}
+	if res.Report.Consistency != nil && !res.Report.Consistency.OK {
+		fmt.Fprintf(os.Stderr, "borealis-sim: eventual-consistency audit FAILED\n")
+		os.Exit(1)
+	}
+}
+
+// NetBenchRow is one data-plane measurement of the bench-net subcommand.
+type NetBenchRow struct {
+	Scenario string `json:"scenario"`
+	// Plane is "netsim" (single process, simulated network on a wall
+	// clock) or "tcp" (real worker processes over localhost TCP).
+	Plane     string  `json:"plane"`
+	Workers   int     `json:"workers"`
+	Tuples    uint64  `json:"tuples"`
+	WallS     float64 `json:"wall_s"`
+	TuplesSec float64 `json:"tuples_per_sec"`
+}
+
+// NetBenchSummary is bench-net's JSON output (BENCH_PR8.json). The planes
+// may process slightly different tuple totals — the TCP plane's workers
+// stop at the horizon and in-flight stragglers are lost — so the metric is
+// each plane's own tuples/sec, not a differential work check.
+type NetBenchSummary struct {
+	Speed float64       `json:"speed"`
+	Load  float64       `json:"load"`
+	Rows  []NetBenchRow `json:"rows"`
+	// RatioTCPOverNetsim is the over-the-wire throughput as a fraction of
+	// the in-process fabric's — the cost of real frames on real sockets.
+	RatioTCPOverNetsim float64 `json:"ratio_tcp_over_netsim"`
+}
+
+// runBenchNet measures engine tuples/sec for the same scenario on the
+// in-process netsim fabric versus a real multi-process TCP cluster. Both
+// planes run on wall clocks at the same speed with the source rates
+// multiplied by -load, so with enough load the run is data-plane bound —
+// the clocks fall behind schedule and never sleep — and the rate measures
+// what each fabric can actually move, not the spec's pacing.
+func runBenchNet(args []string) {
+	fs := flag.NewFlagSet("bench-net", flag.ExitOnError)
+	workers := fs.Int("workers", 2, "worker processes for the tcp plane")
+	speed := fs.Float64("speed", 1, "wall clock time-scale factor for both planes")
+	load := fs.Float64("load", 100, "source-rate multiplier (high enough to saturate the data plane)")
+	durS := fs.Float64("dur", 3, "benchmark duration in scenario seconds (0 = the spec's)")
+	out := fs.String("out", "", "also write the JSON summary to this file")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fmt.Fprintf(os.Stderr, "usage: borealis-sim bench-net [-workers N] [-speed N] [-load X] [-dur S] [-out FILE] <file.json>\n")
+		os.Exit(2)
+	}
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "borealis-sim: %v\n", err)
+		os.Exit(1)
+	}
+	spec, err := scenario.Load(fs.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+	// The comparison is about steady-state data-plane cost: strip the
+	// fault schedule, scale the offered load, shorten the horizon.
+	clean := spec.Clone()
+	clean.Faults = nil
+	clean.VerifyConsistency = false
+	for i := range clean.Sources {
+		clean.Sources[i].Rate *= *load
+	}
+	if *durS > 0 {
+		clean.DurationS = *durS
+		clean.QuickDurationS = 0
+	}
+
+	durUS := scenario.DurationUS(clean, false)
+	sum := NetBenchSummary{Speed: *speed, Load: *load}
+
+	dep, err := scenario.Build(clean, scenario.Options{
+		SkipConsistency: true, NoAudit: true,
+		Runtime: runtime.NewWall(*speed),
+	})
+	if err != nil {
+		fail(err)
+	}
+	t0 := time.Now()
+	dep.Start()
+	dep.RunFor(durUS)
+	wall := time.Since(t0).Seconds()
+	var processed uint64
+	for _, group := range dep.Nodes {
+		for _, n := range group {
+			processed += n.Engine().Processed
+		}
+	}
+	sum.Rows = append(sum.Rows, NetBenchRow{
+		Scenario: clean.Name, Plane: "netsim", Workers: 1,
+		Tuples: processed, WallS: wall, TuplesSec: float64(processed) / wall,
+	})
+
+	// Write the stripped spec to a temp file — the workers reload it.
+	tmp, err := os.CreateTemp(".", "bench-net-*.json")
+	if err != nil {
+		fail(err)
+	}
+	defer os.Remove(tmp.Name())
+	b, err := json.Marshal(clean)
+	if err != nil {
+		fail(err)
+	}
+	if _, err := tmp.Write(b); err != nil {
+		fail(err)
+	}
+	tmp.Close()
+
+	res, err := cluster.Run(cluster.Options{
+		SpecPath:  tmp.Name(),
+		Workers:   *workers,
+		Speed:     *speed,
+		SkipAudit: true,
+	})
+	if err != nil {
+		fail(err)
+	}
+	var tcpProcessed uint64
+	for _, f := range res.Fragments {
+		if f != nil {
+			tcpProcessed += f.Processed
+		}
+	}
+	sum.Rows = append(sum.Rows, NetBenchRow{
+		Scenario: clean.Name, Plane: "tcp", Workers: *workers,
+		Tuples: tcpProcessed, WallS: res.WallS, TuplesSec: float64(tcpProcessed) / res.WallS,
+	})
+	sum.RatioTCPOverNetsim = sum.Rows[1].TuplesSec / sum.Rows[0].TuplesSec
+
+	jb, err := json.MarshalIndent(sum, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	jb = append(jb, '\n')
+	os.Stdout.Write(jb)
+	if *out != "" {
+		if err := os.WriteFile(*out, jb, 0o644); err != nil {
+			fail(err)
+		}
+	}
+}

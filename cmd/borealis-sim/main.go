@@ -152,6 +152,15 @@ func main() {
 		os.Exit(2)
 	}
 	switch args[0] {
+	case "worker":
+		runWorkerCmd(args[1:])
+		return
+	case "cluster":
+		runClusterCmd(args[1:])
+		return
+	case "bench-net":
+		runBenchNet(args[1:])
+		return
 	case "scenario":
 		if len(args) < 2 && *genSeed == 0 {
 			fmt.Fprintf(os.Stderr, "usage: borealis-sim [-quick] [-json] [-no-audit] [-trace FILE] scenario <file.json>...\n")
@@ -663,7 +672,10 @@ func usage() {
 	fmt.Fprintf(os.Stderr, "       borealis-sim ... -field F -from A -to B -field2 G -from2 C -to2 D [-steps2 M] [-metric M] sweep <file.json>\n")
 	fmt.Fprintf(os.Stderr, "       borealis-sim ... -field F -from A -to B [-steps N] -repeat R [-metric M] sweep <file.json>\n")
 	fmt.Fprintf(os.Stderr, "       borealis-sim [-json] [-parallel N] [-seed S] [-runs N] [-out DIR] [-no-shrink] [-fail-on-finding] fuzz\n")
-	fmt.Fprintf(os.Stderr, "       borealis-sim [-json] [-parallel N] [-seed S] [-batch N] [-batches N] [-budget D] [-mutate DIRS] [-differential] [-checkpoint FILE] [-out DIR] [-fail-on-finding] soak\n\nexperiments:\n")
+	fmt.Fprintf(os.Stderr, "       borealis-sim [-json] [-parallel N] [-seed S] [-batch N] [-batches N] [-budget D] [-mutate DIRS] [-differential] [-checkpoint FILE] [-out DIR] [-fail-on-finding] soak\n")
+	fmt.Fprintf(os.Stderr, "       borealis-sim cluster [-workers N] [-speed N] [-quick] [-json] [-fault-mode kill|stop] [-no-audit] <file.json>\n")
+	fmt.Fprintf(os.Stderr, "       borealis-sim worker -spec FILE -owned a,b,... [-worker-name W] [-listen ADDR] [-speed N] [-start-us T] [-recover] [-quick]\n")
+	fmt.Fprintf(os.Stderr, "       borealis-sim bench-net [-workers N] [-speed N] [-quick] [-out FILE] <file.json>\n\nexperiments:\n")
 	for _, e := range experiments {
 		fmt.Fprintf(os.Stderr, "  %-16s %s\n", e.name, e.desc)
 	}

@@ -21,7 +21,7 @@ import (
 	"math"
 
 	"borealis/internal/diagram"
-	"borealis/internal/netsim"
+	"borealis/internal/fabric"
 	"borealis/internal/node"
 	"borealis/internal/operator"
 	"borealis/internal/runtime"
@@ -127,7 +127,7 @@ type Client struct {
 }
 
 // New builds a client and its proxy node.
-func New(clk runtime.Clock, net *netsim.Net, cfg Config) (*Client, error) {
+func New(clk runtime.Clock, net fabric.Fabric, cfg Config) (*Client, error) {
 	if cfg.BucketSize <= 0 {
 		cfg.BucketSize = 100 * vtime.Millisecond
 	}
@@ -345,7 +345,19 @@ func (c *Client) VerifyRecentWindow(reference []tuple.Tuple, n int) AuditResult 
 // reference stream: the client's final stable view must equal the
 // reference, value for value, with no stable duplicates delivered.
 func (c *Client) VerifyEventualConsistency(reference []tuple.Tuple) AuditResult {
-	got := c.StableView()
+	res := VerifyViews(c.StableView(), reference)
+	if res.OK {
+		res.StableDuplicates = c.stableDups
+	}
+	return res
+}
+
+// VerifyViews is the Definition 1 comparison on bare views: got is a stable
+// (insertion-only) view, reference a failure-free run's delivered stream
+// (tentative tuples are filtered out here). The cluster boss audits a
+// worker's shipped stable view against its local reference run with it — no
+// live Client needed on the auditing side.
+func VerifyViews(got, reference []tuple.Tuple) AuditResult {
 	ref := make([]tuple.Tuple, 0, len(reference))
 	for _, t := range reference {
 		if t.Type == tuple.Insertion {
@@ -367,5 +379,5 @@ func (c *Client) VerifyEventualConsistency(reference []tuple.Tuple) AuditResult 
 	// Note: Stats().StableDuplicates is a heuristic (identical payloads can
 	// legitimately repeat, e.g. join outputs); genuine re-delivery shifts
 	// positions and is caught by the comparison above.
-	return AuditResult{OK: true, Compared: n, StableDuplicates: c.stableDups}
+	return AuditResult{OK: true, Compared: n}
 }

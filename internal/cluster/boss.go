@@ -1,0 +1,550 @@
+package cluster
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"sort"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"borealis/internal/deploy"
+	"borealis/internal/scenario"
+)
+
+// FaultModeKill translates crash faults into SIGKILL + respawn: the replica
+// process dies for real and its replacement rebuilds state through §4.5
+// crash recovery. FaultModeStop uses SIGSTOP/SIGCONT instead: the process
+// freezes with its state intact — to its peers indistinguishable from a
+// failure (silence, keep-alive timeouts) but recovering by resumption
+// rather than rebuild. Both satisfy the Definition 1 audit, which compares
+// against a fault-free reference.
+const (
+	FaultModeKill = "kill"
+	FaultModeStop = "stop"
+)
+
+// Options parameterizes a boss run.
+type Options struct {
+	// SpecPath is the scenario file; every worker loads the same file.
+	SpecPath string
+	// Spec, when non-nil, skips reloading SpecPath in the boss (the
+	// workers still load the file, so it must stay in place).
+	Spec *scenario.Spec
+	// Workers is the number of worker processes. Replicas targeted by
+	// process-level faults each get a dedicated worker out of this
+	// budget, so Workers must exceed the fault-target count.
+	Workers int
+	// Quick selects the spec's reduced duration.
+	Quick bool
+	// Speed is the wall clock time-scale factor for every worker and for
+	// the boss's real-time fault schedule.
+	Speed float64
+	// FaultMode is FaultModeKill (default) or FaultModeStop.
+	FaultMode string
+	// SkipAudit suppresses the reference run and Definition 1 audit.
+	SkipAudit bool
+	// Exe is the worker executable (default: the boss's own binary).
+	Exe string
+	// Log receives boss progress and forwarded worker stderr/log lines
+	// (default os.Stderr).
+	Log io.Writer
+}
+
+// Result is a completed cluster run.
+type Result struct {
+	Report *scenario.Report
+	// Fragments holds the raw worker reports, in partition order; nil for
+	// a partition whose final incarnation was killed without respawn.
+	Fragments []*scenario.WorkerReport
+	WallS     float64
+}
+
+// Partition is one worker's slice of the endpoint set.
+type Partition struct {
+	Name  string
+	Owned []string
+	// Target is the fault-targeted replica this worker exists for, empty
+	// for a shared worker.
+	Target string
+}
+
+// Plan divides a spec's endpoints across workers: each fault-targeted
+// replica is hosted alone on a dedicated worker (so a SIGKILL of that
+// process is a crash of exactly that replica), everything else round-robins
+// across the remaining shared workers.
+func Plan(s *scenario.Spec, workers int) ([]Partition, error) {
+	targets := scenario.FaultTargets(s)
+	shared := workers - len(targets)
+	if shared < 1 {
+		return nil, fmt.Errorf("cluster: %d workers cannot host %d fault-targeted replicas plus the shared endpoints; need at least %d",
+			workers, len(targets), len(targets)+1)
+	}
+	parts := make([]Partition, workers)
+	for i := range parts {
+		parts[i].Name = fmt.Sprintf("w%d", i)
+	}
+	targetSet := make(map[string]bool, len(targets))
+	for i, t := range targets {
+		parts[shared+i].Owned = []string{t}
+		parts[shared+i].Target = t
+		targetSet[t] = true
+	}
+	i := 0
+	for _, ep := range scenario.Endpoints(s) {
+		if targetSet[ep] {
+			continue
+		}
+		p := &parts[i%shared]
+		p.Owned = append(p.Owned, ep)
+		i++
+	}
+	return parts, nil
+}
+
+// proc is one live worker process.
+type proc struct {
+	part     Partition
+	cmd      *exec.Cmd
+	stdin    io.WriteCloser
+	readyCh  chan string
+	reportCh chan *scenario.WorkerReport
+	exitCh   chan error
+
+	mu         sync.Mutex
+	listenAddr string
+}
+
+type boss struct {
+	opts  Options
+	spec  *scenario.Spec
+	exe   string
+	log   io.Writer
+	parts []Partition
+
+	mu    sync.Mutex
+	procs []*proc
+}
+
+// Run executes a scenario as a real multi-process cluster and returns the
+// merged, audited report.
+func Run(opts Options) (*Result, error) {
+	if opts.Speed <= 0 {
+		opts.Speed = 1
+	}
+	switch opts.FaultMode {
+	case "":
+		opts.FaultMode = FaultModeKill
+	case FaultModeKill, FaultModeStop:
+	default:
+		return nil, fmt.Errorf("cluster: unknown fault mode %q (want kill|stop)", opts.FaultMode)
+	}
+	spec := opts.Spec
+	if spec == nil {
+		var err error
+		spec, err = scenario.Load(opts.SpecPath)
+		if err != nil {
+			return nil, err
+		}
+	}
+	for i := range spec.Faults {
+		if spec.Faults[i].Kind == "partition" {
+			return nil, fmt.Errorf("cluster: partition faults are not supported in cluster mode")
+		}
+	}
+	exe := opts.Exe
+	if exe == "" {
+		var err error
+		exe, err = os.Executable()
+		if err != nil {
+			return nil, err
+		}
+	}
+	log := opts.Log
+	if log == nil {
+		log = os.Stderr
+	}
+	parts, err := Plan(spec, opts.Workers)
+	if err != nil {
+		return nil, err
+	}
+	b := &boss{
+		opts:  opts,
+		spec:  spec,
+		exe:   exe,
+		log:   log,
+		parts: parts,
+		procs: make([]*proc, len(parts)),
+	}
+	defer b.killAll()
+
+	for i, part := range parts {
+		p, err := b.spawn(part, "127.0.0.1:0", 0, false)
+		if err != nil {
+			return nil, err
+		}
+		b.procs[i] = p
+	}
+	routes := make(map[string]string, len(parts))
+	for _, p := range b.procs {
+		addr, err := awaitReady(p, 30*time.Second)
+		if err != nil {
+			return nil, err
+		}
+		for _, ep := range p.part.Owned {
+			routes[ep] = addr
+		}
+		p.setAddr(addr)
+	}
+	routesLine := routesLine(b.parts, routes)
+	for _, p := range b.procs {
+		if _, err := fmt.Fprintf(p.stdin, "%s\nGO\n", routesLine); err != nil {
+			return nil, fmt.Errorf("cluster: %s: %w", p.part.Name, err)
+		}
+	}
+	t0 := time.Now()
+	durationUS := scenario.DurationUS(spec, opts.Quick)
+	fmt.Fprintf(log, "cluster: %d workers started, running %.0fs of scenario time at speed %g (%s faults)\n",
+		len(parts), float64(durationUS)/1e6, opts.Speed, opts.FaultMode)
+
+	actions, expect := b.faultActions(durationUS)
+	faultsDone := make(chan error, 1)
+	go func() { faultsDone <- b.runFaultSchedule(actions, t0) }()
+
+	durWall := time.Duration(float64(durationUS)/opts.Speed) * time.Microsecond
+	deadline := t0.Add(durWall + 60*time.Second)
+	if err := <-faultsDone; err != nil {
+		return nil, err
+	}
+
+	frags := make([]*scenario.WorkerReport, len(parts))
+	for i := range parts {
+		p := b.current(i)
+		if !expect[i] {
+			continue
+		}
+		select {
+		case wr := <-p.reportCh:
+			frags[i] = wr
+		case err := <-p.exitCh:
+			return nil, fmt.Errorf("cluster: %s exited without a report: %v", p.part.Name, err)
+		case <-time.After(time.Until(deadline)):
+			return nil, fmt.Errorf("cluster: %s produced no report before the deadline", p.part.Name)
+		}
+	}
+	wallS := time.Since(t0).Seconds()
+
+	var present []*scenario.WorkerReport
+	for _, f := range frags {
+		if f != nil {
+			present = append(present, f)
+		}
+	}
+	rep := scenario.MergeClusterReports(spec, opts.Quick, present)
+	if !opts.SkipAudit {
+		var cli *scenario.WorkerReport
+		for _, f := range present {
+			if f.Client != nil {
+				cli = f
+			}
+		}
+		if cli == nil {
+			return nil, fmt.Errorf("cluster: no worker reported the client fragment; cannot audit")
+		}
+		ref, err := scenario.ClusterReference(spec, opts.Quick)
+		if err != nil {
+			return nil, err
+		}
+		scenario.AuditCluster(rep, cli.StableView, ref)
+	}
+	return &Result{Report: rep, Fragments: frags, WallS: wallS}, nil
+}
+
+// action is one real-time fault step.
+type action struct {
+	atUS int64
+	part int
+	what string // "kill" | "respawn" | "stop" | "cont"
+}
+
+// faultActions translates the spec's process-level fault schedule into
+// timed signal/respawn actions, and derives which partitions are expected
+// to be alive — and therefore to report — at the end of the run.
+func (b *boss) faultActions(durationUS int64) ([]action, []bool) {
+	partOf := make(map[string]int, len(b.parts))
+	for i, p := range b.parts {
+		if p.Target != "" {
+			partOf[p.Target] = i
+		}
+	}
+	stop := b.opts.FaultMode == FaultModeStop
+	var acts []action
+	add := func(atUS int64, part int, what string) {
+		if atUS < durationUS {
+			acts = append(acts, action{atUS: atUS, part: part, what: what})
+		}
+	}
+	for i := range b.spec.Faults {
+		f := &b.spec.Faults[i]
+		at := int64(f.AtS * 1e6)
+		dur := int64(f.DurationS * 1e6)
+		if at >= durationUS {
+			continue
+		}
+		pi, ok := partOf[faultTarget(f)]
+		if !ok {
+			continue // source-level fault; the owning worker handles it
+		}
+		switch f.Kind {
+		case "crash":
+			if stop && dur > 0 {
+				add(at, pi, "stop")
+				add(at+dur, pi, "cont")
+			} else {
+				add(at, pi, "kill")
+				if dur > 0 {
+					add(at+dur, pi, "respawn")
+				}
+			}
+		case "restart":
+			if stop {
+				add(at, pi, "cont")
+			} else {
+				add(at, pi, "respawn")
+			}
+		case "flap":
+			period := int64(f.PeriodS * 1e6)
+			count := f.Count
+			if count <= 0 {
+				count = 3
+			}
+			down := dur
+			if down <= 0 {
+				down = period / 2
+			}
+			for k := 0; k < count; k++ {
+				t := at + int64(k)*period
+				if stop {
+					add(t, pi, "stop")
+					add(t+down, pi, "cont")
+				} else {
+					add(t, pi, "kill")
+					add(t+down, pi, "respawn")
+				}
+			}
+		}
+	}
+	sort.SliceStable(acts, func(i, j int) bool { return acts[i].atUS < acts[j].atUS })
+	expect := make([]bool, len(b.parts))
+	for i := range expect {
+		expect[i] = true
+	}
+	for _, a := range acts {
+		switch a.what {
+		case "kill":
+			expect[a.part] = false
+		case "respawn", "cont":
+			expect[a.part] = true
+		}
+	}
+	return acts, expect
+}
+
+func faultTarget(f *scenario.FaultSpec) string {
+	switch f.Kind {
+	case "crash", "restart", "flap":
+		return deploy.GroupReplicaID(f.Node, f.Replica)
+	}
+	return ""
+}
+
+// runFaultSchedule executes the actions at their scaled real deadlines.
+func (b *boss) runFaultSchedule(acts []action, t0 time.Time) error {
+	for _, a := range acts {
+		at := t0.Add(time.Duration(float64(a.atUS)/b.opts.Speed) * time.Microsecond)
+		time.Sleep(time.Until(at))
+		p := b.current(a.part)
+		switch a.what {
+		case "kill":
+			fmt.Fprintf(b.log, "cluster: t=%.2fs SIGKILL %s (%s)\n", float64(a.atUS)/1e6, p.part.Name, p.part.Target)
+			_ = p.cmd.Process.Kill()
+		case "stop":
+			fmt.Fprintf(b.log, "cluster: t=%.2fs SIGSTOP %s (%s)\n", float64(a.atUS)/1e6, p.part.Name, p.part.Target)
+			_ = p.cmd.Process.Signal(syscall.SIGSTOP)
+		case "cont":
+			fmt.Fprintf(b.log, "cluster: t=%.2fs SIGCONT %s (%s)\n", float64(a.atUS)/1e6, p.part.Name, p.part.Target)
+			_ = p.cmd.Process.Signal(syscall.SIGCONT)
+		case "respawn":
+			fmt.Fprintf(b.log, "cluster: t=%.2fs respawn %s (%s) recovering\n", float64(a.atUS)/1e6, p.part.Name, p.part.Target)
+			if err := b.respawn(a.part, a.atUS); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// respawn replaces a killed worker: same partition, same listen address (so
+// every other worker's routes stay valid), clock starting at the respawn
+// instant, §4.5 recovery enabled.
+func (b *boss) respawn(pi int, atUS int64) error {
+	old := b.current(pi)
+	p, err := b.spawn(old.part, old.addr(), atUS, true)
+	if err != nil {
+		return err
+	}
+	addr, err := awaitReady(p, 15*time.Second)
+	if err != nil {
+		return err
+	}
+	p.setAddr(addr)
+	routes := make(map[string]string, len(b.parts))
+	b.mu.Lock()
+	for _, q := range b.procs {
+		for _, ep := range q.part.Owned {
+			routes[ep] = q.addr()
+		}
+	}
+	b.procs[pi] = p
+	b.mu.Unlock()
+	if _, err := fmt.Fprintf(p.stdin, "%s\nGO\n", routesLine(b.parts, routes)); err != nil {
+		return fmt.Errorf("cluster: %s: %w", p.part.Name, err)
+	}
+	return nil
+}
+
+// spawn starts one worker process and its stdout pump.
+func (b *boss) spawn(part Partition, listen string, startUS int64, recover bool) (*proc, error) {
+	args := []string{
+		"worker",
+		"-spec", b.opts.SpecPath,
+		"-worker-name", part.Name,
+		"-listen", listen,
+		"-owned", strings.Join(part.Owned, ","),
+		"-speed", fmt.Sprintf("%g", b.opts.Speed),
+	}
+	if b.opts.Quick {
+		args = append(args, "-quick")
+	}
+	if startUS > 0 {
+		args = append(args, "-start-us", fmt.Sprintf("%d", startUS))
+	}
+	if recover {
+		args = append(args, "-recover")
+	}
+	cmd := exec.Command(b.exe, args...)
+	cmd.Stderr = b.log
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, err
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("cluster: spawning %s: %w", part.Name, err)
+	}
+	p := &proc{
+		part:     part,
+		cmd:      cmd,
+		stdin:    stdin,
+		readyCh:  make(chan string, 1),
+		reportCh: make(chan *scenario.WorkerReport, 1),
+		exitCh:   make(chan error, 1),
+	}
+	go p.pump(stdout, b.log)
+	return p, nil
+}
+
+// pump relays the worker's stdout protocol lines; on EOF it reaps the
+// process.
+func (p *proc) pump(stdout io.Reader, log io.Writer) {
+	sc := bufio.NewScanner(stdout)
+	sc.Buffer(make([]byte, 0, 64*1024), 64<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "READY "):
+			select {
+			case p.readyCh <- strings.TrimSpace(strings.TrimPrefix(line, "READY ")):
+			default:
+			}
+		case strings.HasPrefix(line, "REPORT "):
+			var wr scenario.WorkerReport
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "REPORT ")), &wr); err != nil {
+				fmt.Fprintf(log, "cluster: %s: bad report: %v\n", p.part.Name, err)
+				continue
+			}
+			select {
+			case p.reportCh <- &wr:
+			default:
+			}
+		default:
+			fmt.Fprintf(log, "[%s] %s\n", p.part.Name, line)
+		}
+	}
+	p.exitCh <- p.cmd.Wait()
+}
+
+// addr bookkeeping: the listen address is learned from READY after spawn
+// and read by respawn/routes.
+func (p *proc) addr() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.listenAddr
+}
+
+func (p *proc) setAddr(addr string) {
+	p.mu.Lock()
+	p.listenAddr = addr
+	p.mu.Unlock()
+}
+
+func (b *boss) current(pi int) *proc {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.procs[pi]
+}
+
+func (b *boss) killAll() {
+	b.mu.Lock()
+	procs := append([]*proc(nil), b.procs...)
+	b.mu.Unlock()
+	for _, p := range procs {
+		if p != nil && p.cmd.Process != nil {
+			_ = p.cmd.Process.Signal(syscall.SIGCONT)
+			_ = p.cmd.Process.Kill()
+		}
+	}
+}
+
+// awaitReady waits for the worker's READY line.
+func awaitReady(p *proc, timeout time.Duration) (string, error) {
+	select {
+	case addr := <-p.readyCh:
+		return addr, nil
+	case err := <-p.exitCh:
+		return "", fmt.Errorf("cluster: %s exited before READY: %v", p.part.Name, err)
+	case <-time.After(timeout):
+		return "", fmt.Errorf("cluster: %s not READY after %s", p.part.Name, timeout)
+	}
+}
+
+// routesLine renders the full endpoint→address map as one ROUTES line.
+func routesLine(parts []Partition, routes map[string]string) string {
+	pairs := make([]string, 0, len(routes))
+	for _, part := range parts {
+		for _, ep := range part.Owned {
+			if addr, ok := routes[ep]; ok {
+				pairs = append(pairs, ep+"="+addr)
+			}
+		}
+	}
+	return "ROUTES " + strings.Join(pairs, ",")
+}

@@ -1,0 +1,183 @@
+package cluster
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+
+	"borealis/internal/scenario"
+)
+
+// testSpec is a small source → replicated node → client chain. With a
+// crash fault on n1's primary when faulted is true.
+func testSpec(faulted bool) *scenario.Spec {
+	two := 2
+	s := &scenario.Spec{
+		Name:              "cluster-test",
+		Seed:              3,
+		DurationS:         3,
+		VerifyConsistency: true,
+		Sources:           []scenario.SourceSpec{{Name: "s", Rate: 100}},
+		Nodes:             []scenario.NodeSpec{{Name: "n1", Inputs: []string{"s"}, Replicas: &two}},
+		Client:            scenario.ClientSpec{Input: "n1", DelayMS: 50},
+	}
+	s.Defaults.DelayS = 1
+	s.Defaults.Replicas = 1
+	if faulted {
+		s.Faults = []scenario.FaultSpec{{Kind: "crash", Node: "n1", Replica: 0, AtS: 1, DurationS: 1}}
+	}
+	if err := s.Validate(); err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func TestPlanDedicatesFaultTargets(t *testing.T) {
+	s := testSpec(true)
+	parts, err := Plan(s, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(parts[1].Owned, ","); got != "n1a" || parts[1].Target != "n1a" {
+		t.Fatalf("w1 should host exactly the fault target n1a, got owned=%q target=%q", got, parts[1].Target)
+	}
+	if got := strings.Join(parts[0].Owned, ","); got != "s,n1b,client" {
+		t.Fatalf("w0 should host the rest in spec order, got %q", got)
+	}
+	if _, err := Plan(s, 1); err == nil {
+		t.Fatal("one worker cannot host a fault target plus the rest; Plan should refuse")
+	}
+}
+
+func TestFaultActionsKillRespawn(t *testing.T) {
+	s := testSpec(true)
+	parts, err := Plan(s, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := &boss{opts: Options{FaultMode: FaultModeKill}, spec: s, parts: parts}
+	acts, expect := b.faultActions(scenario.DurationUS(s, false))
+	want := []action{
+		{atUS: 1_000_000, part: 1, what: "kill"},
+		{atUS: 2_000_000, part: 1, what: "respawn"},
+	}
+	if len(acts) != len(want) {
+		t.Fatalf("got %d actions, want %d: %+v", len(acts), len(want), acts)
+	}
+	for i := range want {
+		if acts[i] != want[i] {
+			t.Fatalf("action %d: got %+v want %+v", i, acts[i], want[i])
+		}
+	}
+	if !expect[0] || !expect[1] {
+		t.Fatalf("both partitions end alive and must report, got %v", expect)
+	}
+
+	b.opts.FaultMode = FaultModeStop
+	acts, _ = b.faultActions(scenario.DurationUS(s, false))
+	if acts[0].what != "stop" || acts[1].what != "cont" {
+		t.Fatalf("stop mode should translate crash to stop/cont, got %+v", acts)
+	}
+}
+
+// TestTwoWorkerConsistency runs a real two-worker cluster in-process: two
+// RunWorker instances on goroutines (each with its own wall clock and TCP
+// transport on localhost) and an inline boss speaking the stdio protocol
+// over pipes. The merged report must pass the Definition 1 audit against
+// the virtual-clock reference run.
+func TestTwoWorkerConsistency(t *testing.T) {
+	s := testSpec(false)
+	parts, err := Plan(s, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type end struct {
+		in   *io.PipeWriter
+		out  *bufio.Scanner
+		done chan error
+	}
+	ends := make([]end, len(parts))
+	for i, part := range parts {
+		inR, inW := io.Pipe()
+		outR, outW := io.Pipe()
+		cfg := WorkerConfig{
+			Spec:   s,
+			Name:   part.Name,
+			Listen: "127.0.0.1:0",
+			Owned:  part.Owned,
+			Speed:  50,
+		}
+		done := make(chan error, 1)
+		go func() {
+			err := RunWorker(cfg, inR, outW)
+			outW.CloseWithError(err)
+			done <- err
+		}()
+		sc := bufio.NewScanner(outR)
+		sc.Buffer(make([]byte, 0, 64*1024), 64<<20)
+		ends[i] = end{in: inW, out: sc, done: done}
+	}
+
+	readLine := func(i int, prefix string) string {
+		e := &ends[i]
+		for e.out.Scan() {
+			if line := e.out.Text(); strings.HasPrefix(line, prefix) {
+				return strings.TrimPrefix(line, prefix)
+			}
+		}
+		t.Fatalf("worker %d: stream ended before %q line: %v", i, prefix, e.out.Err())
+		return ""
+	}
+
+	routes := make([]string, 0, len(parts))
+	for i, part := range parts {
+		addr := strings.TrimSpace(readLine(i, "READY "))
+		for _, ep := range part.Owned {
+			routes = append(routes, ep+"="+addr)
+		}
+	}
+	for i := range parts {
+		fmt.Fprintf(ends[i].in, "ROUTES %s\nGO\n", strings.Join(routes, ","))
+	}
+
+	frags := make([]*scenario.WorkerReport, len(parts))
+	for i := range parts {
+		var wr scenario.WorkerReport
+		if err := json.Unmarshal([]byte(readLine(i, "REPORT ")), &wr); err != nil {
+			t.Fatalf("worker %d: bad report: %v", i, err)
+		}
+		frags[i] = &wr
+		if err := <-ends[i].done; err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+
+	rep := scenario.MergeClusterReports(s, false, frags)
+	var cli *scenario.WorkerReport
+	for _, f := range frags {
+		if f.Client != nil {
+			cli = f
+		}
+	}
+	if cli == nil {
+		t.Fatal("no fragment carries the client")
+	}
+	ref, err := scenario.ClusterReference(s, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scenario.AuditCluster(rep, cli.StableView, ref)
+	if rep.Consistency == nil || !rep.Consistency.OK {
+		t.Fatalf("Definition 1 audit failed: %+v", rep.Consistency)
+	}
+	if rep.Consistency.Compared == 0 {
+		t.Fatal("audit compared zero stable tuples — the cluster moved no data")
+	}
+	if rep.Client.NewTuples == 0 {
+		t.Fatalf("merged report lost the client fragment: %+v", rep.Client)
+	}
+}

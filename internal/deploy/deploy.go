@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"borealis/internal/client"
+	"borealis/internal/fabric"
 	"borealis/internal/netsim"
 	"borealis/internal/node"
 	"borealis/internal/operator"
@@ -117,6 +118,9 @@ type Deployment struct {
 	// *runtime.VirtualClock for deterministic simulation, or a
 	// *runtime.WallClock for paced real-time execution.
 	RT runtime.Runtime
+	// Fab is the message fabric every endpoint registered on: Net in a
+	// single-process deployment, the TCP transport in a cluster partition.
+	Fab fabric.Fabric
 	// Sim is the underlying simulator when RT is virtual, nil on a wall
 	// clock.
 	//
@@ -234,14 +238,20 @@ func BuildChain(spec ChainSpec) (*Deployment, error) {
 	return dep, nil
 }
 
-// Start launches sources, nodes and the client.
+// Start launches sources, nodes and the client. On a cluster partition the
+// non-owned slots are nil and skipped; each worker starts only what it
+// hosts.
 func (d *Deployment) Start() {
 	for _, row := range d.Nodes {
 		for _, n := range row {
-			n.Start()
+			if n != nil {
+				n.Start()
+			}
 		}
 	}
-	d.Client.Start()
+	if d.Client != nil {
+		d.Client.Start()
+	}
 	for _, s := range d.Sources {
 		s.Start()
 	}

@@ -10,6 +10,7 @@ import (
 
 	"borealis/internal/client"
 	"borealis/internal/diagram"
+	"borealis/internal/fabric"
 	"borealis/internal/netsim"
 	"borealis/internal/node"
 	"borealis/internal/operator"
@@ -323,6 +324,29 @@ func BuildTopology(spec TopologySpec) (*Deployment, error) {
 // through it, so the same spec runs deterministically on a virtual clock
 // or paced against real time on a wall clock. Call Start on the result.
 func BuildTopologyOn(rt runtime.Runtime, spec TopologySpec) (*Deployment, error) {
+	return buildOn(rt, nil, spec, nil)
+}
+
+// BuildPartitionOn assembles the slice of a topology owned by one cluster
+// worker: only the endpoints in owned (source IDs, replica IDs like "n2b",
+// and/or "client") are constructed, on the given fabric — the TCP transport
+// in a real cluster. All wiring is by endpoint ID, so the partition
+// subscribes to its remote upstreams exactly as it would to local ones.
+// Non-owned slots are nil: Deployment.Sources holds owned sources only,
+// Nodes rows keep their shape with nil holes, Client may be nil.
+func BuildPartitionOn(rt runtime.Runtime, fab fabric.Fabric, spec TopologySpec, owned map[string]bool) (*Deployment, error) {
+	if fab == nil {
+		return nil, fmt.Errorf("deploy: partition build needs a fabric")
+	}
+	if owned == nil {
+		return nil, fmt.Errorf("deploy: partition build needs an ownership set")
+	}
+	return buildOn(rt, fab, spec, owned)
+}
+
+// buildOn is the shared topology constructor. fab nil means a fresh netsim
+// on rt (the single-process default); owned nil means build every endpoint.
+func buildOn(rt runtime.Runtime, fab fabric.Fabric, spec TopologySpec, owned map[string]bool) (*Deployment, error) {
 	if err := spec.normalize(); err != nil {
 		return nil, err
 	}
@@ -330,19 +354,29 @@ func BuildTopologyOn(rt runtime.Runtime, spec TopologySpec) (*Deployment, error)
 	if err != nil {
 		return nil, err
 	}
-	net := netsim.New(rt)
+	if fab == nil {
+		net := netsim.New(rt)
+		fab = net
+	}
+	owns := func(id string) bool { return owned == nil || owned[id] }
 	dep := &Deployment{
 		RT:          rt,
-		Net:         net,
+		Fab:         fab,
 		Topology:    &spec,
 		groupIndex:  make(map[string]int, len(spec.Groups)),
 		sourceIndex: make(map[string]int, len(spec.Sources)),
+	}
+	if net, ok := fab.(*netsim.Net); ok {
+		dep.Net = net
 	}
 	if vc, ok := rt.(*runtime.VirtualClock); ok {
 		dep.Sim = vc.Sim
 	}
 
 	for i, ss := range spec.Sources {
+		if !owns(ss.ID) {
+			continue
+		}
 		payload := ss.Payload
 		if payload == nil {
 			idx := int64(i + 1)
@@ -353,7 +387,7 @@ func BuildTopologyOn(rt runtime.Runtime, spec TopologySpec) (*Deployment, error)
 				return p
 			}
 		}
-		dep.Sources = append(dep.Sources, source.New(rt, net, source.Config{
+		dep.Sources = append(dep.Sources, source.New(rt, fab, source.Config{
 			ID:               ss.ID,
 			Stream:           ss.Stream,
 			Rate:             ss.Rate,
@@ -362,7 +396,7 @@ func BuildTopologyOn(rt runtime.Runtime, spec TopologySpec) (*Deployment, error)
 			Payload:          payload,
 			LogCap:           ss.LogCap,
 		}))
-		dep.sourceIndex[ss.ID] = i
+		dep.sourceIndex[ss.ID] = len(dep.Sources) - 1
 	}
 
 	// producersOf maps a stream to the endpoints able to serve it, in
@@ -399,8 +433,11 @@ func BuildTopologyOn(rt runtime.Runtime, spec TopologySpec) (*Deployment, error)
 
 	for gi := range spec.Groups {
 		g := &spec.Groups[gi]
-		var row []*node.Node
+		row := make([]*node.Node, g.Replicas)
 		for r := 0; r < g.Replicas; r++ {
+			if !owns(GroupReplicaID(g.Name, r)) {
+				continue
+			}
 			d, err := buildGroupDiagram(&spec, g)
 			if err != nil {
 				return nil, err
@@ -415,7 +452,7 @@ func BuildTopologyOn(rt runtime.Runtime, spec TopologySpec) (*Deployment, error)
 			for _, in := range g.Inputs {
 				ups[in] = producersOf(in)
 			}
-			n, err := node.New(rt, net, d, node.Config{
+			n, err := node.New(rt, fab, d, node.Config{
 				ID:                  GroupReplicaID(g.Name, r),
 				Capacity:            g.Capacity,
 				FailurePolicy:       g.FailurePolicy,
@@ -434,13 +471,16 @@ func BuildTopologyOn(rt runtime.Runtime, spec TopologySpec) (*Deployment, error)
 			if err != nil {
 				return nil, fmt.Errorf("deploy: group %q replica %d: %w", g.Name, r, err)
 			}
-			row = append(row, n)
+			row[r] = n
 		}
 		dep.Nodes = append(dep.Nodes, row)
 		dep.groupIndex[g.Name] = gi
 	}
 
-	cl, err := client.New(rt, net, client.Config{
+	if !owns("client") {
+		return dep, nil
+	}
+	cl, err := client.New(rt, fab, client.Config{
 		ID:                  "client",
 		Stream:              spec.Client.Stream,
 		Upstreams:           producersOf(spec.Client.Stream),

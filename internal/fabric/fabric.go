@@ -1,0 +1,31 @@
+// Package fabric defines the minimal message-fabric surface the protocol
+// components (node, source, client) run on. Two implementations exist:
+// internal/netsim, the deterministic in-process simulator every virtual run
+// uses, and internal/transport, the TCP fabric the cluster runtime uses to
+// span real processes. Components depend only on this interface, so the same
+// node code runs unchanged on either.
+package fabric
+
+// Handler receives a message addressed to a registered endpoint. The fabric
+// serializes all deliveries for a process into its clock's run loop, so
+// handlers never run concurrently with each other or with timer callbacks.
+type Handler func(from string, msg any)
+
+// Fabric is the send/receive surface between endpoints identified by string
+// IDs. Implementations must preserve per-(from,to) FIFO ordering and must
+// deliver asynchronously (never inside the Send call), matching the
+// simulator's semantics that node code was written against.
+type Fabric interface {
+	// Register installs the handler for a local endpoint, replacing any
+	// previous registration (crash/restart re-registers).
+	Register(id string, h Handler)
+	// Send queues msg for delivery from one endpoint to another. Sends
+	// from a crashed (down) endpoint are dropped. Sending to an endpoint
+	// the fabric has no route for is a programming error on the simulator
+	// (panic); on a real transport the frame is forwarded to the remote
+	// process that owns it, or dropped if the peer is unreachable.
+	Send(from, to string, msg any)
+	// SetDown marks a local endpoint crashed (true) or alive (false). A
+	// down endpoint neither sends nor receives.
+	SetDown(id string, down bool)
+}

@@ -15,12 +15,17 @@ import (
 	"fmt"
 	"sort"
 
+	"borealis/internal/fabric"
 	"borealis/internal/runtime"
 	"borealis/internal/vtime"
 )
 
 // Handler receives messages addressed to an endpoint.
-type Handler func(from string, msg any)
+type Handler = fabric.Handler
+
+// Net implements the fabric surface protocol components run on; the TCP
+// transport (internal/transport) is the other implementation.
+var _ fabric.Fabric = (*Net)(nil)
 
 // DefaultLatency is the one-way delivery latency used for links that have
 // no explicit override. The paper assumes network latency is small compared

@@ -6,7 +6,7 @@ import (
 
 	"borealis/internal/diagram"
 	"borealis/internal/engine"
-	"borealis/internal/netsim"
+	"borealis/internal/fabric"
 	"borealis/internal/operator"
 	"borealis/internal/runtime"
 	"borealis/internal/tuple"
@@ -62,7 +62,7 @@ type Config struct {
 type Node struct {
 	cfg Config
 	clk runtime.Clock
-	net *netsim.Net
+	net fabric.Fabric
 	eng *engine.Engine
 	d   *diagram.Diagram
 
@@ -104,7 +104,7 @@ type Node struct {
 
 // New builds a node executing the given diagram and registers it on the
 // network. Call Start to subscribe to upstreams and begin probing.
-func New(clk runtime.Clock, net *netsim.Net, d *diagram.Diagram, cfg Config) (*Node, error) {
+func New(clk runtime.Clock, net fabric.Fabric, d *diagram.Diagram, cfg Config) (*Node, error) {
 	if cfg.ID == "" {
 		return nil, fmt.Errorf("node: empty ID")
 	}

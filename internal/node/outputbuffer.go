@@ -3,7 +3,7 @@ package node
 import (
 	"sort"
 
-	"borealis/internal/netsim"
+	"borealis/internal/fabric"
 	"borealis/internal/runtime"
 	"borealis/internal/tuple"
 )
@@ -33,7 +33,7 @@ const (
 // tentative suffix is deleted, so replays always reflect the corrected
 // stream.
 type OutputBuffer struct {
-	net    *netsim.Net
+	net    fabric.Fabric
 	self   string
 	stream string
 	mode   BufferMode
@@ -79,7 +79,7 @@ type obSub struct {
 }
 
 // NewOutputBuffer builds a buffer for one output stream of endpoint self.
-func NewOutputBuffer(clk runtime.Clock, net *netsim.Net, self, stream string, mode BufferMode, capTuples int, expected []string) *OutputBuffer {
+func NewOutputBuffer(clk runtime.Clock, net fabric.Fabric, self, stream string, mode BufferMode, capTuples int, expected []string) *OutputBuffer {
 	ob := &OutputBuffer{
 		net:      net,
 		self:     self,

@@ -61,6 +61,18 @@ func NewWall(speed float64) *WallClock {
 	return &WallClock{speed: speed, kick: make(chan struct{}, 1)}
 }
 
+// NewWallAt returns a wall-clock runtime whose clock starts at startUS
+// instead of zero. A cluster worker respawned mid-scenario uses it: the
+// replacement process must schedule its remaining timeline from the
+// scenario time at which the old process was killed, not from t=0.
+func NewWallAt(speed float64, startUS int64) *WallClock {
+	c := NewWall(speed)
+	if startUS > 0 {
+		c.now = startUS
+	}
+	return c
+}
+
 // Speed returns the time-scale factor.
 func (c *WallClock) Speed() float64 { return c.speed }
 

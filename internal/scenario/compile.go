@@ -275,7 +275,41 @@ func compile(exec rtpkg.Runtime, s *Spec, quick, withFaults, perTuple, noAudit b
 		maxSTime:   -1,
 	}
 	idx := s.index()
+	dep, err := deploy.BuildTopologyOn(exec, topologySpecOf(s, idx, perTuple, noAudit))
+	if err != nil {
+		return nil, err
+	}
+	rt.dep = dep
+	if trace != nil {
+		for _, row := range dep.Nodes {
+			for _, rep := range row {
+				rep.SetTrace(trace)
+			}
+		}
+	}
+	rt.boundUS = rt.availabilityBound(idx)
+	rt.installWorkloads()
+	if withFaults {
+		if err := rt.installFaults(); err != nil {
+			return nil, err
+		}
+	}
+	rt.hookClient()
+	if withFaults {
+		// The faultless consistency-reference run (withFaults=false) never
+		// renders a report, so sampling queue depth there is pure overhead.
+		rt.installDepthSampler()
+	}
+	return rt, nil
+}
 
+// topologySpecOf translates a validated Spec into the deployment layer's
+// TopologySpec. The translation is pure — no runtime, no fabric — so the
+// single-process compile and every cluster worker's partition compile share
+// it and agree on the exact same wiring (the payload closure derives from
+// the spec listing index i, keeping cross-partition stream content
+// deterministic).
+func topologySpecOf(s *Spec, idx *nameIndex, perTuple, noAudit bool) deploy.TopologySpec {
 	top := deploy.TopologySpec{
 		BucketSize:       millis(s.Defaults.BucketMS),
 		BoundaryInterval: millis(s.Defaults.BoundaryMS),
@@ -341,33 +375,7 @@ func compile(exec rtpkg.Runtime, s *Spec, quick, withFaults, perTuple, noAudit b
 			BufferCap:           n.BufferCap,
 		})
 	}
-
-	dep, err := deploy.BuildTopologyOn(exec, top)
-	if err != nil {
-		return nil, err
-	}
-	rt.dep = dep
-	if trace != nil {
-		for _, row := range dep.Nodes {
-			for _, rep := range row {
-				rep.SetTrace(trace)
-			}
-		}
-	}
-	rt.boundUS = rt.availabilityBound(idx)
-	rt.installWorkloads()
-	if withFaults {
-		if err := rt.installFaults(); err != nil {
-			return nil, err
-		}
-	}
-	rt.hookClient()
-	if withFaults {
-		// The faultless consistency-reference run (withFaults=false) never
-		// renders a report, so sampling queue depth there is pure overhead.
-		rt.installDepthSampler()
-	}
-	return rt, nil
+	return top
 }
 
 func firstNonEmpty(a, b string) string {
@@ -381,7 +389,13 @@ func firstNonEmpty(a, b string) string {
 // path sum of SUnion delays, plus the client's own slack, plus the
 // scenario's processing slack.
 func (rt *run) availabilityBound(idx *nameIndex) int64 {
-	s := rt.spec
+	return availabilityBoundUS(rt.spec, idx)
+}
+
+// availabilityBoundUS is the bound computation on the bare spec; the
+// cluster boss uses it to stamp the merged report without compiling a
+// deployment of its own.
+func availabilityBoundUS(s *Spec, idx *nameIndex) int64 {
 	nodes := idx.nodes
 	memo := map[string]float64{}
 	var path func(name string) float64
@@ -430,6 +444,13 @@ func (rt *run) installWorkloads() {
 		ss := &rt.spec.Sources[i]
 		for _, m := range ss.members() {
 			src := rt.dep.SourceByID(m)
+			if src == nil {
+				// A cluster partition hosts a subset of the sources; the
+				// ordinal still advances so every member keeps the same
+				// PRNG stream it has in a single-process run.
+				ordinal++
+				continue
+			}
 			base := src.Rate()
 			prng := newPRNG(rt.spec.Seed, ordinal)
 			ordinal++

@@ -9,7 +9,7 @@ package source
 import (
 	"sort"
 
-	"borealis/internal/netsim"
+	"borealis/internal/fabric"
 	"borealis/internal/node"
 	"borealis/internal/runtime"
 	"borealis/internal/tuple"
@@ -46,7 +46,7 @@ type subscriber struct {
 type Source struct {
 	cfg Config
 	clk runtime.Clock
-	net *netsim.Net
+	net fabric.Fabric
 
 	log     []tuple.Tuple
 	logBase int // sequence index of log[0] after truncation
@@ -73,7 +73,7 @@ type Source struct {
 
 // New builds a source and registers its endpoint. Call Start to begin
 // producing.
-func New(clk runtime.Clock, net *netsim.Net, cfg Config) *Source {
+func New(clk runtime.Clock, net fabric.Fabric, cfg Config) *Source {
 	if cfg.TickInterval <= 0 {
 		cfg.TickInterval = 10 * vtime.Millisecond
 	}

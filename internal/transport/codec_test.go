@@ -1,0 +1,244 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"reflect"
+	"testing"
+
+	"borealis/internal/node"
+	"borealis/internal/tuple"
+)
+
+// allFrames is one representative value per wire message type, exercising
+// every field.
+func allFrames() []struct {
+	from, to string
+	msg      any
+} {
+	return []struct {
+		from, to string
+		msg      any
+	}{
+		{"src1", "n1", node.DataMsg{Stream: "s1", Seq: 7, Tuples: []tuple.Tuple{
+			{Type: tuple.Insertion, ID: 1, STime: 1000, Src: 0, Data: []int64{42, -7}},
+			{Type: tuple.Tentative, ID: 2, STime: 1010, Src: 3, Data: []int64{-1}},
+			{Type: tuple.Boundary, STime: 1100},
+			{Type: tuple.Undo, ID: 1},
+			{Type: tuple.RecDone, STime: 1200},
+		}}},
+		{"n1", "src1", node.SubscribeMsg{Stream: "s1", FromID: 12, SeenTentative: true}},
+		{"n1", "src1", node.SubscribeMsg{Stream: "s1", TailOnly: true}},
+		{"n1", "src1", node.UnsubscribeMsg{Stream: "s1"}},
+		{"n1", "src1", node.AckMsg{Stream: "s1", UpToID: 99}},
+		{"n1", "n2", node.KeepAliveReq{}},
+		{"n2", "n1", node.KeepAliveResp{Node: node.StateUpFailure, Streams: map[string]node.StreamState{
+			"s_out": node.StateStabilization, "a_out": node.StateStable}}},
+		{"n2", "n2b", node.ReconcileReq{}},
+		{"n2b", "n2", node.ReconcileResp{Granted: true}},
+		{"n2b", "n2", node.ReconcileResp{}},
+		{"n2", "n2b", node.ReconcileDone{}},
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	for _, f := range allFrames() {
+		enc, err := AppendFrame(nil, f.from, f.to, f.msg)
+		if err != nil {
+			t.Fatalf("encode %T: %v", f.msg, err)
+		}
+		if n := binary.BigEndian.Uint32(enc); int(n) != len(enc)-4 {
+			t.Fatalf("%T: length prefix %d, body %d", f.msg, n, len(enc)-4)
+		}
+		from, to, msg, err := DecodeFrame(enc[4:])
+		if err != nil {
+			t.Fatalf("decode %T: %v", f.msg, err)
+		}
+		if from != f.from || to != f.to {
+			t.Fatalf("%T: addr (%q,%q), want (%q,%q)", f.msg, from, to, f.from, f.to)
+		}
+		if !reflect.DeepEqual(msg, f.msg) {
+			t.Fatalf("round trip %T:\n got %#v\nwant %#v", f.msg, msg, f.msg)
+		}
+	}
+}
+
+func TestCodecAppendsInPlace(t *testing.T) {
+	var buf []byte
+	var offs []int
+	for _, f := range allFrames() {
+		offs = append(offs, len(buf))
+		var err error
+		buf, err = AppendFrame(buf, f.from, f.to, f.msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, f := range allFrames() {
+		n := binary.BigEndian.Uint32(buf[offs[i]:])
+		body := buf[offs[i]+4 : offs[i]+4+int(n)]
+		_, _, msg, err := DecodeFrame(body)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(msg, f.msg) {
+			t.Fatalf("frame %d: got %#v want %#v", i, msg, f.msg)
+		}
+	}
+}
+
+func TestCodecRejectsUnknownType(t *testing.T) {
+	if _, err := AppendFrame(nil, "a", "b", struct{ X int }{1}); err == nil {
+		t.Fatal("encoding a non-wire type should fail")
+	}
+}
+
+// TestCodecGolden pins the exact byte layout of representative frames. A
+// failure here means the wire format changed: bump CodecVersion and
+// regenerate, because old and new binaries can no longer interoperate.
+func TestCodecGolden(t *testing.T) {
+	cases := []struct {
+		name     string
+		from, to string
+		msg      any
+		want     []byte
+	}{
+		{
+			name: "data",
+			from: "s", to: "n",
+			msg: node.DataMsg{Stream: "x", Seq: 5, Tuples: []tuple.Tuple{
+				{Type: tuple.Insertion, ID: 3, STime: -2, Src: 1, Data: []int64{7}},
+				{Type: tuple.Boundary, STime: 10},
+			}},
+			want: []byte{
+				0, 0, 0, 21, // body length
+				1, 1, // version, tagData
+				1, 's', 1, 'n', // from, to
+				1, 'x', // stream
+				5,                 // seq
+				2,                 // tuple count
+				0, 3, 3, 2, 1, 14, // INSERTION id=3 stime=-2(zigzag 3) src=1(zigzag 2) 1 datum 7(zigzag 14)
+				2, 0, 20, 0, 0, // BOUNDARY id=0 stime=10(zigzag 20) src=0 no data
+			},
+		},
+		{
+			name: "subscribe",
+			from: "n", to: "s",
+			msg:  node.SubscribeMsg{Stream: "x", FromID: 12, SeenTentative: true, TailOnly: false},
+			want: []byte{0, 0, 0, 10, 1, 2, 1, 'n', 1, 's', 1, 'x', 12, 1},
+		},
+		{
+			name: "keepaliveresp",
+			from: "b", to: "a",
+			msg: node.KeepAliveResp{Node: node.StateStable, Streams: map[string]node.StreamState{
+				"z": node.StateUpFailure, "a": node.StateStable}},
+			want: []byte{
+				0, 0, 0, 14, 1, 6, 1, 'b', 1, 'a',
+				0,         // node state STABLE
+				2,         // stream count
+				1, 'a', 0, // "a" STABLE (sorted first)
+				1, 'z', 1, // "z" UP_FAILURE
+			},
+		},
+		{
+			name: "keepalivereq",
+			from: "a", to: "b",
+			msg:  node.KeepAliveReq{},
+			want: []byte{0, 0, 0, 6, 1, 5, 1, 'a', 1, 'b'},
+		},
+		{
+			name: "reconcileresp",
+			from: "a", to: "b",
+			msg:  node.ReconcileResp{Granted: true},
+			want: []byte{0, 0, 0, 7, 1, 8, 1, 'a', 1, 'b', 1},
+		},
+	}
+	for _, c := range cases {
+		got, err := AppendFrame(nil, c.from, c.to, c.msg)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if !bytes.Equal(got, c.want) {
+			t.Errorf("%s: wire layout changed\n got %v\nwant %v", c.name, got, c.want)
+		}
+	}
+}
+
+// TestCodecMalformed feeds systematically broken bodies to the decoder:
+// every one must return an error without panicking.
+func TestCodecMalformed(t *testing.T) {
+	bad := [][]byte{
+		nil,
+		{},
+		{2},                                   // wrong version
+		{1},                                   // no tag
+		{1, 99, 1, 'a', 1, 'b'},               // unknown tag
+		{1, 1, 5, 'a'},                        // from length overruns
+		{1, 1, 1, 'a', 9, 'b'},                // to length overruns
+		{1, 5, 1, 'a', 1, 'b', 0},             // trailing byte after KeepAliveReq
+		{1, 8, 1, 'a', 1, 'b', 2},             // ReconcileResp bool out of range
+		{1, 2, 1, 'a', 1, 'b', 1, 'x', 12, 4}, // unknown subscribe flag bit
+		{1, 6, 1, 'a', 1, 'b', 7, 0},          // KeepAliveResp state out of range
+		{1, 6, 1, 'a', 1, 'b', 0, 2, 1, 'z', 0, 1, 'a', 0},                 // map keys out of order
+		{1, 6, 1, 'a', 1, 'b', 0, 2, 1, 'a', 0, 1, 'a', 0},                 // duplicate map key
+		{1, 1, 1, 'a', 1, 'b', 1, 'x', 1, 200, 200, 200, 200},              // absurd tuple count
+		{1, 1, 1, 'a', 1, 'b', 1, 'x', 1, 1, 9, 0, 0, 0, 0},                // tuple type out of range
+		{1, 1, 1, 'a', 1, 'b', 1, 'x', 1, 1, 0, 1},                         // truncated tuple
+		{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff}, // varint junk
+	}
+	// Every truncation of a valid frame must also fail cleanly.
+	full, err := AppendFrame(nil, "src1", "n1", node.DataMsg{Stream: "s", Seq: 1, Tuples: []tuple.Tuple{
+		{Type: tuple.Insertion, ID: 1, STime: 5, Data: []int64{1, 2}}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(full)-4; i++ {
+		bad = append(bad, full[4:4+i])
+	}
+	for i, b := range bad {
+		if _, _, _, err := DecodeFrame(b); err == nil {
+			t.Errorf("case %d (% x): decode succeeded, want error", i, b)
+		}
+	}
+}
+
+// FuzzFrameCodec is the satellite fuzz harness: arbitrary bytes must never
+// panic the decoder, and any body that decodes must round-trip exactly —
+// re-encoding the decoded frame and decoding again yields the same value
+// and the same canonical bytes (second-generation round trip, so
+// non-canonical inputs such as overlong varints can't trip DeepEqual).
+func FuzzFrameCodec(f *testing.F) {
+	for _, fr := range allFrames() {
+		enc, err := AppendFrame(nil, fr.from, fr.to, fr.msg)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(enc[4:])
+	}
+	f.Add([]byte{1, 1, 0, 0})
+	f.Fuzz(func(t *testing.T, body []byte) {
+		from, to, msg, err := DecodeFrame(body)
+		if err != nil {
+			return
+		}
+		enc, err := AppendFrame(nil, from, to, msg)
+		if err != nil {
+			t.Fatalf("decoded frame failed to re-encode: %v (%#v)", err, msg)
+		}
+		from2, to2, msg2, err := DecodeFrame(enc[4:])
+		if err != nil {
+			t.Fatalf("re-encoded frame failed to decode: %v", err)
+		}
+		if from2 != from || to2 != to || !reflect.DeepEqual(msg2, msg) {
+			t.Fatalf("round trip diverged:\n first (%q,%q) %#v\nsecond (%q,%q) %#v",
+				from, to, msg, from2, to2, msg2)
+		}
+		enc2, err := AppendFrame(nil, from2, to2, msg2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("canonical encoding unstable:\n% x\n% x", enc, enc2)
+		}
+	})
+}

@@ -1,0 +1,357 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"borealis/internal/fabric"
+	"borealis/internal/runtime"
+)
+
+// Config tunes a TCP fabric.
+type Config struct {
+	// ListenAddr is the address to accept peer connections on
+	// ("127.0.0.1:0" picks a free port; see Addr for the bound address).
+	ListenAddr string
+	// Routes maps remote endpoint IDs to the listen address of the
+	// process hosting them. IDs absent from Routes must be registered
+	// locally before they are sent to.
+	Routes map[string]string
+	// DialBackoff is the real-time pause between failed connection
+	// attempts to a peer (default 50ms). A killed peer process keeps its
+	// writer in this loop until the respawned process listens again.
+	DialBackoff time.Duration
+	// QueueLen bounds each peer's outbound frame queue (default 4096).
+	// Frames beyond it are dropped, like a broken connection discarding
+	// its socket buffers; the DPC protocol detects the loss as a DataMsg
+	// sequence gap or keep-alive timeout and re-subscribes.
+	QueueLen int
+}
+
+// TCP is the fabric.Fabric implementation carrying frames over real
+// sockets. Local endpoints are delivered through the clock exactly like
+// netsim (handlers only ever run on the clock's driving goroutine); remote
+// endpoints are resolved through Routes to peer processes.
+//
+// The clock must schedule safely across goroutines: socket readers inject
+// deliveries via AfterCall from their own goroutines. runtime.WallClock is;
+// runtime.VirtualClock is not (a virtual clock has no place to put a
+// concurrent socket anyway — use netsim for virtual runs).
+type TCP struct {
+	clk runtime.Clock
+	cfg Config
+	ln  net.Listener
+
+	mu      sync.Mutex
+	local   map[string]*localEndpoint
+	peers   map[string]*peer // keyed by remote address
+	inbound map[net.Conn]struct{}
+	closed  bool
+
+	conns sync.WaitGroup
+
+	deliverFn func(any)
+
+	// Delivered counts frames handed to local handlers; Dropped counts
+	// frames lost to down endpoints, full peer queues, or dead peers.
+	Delivered atomic.Uint64
+	Dropped   atomic.Uint64
+}
+
+var _ fabric.Fabric = (*TCP)(nil)
+
+type localEndpoint struct {
+	handler fabric.Handler
+	down    bool
+}
+
+// peer is one outbound connection: a bounded frame queue drained by a
+// writer goroutine that dials with backoff and reconnects on error. One
+// peer per remote process keeps all (from,to) pairs routed to it in FIFO
+// order — a single ordered byte stream.
+type peer struct {
+	addr  string
+	queue chan []byte
+}
+
+type delivery struct {
+	t        *TCP
+	from, to string
+	msg      any
+}
+
+// Listen starts a TCP fabric on the given clock. The returned fabric is
+// accepting peer connections immediately; Close releases it.
+func Listen(clk runtime.Clock, cfg Config) (*TCP, error) {
+	if cfg.DialBackoff <= 0 {
+		cfg.DialBackoff = 50 * time.Millisecond
+	}
+	if cfg.QueueLen <= 0 {
+		cfg.QueueLen = 4096
+	}
+	ln, err := net.Listen("tcp", cfg.ListenAddr)
+	if err != nil {
+		return nil, err
+	}
+	t := &TCP{
+		clk:     clk,
+		cfg:     cfg,
+		ln:      ln,
+		local:   make(map[string]*localEndpoint),
+		peers:   make(map[string]*peer),
+		inbound: make(map[net.Conn]struct{}),
+	}
+	t.deliverFn = t.deliver
+	t.conns.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (t *TCP) Addr() string { return t.ln.Addr().String() }
+
+// Close stops the listener, disconnects every peer, and waits for the
+// fabric's goroutines to exit. Queued-but-unsent frames are dropped.
+func (t *TCP) Close() {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	t.closed = true
+	peers := make([]*peer, 0, len(t.peers))
+	for _, p := range t.peers {
+		peers = append(peers, p)
+	}
+	inbound := make([]net.Conn, 0, len(t.inbound))
+	for c := range t.inbound {
+		inbound = append(inbound, c)
+	}
+	t.mu.Unlock()
+	t.ln.Close()
+	for _, p := range peers {
+		close(p.queue)
+	}
+	for _, c := range inbound {
+		c.Close()
+	}
+	t.conns.Wait()
+}
+
+// AddRoute maps a remote endpoint ID to its process's listen address.
+// Cluster workers bind their listeners first and learn each other's
+// addresses afterwards, so routes arrive after Listen.
+func (t *TCP) AddRoute(id, addr string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.cfg.Routes == nil {
+		t.cfg.Routes = make(map[string]string)
+	}
+	t.cfg.Routes[id] = addr
+}
+
+// Register installs the handler for a local endpoint (fabric.Fabric).
+func (t *TCP) Register(id string, h fabric.Handler) {
+	if h == nil {
+		panic("transport: nil handler for " + id)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ep := t.local[id]
+	if ep == nil {
+		ep = &localEndpoint{}
+		t.local[id] = ep
+	}
+	ep.handler = h
+}
+
+// SetDown marks a local endpoint crashed or alive (fabric.Fabric).
+func (t *TCP) SetDown(id string, down bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ep := t.local[id]
+	if ep == nil {
+		panic("transport: unknown endpoint " + id)
+	}
+	ep.down = down
+}
+
+// Send queues msg for delivery (fabric.Fabric). Local destinations are
+// scheduled through the clock like netsim deliveries; remote destinations
+// are encoded immediately (so the caller may reuse any buffers backing the
+// message) and handed to the owning peer's writer.
+func (t *TCP) Send(from, to string, msg any) {
+	t.mu.Lock()
+	src := t.local[from]
+	if src == nil {
+		t.mu.Unlock()
+		panic(fmt.Sprintf("transport: send from unregistered endpoint %q", from))
+	}
+	if src.down {
+		t.mu.Unlock()
+		t.Dropped.Add(1)
+		return
+	}
+	if _, isLocal := t.local[to]; isLocal {
+		t.mu.Unlock()
+		t.clk.AfterCall(0, t.deliverFn, &delivery{t: t, from: from, to: to, msg: msg})
+		return
+	}
+	addr, ok := t.cfg.Routes[to]
+	if !ok {
+		t.mu.Unlock()
+		panic(fmt.Sprintf("transport: no route to endpoint %q", to))
+	}
+	p := t.peers[addr]
+	if p == nil {
+		if t.closed {
+			t.mu.Unlock()
+			t.Dropped.Add(1)
+			return
+		}
+		p = &peer{addr: addr, queue: make(chan []byte, t.cfg.QueueLen)}
+		t.peers[addr] = p
+		t.conns.Add(1)
+		go t.writeLoop(p)
+	}
+	t.mu.Unlock()
+	frame, err := AppendFrame(nil, from, to, msg)
+	if err != nil {
+		panic(err) // non-wire message type on the fabric: programming error
+	}
+	select {
+	case p.queue <- frame:
+	default:
+		t.Dropped.Add(1)
+	}
+}
+
+// deliver runs on the clock goroutine and hands one frame to its local
+// handler, evaluating down/registered state at delivery time like netsim.
+func (t *TCP) deliver(x any) {
+	d := x.(*delivery)
+	t.mu.Lock()
+	ep := t.local[d.to]
+	var h fabric.Handler
+	if ep != nil && !ep.down && ep.handler != nil {
+		h = ep.handler
+	}
+	// A send whose source endpoint crashed while the frame was in
+	// flight is dropped too, matching netsim's delivery-time check.
+	if src := t.local[d.from]; src != nil && src.down {
+		h = nil
+	}
+	t.mu.Unlock()
+	if h == nil {
+		t.Dropped.Add(1)
+		return
+	}
+	t.Delivered.Add(1)
+	h(d.from, d.msg)
+}
+
+// writeLoop drains one peer's queue onto its connection, dialing with
+// backoff and reconnecting after errors. Frames that fail to write are
+// dropped — the peer sees a gap, exactly what its protocol expects from a
+// broken connection.
+func (t *TCP) writeLoop(p *peer) {
+	defer t.conns.Done()
+	var conn net.Conn
+	defer func() {
+		if conn != nil {
+			conn.Close()
+		}
+	}()
+	for frame := range p.queue {
+		for conn == nil {
+			c, err := net.DialTimeout("tcp", p.addr, time.Second)
+			if err == nil {
+				conn = c
+				break
+			}
+			t.mu.Lock()
+			closed := t.closed
+			t.mu.Unlock()
+			if closed {
+				t.Dropped.Add(1)
+				frame = nil
+				break
+			}
+			time.Sleep(t.cfg.DialBackoff)
+		}
+		if frame == nil {
+			continue
+		}
+		if _, err := conn.Write(frame); err != nil {
+			conn.Close()
+			conn = nil
+			t.Dropped.Add(1)
+		}
+	}
+}
+
+// acceptLoop owns the listener; one readLoop goroutine per inbound
+// connection.
+func (t *TCP) acceptLoop() {
+	defer t.conns.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			conn.Close()
+			return
+		}
+		t.inbound[conn] = struct{}{}
+		t.mu.Unlock()
+		t.conns.Add(1)
+		go t.readLoop(conn)
+	}
+}
+
+// readLoop decodes length-prefixed frames off one connection and injects
+// them into the clock, one AfterCall per frame in read order: the clock's
+// (at,seq) event ordering preserves the stream's FIFO order, and handlers
+// still only ever run on the clock's driving goroutine.
+func (t *TCP) readLoop(conn net.Conn) {
+	defer t.conns.Done()
+	defer func() {
+		conn.Close()
+		t.mu.Lock()
+		delete(t.inbound, conn)
+		t.mu.Unlock()
+	}()
+	var hdr [4]byte
+	for {
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			return
+		}
+		n := binary.BigEndian.Uint32(hdr[:])
+		if n > MaxFrameSize {
+			return // corrupt peer; drop the connection
+		}
+		body := make([]byte, n)
+		if _, err := io.ReadFull(conn, body); err != nil {
+			return
+		}
+		from, to, msg, err := DecodeFrame(body)
+		if err != nil {
+			return // malformed frame; drop the connection
+		}
+		t.mu.Lock()
+		closed := t.closed
+		t.mu.Unlock()
+		if closed {
+			return
+		}
+		t.clk.AfterCall(0, t.deliverFn, &delivery{t: t, from: from, to: to, msg: msg})
+	}
+}

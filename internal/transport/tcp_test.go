@@ -1,0 +1,328 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"borealis/internal/client"
+	"borealis/internal/node"
+	"borealis/internal/runtime"
+	"borealis/internal/source"
+	"borealis/internal/tuple"
+	"borealis/internal/vtime"
+)
+
+// driveUntil drives the clock in small increments on the calling goroutine
+// until cond holds (checked between increments, so it may safely read state
+// the clock's callbacks write) or the real-time deadline passes.
+func driveUntil(t *testing.T, clk *runtime.WallClock, d time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached before deadline")
+		}
+		clk.RunFor(10 * vtime.Millisecond)
+	}
+}
+
+// TestTCPDelivery sends a stream of frames between two fabrics and checks
+// content, per-link FIFO order, and that handlers only ever ran on the
+// receiving clock's driving goroutine (the -race run enforces that: the
+// counters below are unsynchronized).
+func TestTCPDelivery(t *testing.T) {
+	clkA, clkB := runtime.NewWall(1000), runtime.NewWall(1000)
+	tB, err := Listen(clkB, Config{ListenAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tB.Close()
+	tA, err := Listen(clkA, Config{ListenAddr: "127.0.0.1:0", Routes: map[string]string{"b": tB.Addr()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tA.Close()
+
+	var got []node.DataMsg
+	var froms []string
+	tB.Register("b", func(from string, msg any) {
+		froms = append(froms, from)
+		got = append(got, msg.(node.DataMsg))
+	})
+	tA.Register("a", func(string, any) {})
+
+	const n = 200
+	for i := 0; i < n; i++ {
+		tA.Send("a", "b", node.DataMsg{Stream: "s", Seq: uint64(i + 1), Tuples: []tuple.Tuple{
+			{Type: tuple.Insertion, ID: uint64(i), STime: int64(i * 10), Data: []int64{int64(-i)}},
+		}})
+	}
+	driveUntil(t, clkB, 10*time.Second, func() bool { return len(got) == n })
+	for i, m := range got {
+		if froms[i] != "a" {
+			t.Fatalf("frame %d from %q, want a", i, froms[i])
+		}
+		if m.Seq != uint64(i+1) {
+			t.Fatalf("frame %d: seq %d, want %d (FIFO violated)", i, m.Seq, i+1)
+		}
+		if len(m.Tuples) != 1 || m.Tuples[0].ID != uint64(i) || m.Tuples[0].Data[0] != int64(-i) {
+			t.Fatalf("frame %d: corrupted payload %v", i, m.Tuples)
+		}
+	}
+	if d := tB.Delivered.Load(); d != n {
+		t.Fatalf("Delivered = %d, want %d", d, n)
+	}
+}
+
+// TestTCPLocalDelivery checks that same-process sends go through the clock
+// (asynchronous, FIFO) exactly like netsim.
+func TestTCPLocalDelivery(t *testing.T) {
+	clk := runtime.NewWall(1000)
+	tr, err := Listen(clk, Config{ListenAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	var got []uint64
+	tr.Register("x", func(string, any) {})
+	tr.Register("y", func(from string, msg any) { got = append(got, msg.(node.AckMsg).UpToID) })
+	for i := 0; i < 50; i++ {
+		tr.Send("x", "y", node.AckMsg{Stream: "s", UpToID: uint64(i)})
+	}
+	if len(got) != 0 {
+		t.Fatal("local delivery was synchronous")
+	}
+	clk.RunFor(vtime.Millisecond)
+	if len(got) != 50 {
+		t.Fatalf("got %d deliveries, want 50", len(got))
+	}
+	for i, v := range got {
+		if v != uint64(i) {
+			t.Fatalf("delivery %d: got %d (FIFO violated)", i, v)
+		}
+	}
+}
+
+// TestTCPDownEndpoint checks netsim-parity crash semantics: a down endpoint
+// neither sends nor receives, and recovers on SetDown(false).
+func TestTCPDownEndpoint(t *testing.T) {
+	clk := runtime.NewWall(1000)
+	tr, err := Listen(clk, Config{ListenAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	var got int
+	tr.Register("x", func(string, any) {})
+	tr.Register("y", func(string, any) { got++ })
+	tr.SetDown("x", true)
+	tr.Send("x", "y", node.KeepAliveReq{})
+	tr.SetDown("x", false)
+	tr.SetDown("y", true)
+	tr.Send("x", "y", node.KeepAliveReq{})
+	clk.RunFor(vtime.Millisecond)
+	if got != 0 {
+		t.Fatalf("down endpoint received %d messages", got)
+	}
+	tr.SetDown("y", false)
+	tr.Send("x", "y", node.KeepAliveReq{})
+	clk.RunFor(vtime.Millisecond)
+	if got != 1 {
+		t.Fatalf("recovered endpoint got %d messages, want 1", got)
+	}
+	if d := tr.Dropped.Load(); d != 2 {
+		t.Fatalf("Dropped = %d, want 2", d)
+	}
+}
+
+// TestTCPReconnect kills the receiving fabric and brings a new one up on
+// the same address: the sender must reconnect and later frames must flow.
+// This is the transport half of process-restart: the peer sees silence and
+// dropped frames, never an error surfaced to node code.
+func TestTCPReconnect(t *testing.T) {
+	clkA, clkB := runtime.NewWall(1000), runtime.NewWall(1000)
+	tB, err := Listen(clkB, Config{ListenAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := tB.Addr()
+	tA, err := Listen(clkA, Config{
+		ListenAddr: "127.0.0.1:0",
+		Routes:     map[string]string{"b": addr},
+		// Short backoff so the post-restart redial happens within the
+		// test deadline.
+		DialBackoff: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tA.Close()
+	tA.Register("a", func(string, any) {})
+
+	var got1 int
+	tB.Register("b", func(string, any) { got1++ })
+	tA.Send("a", "b", node.KeepAliveReq{})
+	driveUntil(t, clkB, 10*time.Second, func() bool { return got1 == 1 })
+
+	tB.Close() // SIGKILL stand-in: the peer process is gone
+
+	tB2, err := Listen(clkB, Config{ListenAddr: addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tB2.Close()
+	var got2 int
+	tB2.Register("b", func(string, any) { got2++ })
+	deadline := time.Now().Add(10 * time.Second)
+	for got2 == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no delivery after restart")
+		}
+		// Keep sending: frames sent into the dead window are dropped,
+		// exactly like socket buffers lost with a killed process.
+		tA.Send("a", "b", node.KeepAliveReq{})
+		clkB.RunFor(10 * vtime.Millisecond)
+	}
+}
+
+// TestTCPKeepAliveTimeout is the satellite concurrency-seam test: a real
+// client proxy node and a real source, on separate WallClock-driven fabrics
+// connected over TCP, with the transport's socket goroutines (not the clock
+// loop) injecting every delivery. The proxy's Consistency Manager must see
+// the healthy upstream as STABLE, then mark it FAILURE via keep-alive
+// timeout once the source's process goes silent — without the engine or CM
+// ever running off the clock goroutine (the -race CI run enforces that).
+func TestTCPKeepAliveTimeout(t *testing.T) {
+	const speed = 50
+	clkSrc, clkCli := runtime.NewWall(speed), runtime.NewWall(speed)
+	tCli, err := Listen(clkCli, Config{ListenAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tCli.Close()
+	tSrc, err := Listen(clkSrc, Config{ListenAddr: "127.0.0.1:0", Routes: map[string]string{"client": tCli.Addr()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tSrc.Close()
+	tCli.AddRoute("up", tSrc.Addr())
+
+	src := source.New(clkSrc, tSrc, source.Config{ID: "up", Stream: "s", Rate: 100})
+	cli, err := client.New(clkCli, tCli, client.Config{
+		ID: "client", Stream: "s", Upstreams: []string{"up"},
+		BucketSize: 100 * vtime.Millisecond,
+		Delay:      200 * vtime.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Drive the source's clock from a background goroutine — two real
+	// processes in miniature.
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			clkSrc.RunFor(10 * vtime.Millisecond)
+		}
+	}()
+	defer func() { close(stop); <-done }()
+
+	src.Start()
+	cli.Start()
+	cm := cli.Proxy().CM()
+
+	// Phase 1: healthy. The proxy must be receiving data and see the
+	// upstream STABLE.
+	driveUntil(t, clkCli, 20*time.Second, func() bool {
+		return cli.Stats().NewTuples > 0 && cm.State("s", "up") == node.StateStable
+	})
+
+	// Phase 2: the source's endpoint goes silent (its fabric drops all
+	// its sends — what the peer of a SIGKILLed process observes). The
+	// proxy's CM must time the replica out to FAILURE.
+	tSrc.SetDown("up", true)
+	driveUntil(t, clkCli, 20*time.Second, func() bool {
+		return cm.State("s", "up") == node.StateFailure
+	})
+}
+
+// TestTCPUnroutable checks that sending to an endpoint that is neither
+// local nor routed panics: a partition-plan bug, not a runtime condition.
+func TestTCPUnroutable(t *testing.T) {
+	clk := runtime.NewWall(1000)
+	tr, err := Listen(clk, Config{ListenAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	tr.Register("x", func(string, any) {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("send to unroutable endpoint did not panic")
+		}
+	}()
+	tr.Send("x", "nowhere", node.KeepAliveReq{})
+}
+
+// TestTCPQueueOverflow checks the bounded-queue drop policy: a peer that
+// never accepts connections must not block Send, and overflow is counted.
+func TestTCPQueueOverflow(t *testing.T) {
+	clk := runtime.NewWall(1000)
+	// Port 1 on localhost: reserved, nothing listens; dials fail fast.
+	tr, err := Listen(clk, Config{
+		ListenAddr:  "127.0.0.1:0",
+		Routes:      map[string]string{"gone": "127.0.0.1:1"},
+		QueueLen:    8,
+		DialBackoff: time.Hour, // first failure parks the writer
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	tr.Register("x", func(string, any) {})
+	deadline := time.Now().Add(10 * time.Second)
+	for tr.Dropped.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("queue never overflowed")
+		}
+		tr.Send("x", "gone", node.KeepAliveReq{})
+	}
+}
+
+func BenchmarkCodecDataMsg(b *testing.B) {
+	tuples := make([]tuple.Tuple, 64)
+	for i := range tuples {
+		tuples[i] = tuple.Tuple{Type: tuple.Insertion, ID: uint64(i), STime: int64(i) * 1000, Data: []int64{int64(i), int64(-i)}}
+	}
+	msg := node.DataMsg{Stream: "s1", Seq: 42, Tuples: tuples}
+	enc, err := AppendFrame(nil, "src1", "n1", msg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("encode", func(b *testing.B) {
+		buf := make([]byte, 0, len(enc))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var err error
+			buf, err = AppendFrame(buf[:0], "src1", "n1", msg)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("decode", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, _, err := DecodeFrame(enc[4:]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
