@@ -125,6 +125,13 @@ type NetBenchSummary struct {
 	// RatioTCPOverNetsim is the over-the-wire throughput as a fraction of
 	// the in-process fabric's — the cost of real frames on real sockets.
 	RatioTCPOverNetsim float64 `json:"ratio_tcp_over_netsim"`
+	// DroppedCtl and CtlStalls sum the tcp plane's control-frame counters
+	// across workers. Flow control may stall a control frame under
+	// saturation (CtlStalls counts those waits) but must never shed one:
+	// a non-zero DroppedCtl under bench load is a flow-control bug, and
+	// -fail-on-ctl-drop turns it into a non-zero exit for CI.
+	DroppedCtl uint64 `json:"dropped_ctl"`
+	CtlStalls  uint64 `json:"ctl_stalls"`
 }
 
 // runBenchNet measures engine tuples/sec for the same scenario on the
@@ -140,9 +147,10 @@ func runBenchNet(args []string) {
 	load := fs.Float64("load", 100, "source-rate multiplier (high enough to saturate the data plane)")
 	durS := fs.Float64("dur", 3, "benchmark duration in scenario seconds (0 = the spec's)")
 	out := fs.String("out", "", "also write the JSON summary to this file")
+	failOnCtlDrop := fs.Bool("fail-on-ctl-drop", false, "exit non-zero if the tcp plane dropped any control frame")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
-		fmt.Fprintf(os.Stderr, "usage: borealis-sim bench-net [-workers N] [-speed N] [-load X] [-dur S] [-out FILE] <file.json>\n")
+		fmt.Fprintf(os.Stderr, "usage: borealis-sim bench-net [-workers N] [-speed N] [-load X] [-dur S] [-out FILE] [-fail-on-ctl-drop] <file.json>\n")
 		os.Exit(2)
 	}
 	fail := func(err error) {
@@ -219,6 +227,8 @@ func runBenchNet(args []string) {
 	for _, f := range res.Fragments {
 		if f != nil {
 			tcpProcessed += f.Processed
+			sum.DroppedCtl += f.DroppedCtl
+			sum.CtlStalls += f.CtlStalls
 		}
 	}
 	sum.Rows = append(sum.Rows, NetBenchRow{
@@ -237,5 +247,9 @@ func runBenchNet(args []string) {
 		if err := os.WriteFile(*out, jb, 0o644); err != nil {
 			fail(err)
 		}
+	}
+	if *failOnCtlDrop && sum.DroppedCtl > 0 {
+		fmt.Fprintf(os.Stderr, "borealis-sim: bench-net dropped %d control frames under load\n", sum.DroppedCtl)
+		os.Exit(1)
 	}
 }

@@ -127,8 +127,9 @@ type boss struct {
 	log   io.Writer
 	parts []Partition
 
-	mu    sync.Mutex
-	procs []*proc
+	mu          sync.Mutex
+	procs       []*proc
+	activeLinks map[string]bool // directed "from to" pairs currently blocked
 }
 
 // Run executes a scenario as a real multi-process cluster and returns the
@@ -150,11 +151,6 @@ func Run(opts Options) (*Result, error) {
 		spec, err = scenario.Load(opts.SpecPath)
 		if err != nil {
 			return nil, err
-		}
-	}
-	for i := range spec.Faults {
-		if spec.Faults[i].Kind == "partition" {
-			return nil, fmt.Errorf("cluster: partition faults are not supported in cluster mode")
 		}
 	}
 	exe := opts.Exe
@@ -212,7 +208,10 @@ func Run(opts Options) (*Result, error) {
 	fmt.Fprintf(log, "cluster: %d workers started, running %.0fs of scenario time at speed %g (%s faults)\n",
 		len(parts), float64(durationUS)/1e6, opts.Speed, opts.FaultMode)
 
-	actions, expect := b.faultActions(durationUS)
+	actions, expect, err := b.faultActions(durationUS)
+	if err != nil {
+		return nil, err
+	}
 	faultsDone := make(chan error, 1)
 	go func() { faultsDone <- b.runFaultSchedule(actions, t0) }()
 
@@ -265,17 +264,21 @@ func Run(opts Options) (*Result, error) {
 	return &Result{Report: rep, Fragments: frags, WallS: wallS}, nil
 }
 
-// action is one real-time fault step.
+// action is one real-time fault step. A "link" action carries the LINK
+// protocol lines to broadcast in line (part is -1: every worker applies
+// them, so the directed block covers intra- and cross-worker pairs alike).
 type action struct {
 	atUS int64
 	part int
-	what string // "kill" | "respawn" | "stop" | "cont"
+	what string // "kill" | "respawn" | "stop" | "cont" | "link"
+	line string
 }
 
 // faultActions translates the spec's process-level fault schedule into
-// timed signal/respawn actions, and derives which partitions are expected
-// to be alive — and therefore to report — at the end of the run.
-func (b *boss) faultActions(durationUS int64) ([]action, []bool) {
+// timed signal/respawn actions and its partition faults into timed LINK
+// block/unblock broadcasts, and derives which partitions are expected to be
+// alive — and therefore to report — at the end of the run.
+func (b *boss) faultActions(durationUS int64) ([]action, []bool, error) {
 	partOf := make(map[string]int, len(b.parts))
 	for i, p := range b.parts {
 		if p.Target != "" {
@@ -294,6 +297,17 @@ func (b *boss) faultActions(durationUS int64) ([]action, []bool) {
 		at := int64(f.AtS * 1e6)
 		dur := int64(f.DurationS * 1e6)
 		if at >= durationUS {
+			continue
+		}
+		if f.Kind == "partition" {
+			block, unblock, err := linkLines(b.spec, f)
+			if err != nil {
+				return nil, nil, err
+			}
+			acts = append(acts, action{atUS: at, part: -1, what: "link", line: block})
+			if at+dur < durationUS {
+				acts = append(acts, action{atUS: at + dur, part: -1, what: "link", line: unblock})
+			}
 			continue
 		}
 		pi, ok := partOf[faultTarget(f)]
@@ -352,7 +366,7 @@ func (b *boss) faultActions(durationUS int64) ([]action, []bool) {
 			expect[a.part] = true
 		}
 	}
-	return acts, expect
+	return acts, expect, nil
 }
 
 func faultTarget(f *scenario.FaultSpec) string {
@@ -363,11 +377,39 @@ func faultTarget(f *scenario.FaultSpec) string {
 	return ""
 }
 
+// linkLines renders one partition fault as its LINK block and unblock
+// broadcasts: every (from, to) endpoint pair, both directions, one protocol
+// line per directed link, newline-joined.
+func linkLines(s *scenario.Spec, f *scenario.FaultSpec) (block, unblock string, err error) {
+	from, err := scenario.ExpandEndpoint(s, f.From)
+	if err != nil {
+		return "", "", err
+	}
+	to, err := scenario.ExpandEndpoint(s, f.To)
+	if err != nil {
+		return "", "", err
+	}
+	var blk, unblk []string
+	for _, a := range from {
+		for _, b := range to {
+			blk = append(blk, "LINK block "+a+" "+b, "LINK block "+b+" "+a)
+			unblk = append(unblk, "LINK unblock "+a+" "+b, "LINK unblock "+b+" "+a)
+		}
+	}
+	return strings.Join(blk, "\n"), strings.Join(unblk, "\n"), nil
+}
+
 // runFaultSchedule executes the actions at their scaled real deadlines.
 func (b *boss) runFaultSchedule(acts []action, t0 time.Time) error {
 	for _, a := range acts {
 		at := t0.Add(time.Duration(float64(a.atUS)/b.opts.Speed) * time.Microsecond)
 		time.Sleep(time.Until(at))
+		if a.what == "link" {
+			fmt.Fprintf(b.log, "cluster: t=%.2fs %s\n", float64(a.atUS)/1e6,
+				strings.ReplaceAll(a.line, "\n", "; "))
+			b.applyLinks(a.line)
+			continue
+		}
 		p := b.current(a.part)
 		switch a.what {
 		case "kill":
@@ -389,9 +431,42 @@ func (b *boss) runFaultSchedule(acts []action, t0 time.Time) error {
 	return nil
 }
 
+// applyLinks broadcasts LINK protocol lines to every live worker and
+// mirrors the resulting block state in activeLinks, so a later respawn can
+// replay the still-active blocks to the replacement worker. Write errors
+// are ignored: a SIGKILLed worker's pipe is gone, and its replacement gets
+// the state replayed at respawn.
+func (b *boss) applyLinks(lines string) {
+	b.mu.Lock()
+	procs := append([]*proc(nil), b.procs...)
+	if b.activeLinks == nil {
+		b.activeLinks = make(map[string]bool)
+	}
+	for _, ln := range strings.Split(lines, "\n") {
+		f := strings.Fields(ln)
+		if len(f) != 4 || f[0] != "LINK" {
+			continue
+		}
+		if f[1] == "block" {
+			b.activeLinks[f[2]+" "+f[3]] = true
+		} else {
+			delete(b.activeLinks, f[2]+" "+f[3])
+		}
+	}
+	b.mu.Unlock()
+	for _, p := range procs {
+		if p != nil {
+			_, _ = fmt.Fprintf(p.stdin, "%s\n", lines)
+		}
+	}
+}
+
 // respawn replaces a killed worker: same partition, same listen address (so
 // every other worker's routes stay valid), clock starting at the respawn
-// instant, §4.5 recovery enabled.
+// instant, §4.5 recovery enabled. The replacement is handed the routes and
+// any still-active link blocks before GO; every surviving worker gets the
+// routes re-announced, kicking their dial backoffs so reconnection to the
+// rebound address does not wait out a backoff sleep.
 func (b *boss) respawn(pi int, atUS int64) error {
 	old := b.current(pi)
 	p, err := b.spawn(old.part, old.addr(), atUS, true)
@@ -411,9 +486,26 @@ func (b *boss) respawn(pi int, atUS int64) error {
 		}
 	}
 	b.procs[pi] = p
+	var links []string
+	for l := range b.activeLinks {
+		links = append(links, "LINK block "+l)
+	}
+	others := append([]*proc(nil), b.procs...)
 	b.mu.Unlock()
-	if _, err := fmt.Fprintf(p.stdin, "%s\nGO\n", routesLine(b.parts, routes)); err != nil {
+	sort.Strings(links)
+	rl := routesLine(b.parts, routes)
+	pre := rl
+	if len(links) > 0 {
+		pre += "\n" + strings.Join(links, "\n")
+	}
+	if _, err := fmt.Fprintf(p.stdin, "%s\nGO\n", pre); err != nil {
 		return fmt.Errorf("cluster: %s: %w", p.part.Name, err)
+	}
+	for i, q := range others {
+		if i == pi || q == nil {
+			continue
+		}
+		_, _ = fmt.Fprintf(q.stdin, "%s\n", rl)
 	}
 	return nil
 }

@@ -7,6 +7,7 @@ import (
 	"io"
 	"strings"
 	"testing"
+	"time"
 
 	"borealis/internal/scenario"
 )
@@ -59,7 +60,10 @@ func TestFaultActionsKillRespawn(t *testing.T) {
 		t.Fatal(err)
 	}
 	b := &boss{opts: Options{FaultMode: FaultModeKill}, spec: s, parts: parts}
-	acts, expect := b.faultActions(scenario.DurationUS(s, false))
+	acts, expect, err := b.faultActions(scenario.DurationUS(s, false))
+	if err != nil {
+		t.Fatal(err)
+	}
 	want := []action{
 		{atUS: 1_000_000, part: 1, what: "kill"},
 		{atUS: 2_000_000, part: 1, what: "respawn"},
@@ -77,9 +81,48 @@ func TestFaultActionsKillRespawn(t *testing.T) {
 	}
 
 	b.opts.FaultMode = FaultModeStop
-	acts, _ = b.faultActions(scenario.DurationUS(s, false))
+	acts, _, err = b.faultActions(scenario.DurationUS(s, false))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if acts[0].what != "stop" || acts[1].what != "cont" {
 		t.Fatalf("stop mode should translate crash to stop/cont, got %+v", acts)
+	}
+}
+
+// TestFaultActionsPartition checks the boss's translation of a spec
+// partition fault into timed LINK broadcasts: every (from,to) endpoint pair
+// expanded, both directions blocked at the fault instant and unblocked at
+// the heal.
+func TestFaultActionsPartition(t *testing.T) {
+	s := testSpec(false)
+	s.Faults = []scenario.FaultSpec{{Kind: "partition", From: "s", To: "n1", AtS: 1, DurationS: 1}}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	parts, err := Plan(s, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := &boss{opts: Options{FaultMode: FaultModeKill}, spec: s, parts: parts}
+	acts, expect, err := b.faultActions(scenario.DurationUS(s, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []action{
+		{atUS: 1_000_000, part: -1, what: "link", line: "LINK block s n1a\nLINK block n1a s\nLINK block s n1b\nLINK block n1b s"},
+		{atUS: 2_000_000, part: -1, what: "link", line: "LINK unblock s n1a\nLINK unblock n1a s\nLINK unblock s n1b\nLINK unblock n1b s"},
+	}
+	if len(acts) != len(want) {
+		t.Fatalf("got %d actions, want %d: %+v", len(acts), len(want), acts)
+	}
+	for i := range want {
+		if acts[i] != want[i] {
+			t.Fatalf("action %d:\n got %+v\nwant %+v", i, acts[i], want[i])
+		}
+	}
+	if !expect[0] || !expect[1] {
+		t.Fatalf("link faults kill no workers; both must report, got %v", expect)
 	}
 }
 
@@ -179,5 +222,169 @@ func TestTwoWorkerConsistency(t *testing.T) {
 	}
 	if rep.Client.NewTuples == 0 {
 		t.Fatalf("merged report lost the client fragment: %+v", rep.Client)
+	}
+}
+
+// TestTwoWorkerPartitionHeal runs a real two-worker cluster in-process with
+// a timed link partition: an inline boss broadcasts the LINK block lines
+// cutting one source off one replica mid-run and unblocks them later, like
+// the real boss translating a spec partition fault. The victim replica must
+// go through §4.5 reconciliation after the heal, real frames must have died
+// on the blocked links, and the merged report must still pass the
+// Definition 1 audit.
+func TestTwoWorkerPartitionHeal(t *testing.T) {
+	const speed = 25
+	two := 2
+	s := &scenario.Spec{
+		Name:              "cluster-partition-test",
+		Seed:              11,
+		DurationS:         8,
+		VerifyConsistency: true,
+		Sources: []scenario.SourceSpec{
+			{Name: "s1", Rate: 100},
+			{Name: "s2", Rate: 100},
+		},
+		Nodes:  []scenario.NodeSpec{{Name: "n1", Inputs: []string{"s1", "s2"}, Replicas: &two}},
+		Client: scenario.ClientSpec{Input: "n1", DelayMS: 50},
+	}
+	s.Defaults.DelayS = 1
+	s.Defaults.Replicas = 1
+	// The partition rides in the spec (so reference and validation see it);
+	// the inline boss below translates it into LINK lines, exactly like
+	// boss.faultActions.
+	s.Faults = []scenario.FaultSpec{{Kind: "partition", From: "s2", To: "n1/0", AtS: 2, DurationS: 3}}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	parts, err := Plan(s, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round-robin puts s2 and n1a on different workers: the blocked link
+	// crosses a real socket.
+	cross := false
+	for _, p := range parts {
+		owns := strings.Join(p.Owned, ",")
+		if strings.Contains(owns, "s2") != strings.Contains(owns, "n1a") {
+			cross = true
+		}
+	}
+	if !cross {
+		t.Fatalf("partition plan hosts s2 and n1a together; test would not cross a socket: %+v", parts)
+	}
+	block, unblock, err := linkLines(s, &s.Faults[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type end struct {
+		in   *io.PipeWriter
+		out  *bufio.Scanner
+		done chan error
+	}
+	ends := make([]end, len(parts))
+	for i, part := range parts {
+		inR, inW := io.Pipe()
+		outR, outW := io.Pipe()
+		cfg := WorkerConfig{
+			Spec:   s,
+			Name:   part.Name,
+			Listen: "127.0.0.1:0",
+			Owned:  part.Owned,
+			Speed:  speed,
+		}
+		done := make(chan error, 1)
+		go func() {
+			err := RunWorker(cfg, inR, outW)
+			outW.CloseWithError(err)
+			done <- err
+		}()
+		sc := bufio.NewScanner(outR)
+		sc.Buffer(make([]byte, 0, 64*1024), 64<<20)
+		ends[i] = end{in: inW, out: sc, done: done}
+	}
+
+	readLine := func(i int, prefix string) string {
+		e := &ends[i]
+		for e.out.Scan() {
+			if line := e.out.Text(); strings.HasPrefix(line, prefix) {
+				return strings.TrimPrefix(line, prefix)
+			}
+		}
+		t.Fatalf("worker %d: stream ended before %q line: %v", i, prefix, e.out.Err())
+		return ""
+	}
+
+	routes := make([]string, 0, len(parts))
+	for i, part := range parts {
+		addr := strings.TrimSpace(readLine(i, "READY "))
+		for _, ep := range part.Owned {
+			routes = append(routes, ep+"="+addr)
+		}
+	}
+	for i := range parts {
+		fmt.Fprintf(ends[i].in, "ROUTES %s\nGO\n", strings.Join(routes, ","))
+	}
+	t0 := time.Now()
+
+	// The fault schedule, at the same scaled wall deadlines the real boss
+	// uses.
+	schedDone := make(chan struct{})
+	go func() {
+		defer close(schedDone)
+		for _, step := range []struct {
+			atS   float64
+			lines string
+		}{{2, block}, {5, unblock}} {
+			time.Sleep(time.Until(t0.Add(time.Duration(step.atS / speed * float64(time.Second)))))
+			for i := range ends {
+				fmt.Fprintf(ends[i].in, "%s\n", step.lines)
+			}
+		}
+	}()
+
+	frags := make([]*scenario.WorkerReport, len(parts))
+	for i := range parts {
+		var wr scenario.WorkerReport
+		if err := json.Unmarshal([]byte(readLine(i, "REPORT ")), &wr); err != nil {
+			t.Fatalf("worker %d: bad report: %v", i, err)
+		}
+		frags[i] = &wr
+		if err := <-ends[i].done; err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+	<-schedDone
+
+	rep := scenario.MergeClusterReports(s, false, frags)
+	var cli *scenario.WorkerReport
+	for _, f := range frags {
+		if f.Client != nil {
+			cli = f
+		}
+	}
+	if cli == nil {
+		t.Fatal("no fragment carries the client")
+	}
+	ref, err := scenario.ClusterReference(s, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scenario.AuditCluster(rep, cli.StableView, ref)
+	if rep.Consistency == nil || !rep.Consistency.OK {
+		t.Fatalf("Definition 1 audit failed: %+v", rep.Consistency)
+	}
+	if rep.Consistency.Compared == 0 {
+		t.Fatal("audit compared zero stable tuples — the cluster moved no data")
+	}
+	if rep.Transport == nil || rep.Transport.DroppedLink == 0 {
+		t.Fatalf("no frames died on the blocked link; the partition never bit: %+v", rep.Transport)
+	}
+	recs := uint64(0)
+	for _, nr := range rep.Nodes {
+		recs += nr.Reconciliations
+	}
+	if recs == 0 {
+		t.Fatalf("no replica reconciled after the heal (§4.5): %+v", rep.Nodes)
 	}
 }

@@ -9,10 +9,14 @@
 //
 // Boss and worker speak a line protocol over the worker's stdio — stdout
 // carries exactly three kinds of lines upward (READY, REPORT, and free-form
-// log lines the boss forwards), stdin carries ROUTES and GO downward:
+// log lines the boss forwards), stdin carries ROUTES, LINK, and GO
+// downward. ROUTES and LINK are accepted both before GO (initial routes; a
+// respawned worker's replay of still-active link blocks) and after it (a
+// respawn's route re-announcement; timed partition faults):
 //
 //	worker → boss:  READY <listen-addr>
 //	boss → worker:  ROUTES <id>=<addr>,<id>=<addr>,...
+//	boss → worker:  LINK block|unblock <from> <to>
 //	boss → worker:  GO
 //	worker → boss:  REPORT <one-line JSON WorkerReport>
 package cluster
@@ -25,6 +29,7 @@ import (
 	"strings"
 	"time"
 
+	"borealis/internal/fabric"
 	"borealis/internal/runtime"
 	"borealis/internal/scenario"
 	"borealis/internal/transport"
@@ -95,9 +100,20 @@ func RunWorker(cfg WorkerConfig, in io.Reader, out io.Writer) error {
 	// Building before READY keeps the post-GO skew between workers to the
 	// protocol round trip: by GO every process only has to start and run.
 	fmt.Fprintf(out, "READY %s\n", tr.Addr())
-	if err := awaitGo(tr, in); err != nil {
+	sc, err := awaitGo(tr, in)
+	if err != nil {
 		return err
 	}
+	// The boss keeps talking after GO: route re-announcements when a peer
+	// respawns, LINK lines for timed partition faults. AddRoute and SetLink
+	// are safe from this goroutine; it dies with the process.
+	go func() {
+		for sc.Scan() {
+			if err := controlLine(tr, strings.TrimSpace(sc.Text())); err != nil {
+				fmt.Fprintf(out, "worker %s: %v\n", cfg.Name, err)
+			}
+		}
+	}()
 
 	dep := pr.Deployment()
 	dep.Start()
@@ -116,6 +132,13 @@ func RunWorker(cfg WorkerConfig, in io.Reader, out io.Writer) error {
 	wr := pr.WorkerReport(cfg.Name)
 	wr.Delivered = tr.Delivered.Load()
 	wr.Dropped = tr.Dropped.Load()
+	wr.DroppedDown = tr.DroppedDown.Load()
+	wr.DroppedQueue = tr.DroppedQueue.Load()
+	wr.DroppedDead = tr.DroppedDead.Load()
+	wr.DroppedWrite = tr.DroppedWrite.Load()
+	wr.DroppedLink = tr.DroppedLink.Load()
+	wr.DroppedCtl = tr.DroppedCtl.Load()
+	wr.CtlStalls = tr.CtlStalls.Load()
 	b, err := json.Marshal(wr)
 	if err != nil {
 		return err
@@ -124,30 +147,47 @@ func RunWorker(cfg WorkerConfig, in io.Reader, out io.Writer) error {
 	return nil
 }
 
-// awaitGo consumes the boss's route lines until GO.
-func awaitGo(tr *transport.TCP, in io.Reader) error {
+// awaitGo consumes the boss's control lines until GO, returning the scanner
+// so the post-GO reader can keep draining the same pipe.
+func awaitGo(tr *transport.TCP, in io.Reader) (*bufio.Scanner, error) {
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
-		switch {
-		case line == "":
-		case line == "GO":
-			return nil
-		case strings.HasPrefix(line, "ROUTES "):
-			for _, pair := range strings.Split(strings.TrimPrefix(line, "ROUTES "), ",") {
-				id, addr, ok := strings.Cut(pair, "=")
-				if !ok {
-					return fmt.Errorf("cluster: malformed route %q", pair)
-				}
-				tr.AddRoute(id, addr)
-			}
-		default:
-			return fmt.Errorf("cluster: unexpected boss line %q", line)
+		if line == "GO" {
+			return sc, nil
+		}
+		if err := controlLine(tr, line); err != nil {
+			return nil, err
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return err
+		return nil, err
 	}
-	return fmt.Errorf("cluster: boss closed the control pipe before GO")
+	return nil, fmt.Errorf("cluster: boss closed the control pipe before GO")
+}
+
+// controlLine applies one boss→worker control line (ROUTES or LINK) to the
+// transport.
+func controlLine(tr *transport.TCP, line string) error {
+	switch {
+	case line == "":
+	case strings.HasPrefix(line, "ROUTES "):
+		for _, pair := range strings.Split(strings.TrimPrefix(line, "ROUTES "), ",") {
+			id, addr, ok := strings.Cut(pair, "=")
+			if !ok {
+				return fmt.Errorf("cluster: malformed route %q", pair)
+			}
+			tr.AddRoute(id, addr)
+		}
+	case strings.HasPrefix(line, "LINK "):
+		f := strings.Fields(line)
+		if len(f) != 4 || (f[1] != "block" && f[1] != "unblock") {
+			return fmt.Errorf("cluster: malformed link line %q", line)
+		}
+		tr.SetLink(f[2], f[3], fabric.LinkState{Block: f[1] == "block"})
+	default:
+		return fmt.Errorf("cluster: unexpected boss line %q", line)
+	}
+	return nil
 }

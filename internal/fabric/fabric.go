@@ -29,3 +29,32 @@ type Fabric interface {
 	// down endpoint neither sends nor receives.
 	SetDown(id string, down bool)
 }
+
+// LinkState is the injected fault state of one directed link. The zero
+// value is a healthy link; SetLink with it clears any injected fault.
+type LinkState struct {
+	// Block drops every message on the link — one direction of a network
+	// partition. Messages already in flight are dropped at delivery time,
+	// like a broken connection discarding its socket buffers.
+	Block bool
+	// DelayUS adds a fixed one-way delay (microseconds of the fabric's
+	// clock) to every message on the link.
+	DelayUS int64
+	// JitterUS adds a per-message random extra delay in [0, JitterUS).
+	// Jittered messages bypass the link's FIFO clamp, so a non-zero
+	// jitter reorders messages — the draw sequence is deterministic per
+	// link (seeded from the endpoint names), so runs are reproducible.
+	JitterUS int64
+}
+
+// LinkControl is the chaos surface a fabric may expose alongside Fabric:
+// per-directed-link fault injection. Both implementations provide it —
+// netsim so virtual runs and the fuzzer can exercise the same faults, and
+// the TCP transport so the cluster boss can translate the spec's
+// `partition` faults into timed link-block actions on real sockets.
+type LinkControl interface {
+	// SetLink installs (or, with the zero LinkState, clears) the injected
+	// fault state of the directed link from → to. Partitioning a pair
+	// means blocking both directions.
+	SetLink(from, to string, st LinkState)
+}

@@ -236,3 +236,29 @@ func hasOracle(fs []Finding, oracle string) bool {
 	}
 	return false
 }
+
+// TestGenClusterSpec: cluster-shaped specs are deterministic, valid,
+// always carry at least one partition fault (the cluster smoke exists to
+// run link faults on real sockets), and never schedule process faults
+// against more distinct targets than a boss with that many workers could
+// survive losing.
+func TestGenClusterSpec(t *testing.T) {
+	const workers = 3
+	for seed := int64(0); seed < 300; seed++ {
+		a := GenClusterSpec(seed, workers)
+		if err := a.Validate(); err != nil {
+			t.Fatalf("seed %d: invalid cluster spec: %v", seed, err)
+		}
+		b := GenClusterSpec(seed, workers)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: cluster generation is not deterministic", seed)
+		}
+		if !hasPartitionFault(a) {
+			t.Fatalf("seed %d: cluster spec has no partition fault", seed)
+		}
+		if got := len(scenario.FaultTargets(a)); got >= workers {
+			t.Fatalf("seed %d: %d distinct process-fault targets for %d workers",
+				seed, got, workers)
+		}
+	}
+}

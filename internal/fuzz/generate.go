@@ -253,17 +253,7 @@ func genFault(r *rng, s *scenario.Spec, tail float64, permanent map[string]int) 
 			AtS: at, DurationS: down, PeriodS: period, Count: count,
 		}
 	case u < 0.86: // partition
-		dur := round1(r.rangeF(2, 5))
-		at := window(dur)
-		if at < 0 {
-			return nil
-		}
-		from := endpointTarget(r, s)
-		to := endpointTarget(r, s)
-		if from == to {
-			return nil
-		}
-		return &scenario.FaultSpec{Kind: "partition", From: from, To: to, AtS: at, DurationS: dur}
+		return genPartitionFault(r, s, tail)
 	default: // stall_boundaries
 		member := sourceTarget(r, s)
 		dur := round1(r.rangeF(2, 5))
@@ -273,6 +263,85 @@ func genFault(r *rng, s *scenario.Spec, tail float64, permanent map[string]int) 
 		}
 		return &scenario.FaultSpec{Kind: "stall_boundaries", Source: member, AtS: at, DurationS: dur}
 	}
+}
+
+// genPartitionFault draws one partition fault honoring the quiet-tail
+// window; nil when the window cannot fit or the endpoint draw degenerates.
+func genPartitionFault(r *rng, s *scenario.Spec, tail float64) *scenario.FaultSpec {
+	dur := round1(r.rangeF(2, 5))
+	last := s.DurationS - tail - dur
+	if last < 2 {
+		return nil
+	}
+	at := math.Floor(r.rangeF(2, last)*10) / 10
+	from := endpointTarget(r, s)
+	to := endpointTarget(r, s)
+	if from == to {
+		return nil
+	}
+	return &scenario.FaultSpec{Kind: "partition", From: from, To: to, AtS: at, DurationS: dur}
+}
+
+// GenClusterSpec generates a spec shaped for a real multi-process cluster
+// of the given worker count: its distinct process-fault targets fit the
+// worker budget (cluster.Plan dedicates one worker per target and needs at
+// least one shared worker besides), and the schedule always carries at
+// least one partition fault — the kind the boss translates into real
+// link-level blocking on the TCP fabric. Deterministic in (seed, workers).
+func GenClusterSpec(seed int64, workers int) *scenario.Spec {
+	s := GenSpec(seed)
+	s.Name = fmt.Sprintf("fuzz-cluster-%d", seed)
+	maxTargets := workers - 1
+	if maxTargets < 0 {
+		maxTargets = 0
+	}
+	seen := map[string]bool{}
+	kept := s.Faults[:0]
+	for _, f := range s.Faults {
+		switch f.Kind {
+		case "crash", "restart", "flap":
+			id := fmt.Sprintf("%s/%d", f.Node, f.Replica)
+			if !seen[id] && len(seen) >= maxTargets {
+				continue
+			}
+			seen[id] = true
+		}
+		kept = append(kept, f)
+	}
+	s.Faults = kept
+	if len(s.Faults) == 0 {
+		s.Faults = nil
+	}
+	r := newRNG(seed ^ 0x5eed)
+	tail := settleTailS(s)
+	for i := 0; i < 64 && !hasPartitionFault(s); i++ {
+		if f := genPartitionFault(r, s, tail); f != nil {
+			s.Faults = append(s.Faults, *f)
+		}
+	}
+	if !hasPartitionFault(s) {
+		// A deep chain's settle tail can leave no window; stretch the run
+		// until one fits (the quiet-tail property is preserved either way).
+		s.DurationS = math.Ceil(tail) + 10
+		for i := 0; i < 64 && !hasPartitionFault(s); i++ {
+			if f := genPartitionFault(r, s, tail); f != nil {
+				s.Faults = append(s.Faults, *f)
+			}
+		}
+	}
+	if err := s.Validate(); err != nil {
+		panic(fmt.Sprintf("fuzz: generated cluster spec %d is invalid: %v", seed, err))
+	}
+	return s
+}
+
+func hasPartitionFault(s *scenario.Spec) bool {
+	for i := range s.Faults {
+		if s.Faults[i].Kind == "partition" {
+			return true
+		}
+	}
+	return false
 }
 
 // sourceTarget picks a concrete fault target: a single expanded member

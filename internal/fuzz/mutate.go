@@ -47,8 +47,10 @@ func mutateOnce(r *rng, s *scenario.Spec) {
 		jitterFault(r, s)
 	case u < 0.34:
 		duplicateFault(r, s)
-	case u < 0.50:
+	case u < 0.46:
 		addFault(r, s)
+	case u < 0.50:
+		addPartitionFault(r, s)
 	case u < 0.58:
 		dropFault(r, s)
 	case u < 0.70:
@@ -107,6 +109,20 @@ func addFault(r *rng, s *scenario.Spec) {
 		}
 	}
 	if f := genFault(r, s, settleTailS(s), permanent); f != nil {
+		s.Faults = append(s.Faults, *f)
+	}
+}
+
+// addPartitionFault forces a link-level fault into the schedule — the
+// overlap of a partition with an existing crash/flap is exactly the fault
+// combination the cluster transport's chaos layer exists to survive, so
+// the mutator reaches for it far more often than addFault's unbiased draw
+// would.
+func addPartitionFault(r *rng, s *scenario.Spec) {
+	if len(s.Nodes) == 0 || len(s.Sources) == 0 {
+		return
+	}
+	if f := genPartitionFault(r, s, settleTailS(s)); f != nil {
 		s.Faults = append(s.Faults, *f)
 	}
 }

@@ -13,6 +13,7 @@ package netsim
 
 import (
 	"fmt"
+	"hash/fnv"
 	"sort"
 
 	"borealis/internal/fabric"
@@ -41,6 +42,31 @@ func orderedPair(a, b string) pair {
 	return pair{a, b}
 }
 
+// dlink is one directed endpoint pair (SetLink state, unlike Partition, is
+// per direction).
+type dlink struct{ from, to string }
+
+// linkRNG is the deterministic splitmix64 jitter stream of one link,
+// seeded from the endpoint names so reordering is reproducible and
+// independent of every other link.
+type linkRNG struct{ state uint64 }
+
+func newLinkRNG(from, to string) *linkRNG {
+	h := fnv.New64a()
+	h.Write([]byte(from))
+	h.Write([]byte{0})
+	h.Write([]byte(to))
+	return &linkRNG{state: h.Sum64()}
+}
+
+func (r *linkRNG) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
 type endpoint struct {
 	handler Handler
 	down    bool
@@ -65,6 +91,8 @@ type Net struct {
 	endpoints   map[string]*endpoint
 	latency     map[pair]int64
 	partitioned map[pair]bool
+	links       map[dlink]fabric.LinkState
+	linkRNG     map[dlink]*linkRNG
 	defaultLat  int64
 
 	// deliverFn is the shared delivery callback (bound once so Send does
@@ -87,6 +115,8 @@ func New(clk runtime.Clock) *Net {
 		endpoints:   make(map[string]*endpoint),
 		latency:     make(map[pair]int64),
 		partitioned: make(map[pair]bool),
+		links:       make(map[dlink]fabric.LinkState),
+		linkRNG:     make(map[dlink]*linkRNG),
 		defaultLat:  DefaultLatency,
 	}
 	n.deliverFn = n.deliver
@@ -170,6 +200,30 @@ func (n *Net) HealGroups(g1, g2 []string) {
 // Partitioned reports whether a and b cannot currently communicate.
 func (n *Net) Partitioned(a, b string) bool { return n.partitioned[orderedPair(a, b)] }
 
+var _ fabric.LinkControl = (*Net)(nil)
+
+// SetLink installs (or, with the zero LinkState, clears) the injected
+// fault state of the directed link from → to (fabric.LinkControl). It is
+// the directed, per-link counterpart of Partition/Heal, sharing the fault
+// surface with the TCP transport: Block drops at delivery time like a
+// partition, DelayUS stretches the link latency, and JitterUS draws a
+// deterministic per-message extra delay that bypasses the FIFO clamp —
+// the simulator's only source of reordering.
+func (n *Net) SetLink(from, to string, st fabric.LinkState) {
+	key := dlink{from, to}
+	if st == (fabric.LinkState{}) {
+		delete(n.links, key)
+		return
+	}
+	n.links[key] = st
+	if st.JitterUS > 0 && n.linkRNG[key] == nil {
+		n.linkRNG[key] = newLinkRNG(from, to)
+	}
+}
+
+// linkBlocked reports whether the directed link is blocked by SetLink.
+func (n *Net) linkBlocked(from, to string) bool { return n.links[dlink{from, to}].Block }
+
 // SetDown marks an endpoint as crashed (true) or recovered (false). A downed
 // endpoint neither sends nor receives; messages in flight to it are dropped.
 func (n *Net) SetDown(id string, down bool) {
@@ -203,11 +257,23 @@ func (n *Net) Send(from, to string, msg any) {
 		return
 	}
 	at := n.clk.Now() + n.Latency(from, to)
-	// FIFO: never deliver before a message sent earlier on this link.
-	if prev := dst.lastArrival[from]; at < prev {
-		at = prev
+	jittered := false
+	if st, ok := n.links[dlink{from, to}]; ok {
+		at += st.DelayUS
+		if st.JitterUS > 0 {
+			at += int64(n.linkRNG[dlink{from, to}].next() % uint64(st.JitterUS))
+			jittered = true
+		}
 	}
-	dst.lastArrival[from] = at
+	// FIFO: never deliver before a message sent earlier on this link.
+	// A jittered link deliberately skips the clamp — reordering is the
+	// fault being injected.
+	if !jittered {
+		if prev := dst.lastArrival[from]; at < prev {
+			at = prev
+		}
+		dst.lastArrival[from] = at
+	}
 	d := n.dfree
 	if d == nil {
 		d = &delivery{}
@@ -229,7 +295,7 @@ func (n *Net) deliver(x any) {
 	// Evaluate failure state at delivery time: a partition that
 	// happened while the message was in flight kills it, like a
 	// broken connection discarding its socket buffers.
-	if dst.down || src.down || n.Partitioned(from, to) {
+	if dst.down || src.down || n.Partitioned(from, to) || n.linkBlocked(from, to) {
 		n.Dropped++
 		return
 	}

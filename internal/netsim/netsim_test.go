@@ -4,6 +4,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"borealis/internal/fabric"
 	"borealis/internal/runtime"
 	"borealis/internal/vtime"
 )
@@ -234,5 +235,94 @@ func TestQuickFIFO(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestSetLinkBlock checks the directed link fault: block drops one
+// direction only (at delivery time, like Partition), and the zero LinkState
+// heals it.
+func TestSetLinkBlock(t *testing.T) {
+	sim, n, boxes := setup()
+	n.SetLink("a", "b", fabric.LinkState{Block: true})
+	n.Send("a", "b", "m1")
+	n.Send("b", "a", "m2") // reverse direction stays open
+	sim.Run()
+	if len(*boxes["b"]) != 0 {
+		t.Fatalf("blocked link delivered: %+v", *boxes["b"])
+	}
+	if len(*boxes["a"]) != 1 {
+		t.Fatalf("reverse direction lost: %+v", *boxes["a"])
+	}
+	if n.Dropped != 1 {
+		t.Fatalf("Dropped = %d, want 1", n.Dropped)
+	}
+	n.SetLink("a", "b", fabric.LinkState{})
+	n.Send("a", "b", "m3")
+	sim.Run()
+	if len(*boxes["b"]) != 1 {
+		t.Fatalf("healed link lost: %+v", *boxes["b"])
+	}
+}
+
+// TestSetLinkBlockKillsInFlight checks delivery-time semantics: a block
+// installed while a message is in flight kills it.
+func TestSetLinkBlockKillsInFlight(t *testing.T) {
+	sim, n, boxes := setup()
+	n.Send("a", "b", "doomed")
+	n.SetLink("a", "b", fabric.LinkState{Block: true})
+	sim.Run()
+	if len(*boxes["b"]) != 0 {
+		t.Fatal("in-flight message survived a link block")
+	}
+}
+
+// TestSetLinkDelay checks that DelayUS stretches the link latency.
+func TestSetLinkDelay(t *testing.T) {
+	sim, n, boxes := setup()
+	n.SetDefaultLatency(5 * vtime.Millisecond)
+	n.SetLink("a", "b", fabric.LinkState{DelayUS: 20 * vtime.Millisecond})
+	n.Send("a", "b", "slow")
+	sim.Run()
+	got := *boxes["b"]
+	if len(got) != 1 {
+		t.Fatalf("delayed message lost: %+v", got)
+	}
+	if got[0].at != 25*vtime.Millisecond {
+		t.Fatalf("delivered at %d, want %d", got[0].at, 25*vtime.Millisecond)
+	}
+}
+
+// TestSetLinkJitterReorders checks that jitter bypasses the FIFO clamp
+// (reordering is the injected fault) and that the reordering is a pure
+// function of the link name: two fresh nets deliver in the same order.
+func TestSetLinkJitterReorders(t *testing.T) {
+	run := func() []any {
+		sim, n, boxes := setup()
+		n.SetLink("a", "b", fabric.LinkState{JitterUS: 50 * vtime.Millisecond})
+		for i := 0; i < 50; i++ {
+			n.Send("a", "b", i)
+		}
+		sim.Run()
+		var order []any
+		for _, r := range *boxes["b"] {
+			order = append(order, r.msg)
+		}
+		return order
+	}
+	first, second := run(), run()
+	if len(first) != 50 {
+		t.Fatalf("jittered link delivered %d of 50", len(first))
+	}
+	inOrder := true
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("jitter not deterministic at %d: %v vs %v", i, first[i], second[i])
+		}
+		if first[i] != i {
+			inOrder = false
+		}
+	}
+	if inOrder {
+		t.Fatal("jittered link stayed FIFO: no reordering injected")
 	}
 }

@@ -11,6 +11,9 @@
 package scenario
 
 import (
+	"strconv"
+	"strings"
+
 	"borealis/internal/client"
 	"borealis/internal/deploy"
 	"borealis/internal/fabric"
@@ -114,8 +117,9 @@ func LastFaultHealUS(s *Spec, quick bool) int64 {
 // installLocalFaults schedules the slice of the fault timeline a partition
 // executes itself: source-level faults on sources it hosts. Process-level
 // faults (crash/restart/flap) are the boss's job — it delivers them as real
-// signals to the owning worker process. Network partitions have no
-// equivalent on a real fabric yet and are rejected up front.
+// signals to the owning worker process. Network partitions are the boss's
+// job too: it translates them into timed LINK block/unblock lines applied
+// through fabric.LinkControl on every worker.
 func (rt *run) installLocalFaults() error {
 	for i := range rt.spec.Faults {
 		f := &rt.spec.Faults[i]
@@ -143,10 +147,60 @@ func (rt *run) installLocalFaults() error {
 				}
 			}
 		case "partition":
-			return errf("fault %d: partition faults are not supported in cluster mode", i)
+			// Translated by the boss into LINK block/unblock lines
+			// broadcast to every worker (the transport blocks the
+			// directed links locally, covering intra-worker pairs too).
 		}
 	}
 	return nil
+}
+
+// ExpandEndpoint resolves a partition-fault endpoint spec ("client", a node
+// name covering all replicas, a "node/replica" pair, a source group or
+// expanded member) into network endpoint IDs on the bare spec — the cluster
+// boss's counterpart of the compiled run's endpointSet, for translating
+// partition faults into link actions without a deployment in hand.
+func ExpandEndpoint(s *Spec, ep string) ([]string, error) {
+	if ep == "client" {
+		return []string{"client"}, nil
+	}
+	if name, rep, ok := strings.Cut(ep, "/"); ok {
+		for i := range s.Nodes {
+			n := &s.Nodes[i]
+			if n.Name != name {
+				continue
+			}
+			r, err := strconv.Atoi(rep)
+			if err != nil || r < 0 || r >= s.replicasOf(n) {
+				return nil, errf("bad endpoint %q", ep)
+			}
+			return []string{deploy.GroupReplicaID(name, r)}, nil
+		}
+		return nil, errf("bad endpoint %q", ep)
+	}
+	for i := range s.Nodes {
+		n := &s.Nodes[i]
+		if n.Name != ep {
+			continue
+		}
+		out := make([]string, s.replicasOf(n))
+		for r := range out {
+			out[r] = deploy.GroupReplicaID(ep, r)
+		}
+		return out, nil
+	}
+	for i := range s.Sources {
+		ss := &s.Sources[i]
+		if ss.Name == ep {
+			return ss.members(), nil
+		}
+		for _, m := range ss.members() {
+			if m == ep {
+				return []string{m}, nil
+			}
+		}
+	}
+	return nil, errf("unknown endpoint %q", ep)
 }
 
 // PartitionRun is one worker's compiled slice of a scenario.
@@ -214,10 +268,19 @@ type WorkerReport struct {
 
 	// Processed sums engine-processed tuples across hosted replicas (the
 	// bench harness's throughput numerator); Delivered/Dropped are the
-	// transport's frame counters.
-	Processed uint64 `json:"processed"`
-	Delivered uint64 `json:"delivered"`
-	Dropped   uint64 `json:"dropped"`
+	// transport's frame counters, with Dropped partitioned by cause (see
+	// transport.TCP) and CtlStalls counting control-class sends that had
+	// to block under flow control.
+	Processed    uint64 `json:"processed"`
+	Delivered    uint64 `json:"delivered"`
+	Dropped      uint64 `json:"dropped"`
+	DroppedDown  uint64 `json:"dropped_down,omitempty"`
+	DroppedQueue uint64 `json:"dropped_queue,omitempty"`
+	DroppedDead  uint64 `json:"dropped_dead,omitempty"`
+	DroppedWrite uint64 `json:"dropped_write,omitempty"`
+	DroppedLink  uint64 `json:"dropped_link,omitempty"`
+	DroppedCtl   uint64 `json:"dropped_ctl,omitempty"`
+	CtlStalls    uint64 `json:"ctl_stalls,omitempty"`
 }
 
 // WorkerReport assembles the fragment after the partition has run.
@@ -291,6 +354,7 @@ func MergeClusterReports(s *Spec, quick bool, frags []*WorkerReport) *Report {
 	srcByName := map[string]SourceReport{}
 	nodeByID := map[string]NodeReport{}
 	var cli *WorkerReport
+	var tp TransportReport
 	for _, f := range frags {
 		if f == nil {
 			continue
@@ -304,6 +368,15 @@ func MergeClusterReports(s *Spec, quick bool, frags []*WorkerReport) *Report {
 		if f.Client != nil {
 			cli = f
 		}
+		tp.Delivered += f.Delivered
+		tp.Dropped += f.Dropped
+		tp.DroppedDown += f.DroppedDown
+		tp.DroppedQueue += f.DroppedQueue
+		tp.DroppedDead += f.DroppedDead
+		tp.DroppedWrite += f.DroppedWrite
+		tp.DroppedLink += f.DroppedLink
+		tp.DroppedCtl += f.DroppedCtl
+		tp.CtlStalls += f.CtlStalls
 	}
 	rep := &Report{
 		Scenario:    s.Name,
@@ -314,6 +387,7 @@ func MergeClusterReports(s *Spec, quick bool, frags []*WorkerReport) *Report {
 		Availability: AvailabilityReport{
 			BoundS: secs(availabilityBoundUS(s, idx)),
 		},
+		Transport: &tp,
 	}
 	for i := range s.Sources {
 		for _, m := range s.Sources[i].members() {

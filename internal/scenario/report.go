@@ -31,6 +31,26 @@ type Report struct {
 	Sources       []SourceReport      `json:"sources"`
 	Nodes         []NodeReport        `json:"nodes"`
 	Consistency   *ConsistencyReport  `json:"consistency,omitempty"`
+	// Transport aggregates the workers' frame counters in cluster runs
+	// (absent in single-process reports, whose fabric is the simulator).
+	Transport *TransportReport `json:"transport,omitempty"`
+}
+
+// TransportReport sums the cluster workers' TCP frame counters, with the
+// aggregate drop count partitioned by cause (see transport.TCP for the
+// cause taxonomy). DroppedCtl must stay zero in a healthy run: control
+// frames block under flow control instead of shedding, and only a stall
+// outliving the control timeout — a dead or wedged peer — drops one.
+type TransportReport struct {
+	Delivered    uint64 `json:"delivered"`
+	Dropped      uint64 `json:"dropped"`
+	DroppedDown  uint64 `json:"dropped_down,omitempty"`
+	DroppedQueue uint64 `json:"dropped_queue,omitempty"`
+	DroppedDead  uint64 `json:"dropped_dead,omitempty"`
+	DroppedWrite uint64 `json:"dropped_write,omitempty"`
+	DroppedLink  uint64 `json:"dropped_link,omitempty"`
+	DroppedCtl   uint64 `json:"dropped_ctl,omitempty"`
+	CtlStalls    uint64 `json:"ctl_stalls,omitempty"`
 }
 
 // AvailabilityReport checks deliveries against the availability bound D:

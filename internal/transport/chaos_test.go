@@ -1,0 +1,270 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"borealis/internal/fabric"
+	"borealis/internal/node"
+	"borealis/internal/runtime"
+	"borealis/internal/vtime"
+)
+
+// TestTCPLinkBlockLocal checks outbound blocking on a local pair: a blocked
+// directed link drops at Send, the reverse direction stays open, and
+// clearing the state with the zero LinkState heals the link.
+func TestTCPLinkBlockLocal(t *testing.T) {
+	clk := runtime.NewWall(1000)
+	tr, err := Listen(clk, Config{ListenAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	var gotY, gotX int
+	tr.Register("x", func(string, any) { gotX++ })
+	tr.Register("y", func(string, any) { gotY++ })
+
+	tr.SetLink("x", "y", fabric.LinkState{Block: true})
+	tr.Send("x", "y", node.AckMsg{Stream: "s", UpToID: 1})
+	tr.Send("y", "x", node.AckMsg{Stream: "s", UpToID: 1}) // reverse is one-way open
+	clk.RunFor(vtime.Millisecond)
+	if gotY != 0 {
+		t.Fatalf("blocked link delivered %d frames", gotY)
+	}
+	if gotX != 1 {
+		t.Fatalf("reverse direction delivered %d frames, want 1", gotX)
+	}
+	if d := tr.DroppedLink.Load(); d != 1 {
+		t.Fatalf("DroppedLink = %d, want 1", d)
+	}
+
+	tr.SetLink("x", "y", fabric.LinkState{}) // heal
+	tr.Send("x", "y", node.AckMsg{Stream: "s", UpToID: 2})
+	clk.RunFor(vtime.Millisecond)
+	if gotY != 1 {
+		t.Fatalf("healed link delivered %d frames, want 1", gotY)
+	}
+}
+
+// TestTCPLinkBlockInbound checks receiver-side blocking over a real socket:
+// frames arriving on a blocked link are dropped off the wire (counted on the
+// receiving fabric), and delivery resumes on heal.
+func TestTCPLinkBlockInbound(t *testing.T) {
+	clkA, clkB := runtime.NewWall(1000), runtime.NewWall(1000)
+	tB, err := Listen(clkB, Config{ListenAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tB.Close()
+	tA, err := Listen(clkA, Config{ListenAddr: "127.0.0.1:0", Routes: map[string]string{"b": tB.Addr()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tA.Close()
+	tA.Register("a", func(string, any) {})
+	var got int
+	tB.Register("b", func(string, any) { got++ })
+
+	tB.SetLink("a", "b", fabric.LinkState{Block: true})
+	tA.Send("a", "b", node.AckMsg{Stream: "s", UpToID: 1})
+	// The drop happens on tB's socket reader, not through the clock.
+	deadline := time.Now().Add(10 * time.Second)
+	for tB.DroppedLink.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("receiver never dropped the blocked frame")
+		}
+		clkB.RunFor(vtime.Millisecond)
+	}
+	if got != 0 {
+		t.Fatalf("blocked inbound link delivered %d frames", got)
+	}
+
+	tB.SetLink("a", "b", fabric.LinkState{})
+	tA.Send("a", "b", node.AckMsg{Stream: "s", UpToID: 2})
+	driveUntil(t, clkB, 10*time.Second, func() bool { return got == 1 })
+}
+
+// TestTCPLinkDeliveryTimeBlock checks netsim parity: a frame already in
+// flight (scheduled through the clock) dies if the partition lands before
+// its delivery time.
+func TestTCPLinkDeliveryTimeBlock(t *testing.T) {
+	clk := runtime.NewWall(1000)
+	tr, err := Listen(clk, Config{ListenAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	var got int
+	tr.Register("x", func(string, any) {})
+	tr.Register("y", func(string, any) { got++ })
+
+	// Give the frame 50ms of flight time, then block mid-flight.
+	tr.SetLink("x", "y", fabric.LinkState{DelayUS: int64(50 * vtime.Millisecond)})
+	tr.Send("x", "y", node.AckMsg{Stream: "s", UpToID: 1})
+	tr.SetLink("x", "y", fabric.LinkState{Block: true})
+	clk.RunFor(100 * vtime.Millisecond)
+	if got != 0 {
+		t.Fatal("in-flight frame survived a partition that landed before delivery")
+	}
+	if d := tr.DroppedLink.Load(); d != 1 {
+		t.Fatalf("DroppedLink = %d, want 1", d)
+	}
+}
+
+// TestTCPLinkDelay checks that an injected delay stretches delivery by at
+// least DelayUS of virtual time.
+func TestTCPLinkDelay(t *testing.T) {
+	clk := runtime.NewWall(1000)
+	tr, err := Listen(clk, Config{ListenAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	const delay = int64(30 * vtime.Millisecond)
+	var deliveredAt int64 = -1
+	tr.Register("x", func(string, any) {})
+	tr.Register("y", func(string, any) { deliveredAt = clk.Now() })
+
+	tr.SetLink("x", "y", fabric.LinkState{DelayUS: delay})
+	sentAt := clk.Now()
+	tr.Send("x", "y", node.AckMsg{Stream: "s", UpToID: 1})
+	clk.RunFor(100 * vtime.Millisecond)
+	if deliveredAt < 0 {
+		t.Fatal("delayed frame never delivered")
+	}
+	if lat := deliveredAt - sentAt; lat < delay {
+		t.Fatalf("delivered after %dus, want >= %dus", lat, delay)
+	}
+}
+
+// TestLinkJitterDeterminism checks the jitter stream contract both ways:
+// the raw RNG is a pure function of the link name, and a jittered link
+// actually reorders — identically across two independent fabrics.
+func TestLinkJitterDeterminism(t *testing.T) {
+	r1, r2 := newLinkRNG("a", "b"), newLinkRNG("a", "b")
+	other := newLinkRNG("b", "a")
+	same, diff := true, false
+	for i := 0; i < 64; i++ {
+		v := r1.next()
+		if v != r2.next() {
+			same = false
+		}
+		if v != other.next() {
+			diff = true
+		}
+	}
+	if !same {
+		t.Fatal("same link name produced different jitter streams")
+	}
+	if !diff {
+		t.Fatal("distinct links share a jitter stream")
+	}
+
+	run := func() []uint64 {
+		clk := runtime.NewWall(1000)
+		tr, err := Listen(clk, Config{ListenAddr: "127.0.0.1:0"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer tr.Close()
+		var order []uint64
+		tr.Register("x", func(string, any) {})
+		tr.Register("y", func(_ string, msg any) { order = append(order, msg.(node.AckMsg).UpToID) })
+		tr.SetLink("x", "y", fabric.LinkState{JitterUS: int64(20 * vtime.Millisecond)})
+		const n = 50
+		for i := 0; i < n; i++ {
+			tr.Send("x", "y", node.AckMsg{Stream: "s", UpToID: uint64(i)})
+		}
+		clk.RunFor(100 * vtime.Millisecond)
+		if len(order) != n {
+			t.Fatalf("delivered %d of %d jittered frames", len(order), n)
+		}
+		return order
+	}
+	first, second := run(), run()
+	inOrder := true
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("jitter not deterministic: runs diverge at %d (%d vs %d)", i, first[i], second[i])
+		}
+		if first[i] != uint64(i) {
+			inOrder = false
+		}
+	}
+	if inOrder {
+		t.Fatal("jittered link delivered strictly FIFO: no reordering injected")
+	}
+}
+
+// TestTCPCtlFlowBackpressure checks the flow-control guarantee on a live
+// peer: with a control window of 1, a burst of control frames degrades to
+// slow (stalls counted) but every frame arrives — none are shed.
+func TestTCPCtlFlowBackpressure(t *testing.T) {
+	clkA, clkB := runtime.NewWall(1000), runtime.NewWall(1000)
+	tB, err := Listen(clkB, Config{ListenAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tB.Close()
+	tA, err := Listen(clkA, Config{
+		ListenAddr: "127.0.0.1:0",
+		Routes:     map[string]string{"b": tB.Addr()},
+		CtlWindow:  1,
+		CtlBackoff: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tA.Close()
+	tA.Register("a", func(string, any) {})
+	var got int
+	tB.Register("b", func(string, any) { got++ })
+
+	const n = 50
+	for i := 0; i < n; i++ {
+		tA.Send("a", "b", node.KeepAliveReq{})
+	}
+	driveUntil(t, clkB, 20*time.Second, func() bool { return got == n })
+	if d := tA.DroppedCtl.Load(); d != 0 {
+		t.Fatalf("live peer shed %d control frames", d)
+	}
+	if d := tA.Dropped.Load(); d != 0 {
+		t.Fatalf("live peer dropped %d frames", d)
+	}
+	if tA.CtlStalls.Load() == 0 {
+		t.Fatal("window of 1 never stalled a 50-frame control burst")
+	}
+}
+
+// TestTCPCtlTimeoutDrop checks the liveness escape hatch: a control send
+// stalled on a dead peer past CtlTimeout drops the frame and counts it,
+// instead of freezing the sender forever.
+func TestTCPCtlTimeoutDrop(t *testing.T) {
+	clk := runtime.NewWall(1000)
+	tr, err := Listen(clk, Config{
+		ListenAddr:  "127.0.0.1:0",
+		Routes:      map[string]string{"gone": "127.0.0.1:1"},
+		QueueLen:    2,
+		DialBackoff: time.Hour,
+		CtlTimeout:  50 * time.Millisecond,
+		CtlBackoff:  time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	tr.Register("x", func(string, any) {})
+	deadline := time.Now().Add(10 * time.Second)
+	for tr.DroppedCtl.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("stalled control send never timed out")
+		}
+		tr.Send("x", "gone", node.KeepAliveReq{})
+	}
+	if tr.CtlStalls.Load() == 0 {
+		t.Fatal("timed-out control send was never counted as stalled")
+	}
+	if tr.DroppedQueue.Load() != 0 {
+		t.Fatal("control frames were shed by the queue instead of flow control")
+	}
+}

@@ -37,7 +37,17 @@ const (
 	tagReconcileReq  = 7
 	tagReconcileResp = 8
 	tagReconcileDone = 9
+	tagFlowAck       = 10
 )
+
+// flowAck is the transport-internal credit frame of the control-frame flow
+// window: the receiving process acknowledges control-class frames it has
+// read, and the sender's ack reader returns the credits to the peer's
+// window. It travels the reverse direction of a data connection and is
+// consumed by the transport itself — it is never delivered to a handler.
+type flowAck struct {
+	Credits uint64
+}
 
 // subscribe flag bits (one byte on the wire; unknown bits are a decode
 // error so format drift fails loudly).
@@ -49,8 +59,8 @@ const (
 // AppendFrame appends one encoded frame — a big-endian uint32 body length
 // followed by the body — to dst and returns the extended slice. The body is
 // [version][tag][from][to][payload]; strings are uvarint-length-prefixed.
-// Only the nine node message types cross the fabric; anything else is a
-// programming error.
+// Only the nine node message types plus the transport's own flowAck cross
+// the fabric; anything else is a programming error.
 func AppendFrame(dst []byte, from, to string, msg any) ([]byte, error) {
 	lenAt := len(dst)
 	dst = append(dst, 0, 0, 0, 0) // body length backpatched below
@@ -121,6 +131,10 @@ func AppendFrame(dst []byte, from, to string, msg any) ([]byte, error) {
 	case node.ReconcileDone:
 		dst = append(dst, tagReconcileDone)
 		dst = appendAddr(dst, from, to)
+	case flowAck:
+		dst = append(dst, tagFlowAck)
+		dst = appendAddr(dst, from, to)
+		dst = binary.AppendUvarint(dst, m.Credits)
 	default:
 		return dst[:lenAt], fmt.Errorf("transport: cannot encode %T", msg)
 	}
@@ -339,6 +353,12 @@ func DecodeFrame(body []byte) (from, to string, msg any, err error) {
 		msg = m
 	case tagReconcileDone:
 		msg = node.ReconcileDone{}
+	case tagFlowAck:
+		var m flowAck
+		if m.Credits, ok = r.uvarint(); !ok {
+			return "", "", nil, errMalformed
+		}
+		msg = m
 	default:
 		return "", "", nil, fmt.Errorf("transport: unknown frame tag %d", tag)
 	}

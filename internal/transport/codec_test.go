@@ -38,6 +38,7 @@ func allFrames() []struct {
 		{"n2b", "n2", node.ReconcileResp{Granted: true}},
 		{"n2b", "n2", node.ReconcileResp{}},
 		{"n2", "n2b", node.ReconcileDone{}},
+		{"", "", flowAck{Credits: 3}},
 	}
 }
 
@@ -151,6 +152,12 @@ func TestCodecGolden(t *testing.T) {
 			from: "a", to: "b",
 			msg:  node.ReconcileResp{Granted: true},
 			want: []byte{0, 0, 0, 7, 1, 8, 1, 'a', 1, 'b', 1},
+		},
+		{
+			name: "flowack",
+			from: "", to: "",
+			msg:  flowAck{Credits: 1},
+			want: []byte{0, 0, 0, 5, 1, 10, 0, 0, 1},
 		},
 	}
 	for _, c := range cases {

@@ -24,13 +24,24 @@ type Config struct {
 	Routes map[string]string
 	// DialBackoff is the real-time pause between failed connection
 	// attempts to a peer (default 50ms). A killed peer process keeps its
-	// writer in this loop until the respawned process listens again.
+	// writer in this loop until the respawned process listens again; a
+	// route re-announcement (AddRoute) kicks the sleep short.
 	DialBackoff time.Duration
 	// QueueLen bounds each peer's outbound frame queue (default 4096).
-	// Frames beyond it are dropped, like a broken connection discarding
-	// its socket buffers; the DPC protocol detects the loss as a DataMsg
-	// sequence gap or keep-alive timeout and re-subscribes.
+	// Data-class frames beyond it are dropped, like a broken connection
+	// discarding its socket buffers; the DPC protocol detects the loss as
+	// a DataMsg sequence gap or keep-alive timeout and re-subscribes.
+	// Control-class frames instead block under flow control (see flow.go).
 	QueueLen int
+	// CtlWindow bounds the control-class frames in flight (sent, not yet
+	// acked) to one peer (default 256).
+	CtlWindow int
+	// CtlTimeout is how long a control-class Send may block waiting for
+	// window or queue space before dropping the frame (default 2s).
+	CtlTimeout time.Duration
+	// CtlBackoff is the poll pause of a blocked control-class Send
+	// (default 5ms).
+	CtlBackoff time.Duration
 }
 
 // TCP is the fabric.Fabric implementation carrying frames over real
@@ -43,27 +54,53 @@ type Config struct {
 // runtime.VirtualClock is not (a virtual clock has no place to put a
 // concurrent socket anyway — use netsim for virtual runs).
 type TCP struct {
-	clk runtime.Clock
-	cfg Config
-	ln  net.Listener
+	clk  runtime.Clock
+	cfg  Config
+	ln   net.Listener
+	done chan struct{} // closed by Close; unblocks writers and stalled senders
 
 	mu      sync.Mutex
 	local   map[string]*localEndpoint
 	peers   map[string]*peer // keyed by remote address
 	inbound map[net.Conn]struct{}
+	links   map[link]fabric.LinkState
+	linkRNG map[link]*linkRNG
 	closed  bool
 
 	conns sync.WaitGroup
 
 	deliverFn func(any)
 
-	// Delivered counts frames handed to local handlers; Dropped counts
-	// frames lost to down endpoints, full peer queues, or dead peers.
-	Delivered atomic.Uint64
-	Dropped   atomic.Uint64
+	// Delivered counts frames handed to local handlers. Dropped is the
+	// aggregate loss count; the per-cause counters below partition it:
+	//
+	//	DroppedDown   sender or receiver endpoint down / unregistered
+	//	DroppedQueue  data-class frame shed by a full peer queue
+	//	DroppedDead   peer unreachable while the fabric shut down
+	//	DroppedWrite  socket write error (frame lost with the connection)
+	//	DroppedLink   injected link fault (partition block)
+	//	DroppedCtl    control-class frame stalled past CtlTimeout
+	//
+	// CtlStalls counts control-class sends that had to block at least
+	// once — back-pressure working as designed, not loss.
+	Delivered    atomic.Uint64
+	Dropped      atomic.Uint64
+	DroppedDown  atomic.Uint64
+	DroppedQueue atomic.Uint64
+	DroppedDead  atomic.Uint64
+	DroppedWrite atomic.Uint64
+	DroppedLink  atomic.Uint64
+	DroppedCtl   atomic.Uint64
+	CtlStalls    atomic.Uint64
 }
 
 var _ fabric.Fabric = (*TCP)(nil)
+
+// drop counts one lost frame under its cause and in the aggregate.
+func (t *TCP) drop(cause *atomic.Uint64) {
+	cause.Add(1)
+	t.Dropped.Add(1)
+}
 
 type localEndpoint struct {
 	handler fabric.Handler
@@ -77,6 +114,10 @@ type localEndpoint struct {
 type peer struct {
 	addr  string
 	queue chan []byte
+	// kick interrupts a mid-backoff dial sleep when the route to this
+	// address is re-announced (the peer process respawned).
+	kick chan struct{}
+	flow *flowWindow
 }
 
 type delivery struct {
@@ -94,6 +135,15 @@ func Listen(clk runtime.Clock, cfg Config) (*TCP, error) {
 	if cfg.QueueLen <= 0 {
 		cfg.QueueLen = 4096
 	}
+	if cfg.CtlWindow <= 0 {
+		cfg.CtlWindow = 256
+	}
+	if cfg.CtlTimeout <= 0 {
+		cfg.CtlTimeout = 2 * time.Second
+	}
+	if cfg.CtlBackoff <= 0 {
+		cfg.CtlBackoff = 5 * time.Millisecond
+	}
 	ln, err := net.Listen("tcp", cfg.ListenAddr)
 	if err != nil {
 		return nil, err
@@ -102,9 +152,12 @@ func Listen(clk runtime.Clock, cfg Config) (*TCP, error) {
 		clk:     clk,
 		cfg:     cfg,
 		ln:      ln,
+		done:    make(chan struct{}),
 		local:   make(map[string]*localEndpoint),
 		peers:   make(map[string]*peer),
 		inbound: make(map[net.Conn]struct{}),
+		links:   make(map[link]fabric.LinkState),
+		linkRNG: make(map[link]*linkRNG),
 	}
 	t.deliverFn = t.deliver
 	t.conns.Add(1)
@@ -124,19 +177,13 @@ func (t *TCP) Close() {
 		return
 	}
 	t.closed = true
-	peers := make([]*peer, 0, len(t.peers))
-	for _, p := range t.peers {
-		peers = append(peers, p)
-	}
 	inbound := make([]net.Conn, 0, len(t.inbound))
 	for c := range t.inbound {
 		inbound = append(inbound, c)
 	}
 	t.mu.Unlock()
+	close(t.done)
 	t.ln.Close()
-	for _, p := range peers {
-		close(p.queue)
-	}
 	for _, c := range inbound {
 		c.Close()
 	}
@@ -145,14 +192,24 @@ func (t *TCP) Close() {
 
 // AddRoute maps a remote endpoint ID to its process's listen address.
 // Cluster workers bind their listeners first and learn each other's
-// addresses afterwards, so routes arrive after Listen.
+// addresses afterwards, so routes arrive after Listen. Re-announcing a
+// route kicks the address's writer out of any dial-backoff sleep: a
+// respawned peer is listening again, and waiting out the backoff would
+// stretch its recovery window for nothing.
 func (t *TCP) AddRoute(id, addr string) {
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	if t.cfg.Routes == nil {
 		t.cfg.Routes = make(map[string]string)
 	}
 	t.cfg.Routes[id] = addr
+	p := t.peers[addr]
+	t.mu.Unlock()
+	if p != nil {
+		select {
+		case p.kick <- struct{}{}:
+		default:
+		}
+	}
 }
 
 // Register installs the handler for a local endpoint (fabric.Fabric).
@@ -184,7 +241,9 @@ func (t *TCP) SetDown(id string, down bool) {
 // Send queues msg for delivery (fabric.Fabric). Local destinations are
 // scheduled through the clock like netsim deliveries; remote destinations
 // are encoded immediately (so the caller may reuse any buffers backing the
-// message) and handed to the owning peer's writer.
+// message) and handed to the owning peer's writer. Control-class frames go
+// through the flow window (see flow.go) and may block briefly instead of
+// shedding.
 func (t *TCP) Send(from, to string, msg any) {
 	t.mu.Lock()
 	src := t.local[from]
@@ -194,12 +253,18 @@ func (t *TCP) Send(from, to string, msg any) {
 	}
 	if src.down {
 		t.mu.Unlock()
-		t.Dropped.Add(1)
+		t.drop(&t.DroppedDown)
+		return
+	}
+	if t.linkBlockedLocked(from, to) {
+		t.mu.Unlock()
+		t.drop(&t.DroppedLink)
 		return
 	}
 	if _, isLocal := t.local[to]; isLocal {
+		delay := t.linkDelayLocked(from, to)
 		t.mu.Unlock()
-		t.clk.AfterCall(0, t.deliverFn, &delivery{t: t, from: from, to: to, msg: msg})
+		t.clk.AfterCall(delay, t.deliverFn, &delivery{t: t, from: from, to: to, msg: msg})
 		return
 	}
 	addr, ok := t.cfg.Routes[to]
@@ -211,10 +276,15 @@ func (t *TCP) Send(from, to string, msg any) {
 	if p == nil {
 		if t.closed {
 			t.mu.Unlock()
-			t.Dropped.Add(1)
+			t.drop(&t.DroppedDead)
 			return
 		}
-		p = &peer{addr: addr, queue: make(chan []byte, t.cfg.QueueLen)}
+		p = &peer{
+			addr:  addr,
+			queue: make(chan []byte, t.cfg.QueueLen),
+			kick:  make(chan struct{}, 1),
+			flow:  newFlowWindow(),
+		}
 		t.peers[addr] = p
 		t.conns.Add(1)
 		go t.writeLoop(p)
@@ -224,15 +294,21 @@ func (t *TCP) Send(from, to string, msg any) {
 	if err != nil {
 		panic(err) // non-wire message type on the fabric: programming error
 	}
+	if isCtl(msg) {
+		t.sendCtl(p, frame)
+		return
+	}
 	select {
 	case p.queue <- frame:
 	default:
-		t.Dropped.Add(1)
+		t.drop(&t.DroppedQueue)
 	}
 }
 
 // deliver runs on the clock goroutine and hands one frame to its local
-// handler, evaluating down/registered state at delivery time like netsim.
+// handler, evaluating down/registered/link state at delivery time like
+// netsim: a crash or partition that happened while the frame was in flight
+// kills it.
 func (t *TCP) deliver(x any) {
 	d := x.(*delivery)
 	t.mu.Lock()
@@ -246,9 +322,14 @@ func (t *TCP) deliver(x any) {
 	if src := t.local[d.from]; src != nil && src.down {
 		h = nil
 	}
+	blocked := t.linkBlockedLocked(d.from, d.to)
 	t.mu.Unlock()
+	if blocked {
+		t.drop(&t.DroppedLink)
+		return
+	}
 	if h == nil {
-		t.Dropped.Add(1)
+		t.drop(&t.DroppedDown)
 		return
 	}
 	t.Delivered.Add(1)
@@ -258,7 +339,8 @@ func (t *TCP) deliver(x any) {
 // writeLoop drains one peer's queue onto its connection, dialing with
 // backoff and reconnecting after errors. Frames that fail to write are
 // dropped — the peer sees a gap, exactly what its protocol expects from a
-// broken connection.
+// broken connection. Each live connection gets a companion ackLoop reading
+// the receiver's flow-control credits off the reverse direction.
 func (t *TCP) writeLoop(p *peer) {
 	defer t.conns.Done()
 	var conn net.Conn
@@ -267,30 +349,73 @@ func (t *TCP) writeLoop(p *peer) {
 			conn.Close()
 		}
 	}()
-	for frame := range p.queue {
+	for {
+		var frame []byte
+		select {
+		case frame = <-p.queue:
+		case <-t.done:
+			return
+		}
 		for conn == nil {
 			c, err := net.DialTimeout("tcp", p.addr, time.Second)
 			if err == nil {
 				conn = c
+				// Control frames written to the dead connection were
+				// lost with their acks; free their window slots so
+				// blocked senders recover with the connection.
+				p.flow.reset()
+				t.conns.Add(1)
+				go t.ackLoop(p, c)
 				break
 			}
-			t.mu.Lock()
-			closed := t.closed
-			t.mu.Unlock()
-			if closed {
-				t.Dropped.Add(1)
+			select {
+			case <-time.After(t.cfg.DialBackoff):
+			case <-p.kick:
+			case <-t.done:
+				t.drop(&t.DroppedDead)
 				frame = nil
+			}
+			if frame == nil {
 				break
 			}
-			time.Sleep(t.cfg.DialBackoff)
 		}
 		if frame == nil {
-			continue
+			return
 		}
 		if _, err := conn.Write(frame); err != nil {
 			conn.Close()
 			conn = nil
-			t.Dropped.Add(1)
+			t.drop(&t.DroppedWrite)
+		}
+	}
+}
+
+// ackLoop consumes flow-control credit frames the receiver writes back on
+// an outbound connection (the writer never reads otherwise). It exits when
+// the connection dies; credits are applied to the peer's window directly —
+// never through the clock — so a sender blocked in sendCtl on the clock
+// goroutine can still be woken.
+func (t *TCP) ackLoop(p *peer, conn net.Conn) {
+	defer t.conns.Done()
+	var hdr [4]byte
+	for {
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			return
+		}
+		n := binary.BigEndian.Uint32(hdr[:])
+		if n > MaxFrameSize {
+			return
+		}
+		body := make([]byte, n)
+		if _, err := io.ReadFull(conn, body); err != nil {
+			return
+		}
+		_, _, msg, err := DecodeFrame(body)
+		if err != nil {
+			return
+		}
+		if fa, ok := msg.(flowAck); ok {
+			p.flow.ack(fa.Credits)
 		}
 	}
 }
@@ -320,7 +445,10 @@ func (t *TCP) acceptLoop() {
 // readLoop decodes length-prefixed frames off one connection and injects
 // them into the clock, one AfterCall per frame in read order: the clock's
 // (at,seq) event ordering preserves the stream's FIFO order, and handlers
-// still only ever run on the clock's driving goroutine.
+// still only ever run on the clock's driving goroutine. Control-class
+// frames are acked back on the same connection the moment they are read —
+// before any link-fault check, because flow control accounts for socket
+// occupancy, not delivery.
 func (t *TCP) readLoop(conn net.Conn) {
 	defer t.conns.Done()
 	defer func() {
@@ -330,6 +458,7 @@ func (t *TCP) readLoop(conn net.Conn) {
 		t.mu.Unlock()
 	}()
 	var hdr [4]byte
+	var ackBuf []byte
 	for {
 		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
 			return
@@ -346,12 +475,32 @@ func (t *TCP) readLoop(conn net.Conn) {
 		if err != nil {
 			return // malformed frame; drop the connection
 		}
+		if _, isAck := msg.(flowAck); isAck {
+			continue // credits only ride the reverse direction; ignore
+		}
+		if isCtl(msg) {
+			ackBuf, err = AppendFrame(ackBuf[:0], "", "", flowAck{Credits: 1})
+			if err == nil {
+				// A failed ack write means the connection is dying;
+				// the next ReadFull sees the error and exits.
+				_, _ = conn.Write(ackBuf)
+			}
+		}
 		t.mu.Lock()
 		closed := t.closed
+		blocked := t.linkBlockedLocked(from, to)
+		var delay int64
+		if !blocked {
+			delay = t.linkDelayLocked(from, to)
+		}
 		t.mu.Unlock()
 		if closed {
 			return
 		}
-		t.clk.AfterCall(0, t.deliverFn, &delivery{t: t, from: from, to: to, msg: msg})
+		if blocked {
+			t.drop(&t.DroppedLink)
+			continue
+		}
+		t.clk.AfterCall(delay, t.deliverFn, &delivery{t: t, from: from, to: to, msg: msg})
 	}
 }

@@ -271,8 +271,9 @@ func TestTCPUnroutable(t *testing.T) {
 	tr.Send("x", "nowhere", node.KeepAliveReq{})
 }
 
-// TestTCPQueueOverflow checks the bounded-queue drop policy: a peer that
-// never accepts connections must not block Send, and overflow is counted.
+// TestTCPQueueOverflow checks the bounded-queue drop policy for data-class
+// frames: a peer that never accepts connections must not block Send, and
+// overflow is counted under its cause.
 func TestTCPQueueOverflow(t *testing.T) {
 	clk := runtime.NewWall(1000)
 	// Port 1 on localhost: reserved, nothing listens; dials fail fast.
@@ -288,11 +289,79 @@ func TestTCPQueueOverflow(t *testing.T) {
 	defer tr.Close()
 	tr.Register("x", func(string, any) {})
 	deadline := time.Now().Add(10 * time.Second)
-	for tr.Dropped.Load() == 0 {
+	for tr.DroppedQueue.Load() == 0 {
 		if time.Now().After(deadline) {
 			t.Fatal("queue never overflowed")
 		}
-		tr.Send("x", "gone", node.KeepAliveReq{})
+		tr.Send("x", "gone", node.AckMsg{Stream: "s", UpToID: 1})
+	}
+	if tr.Dropped.Load() != tr.DroppedQueue.Load() {
+		t.Fatalf("aggregate Dropped=%d disagrees with DroppedQueue=%d",
+			tr.Dropped.Load(), tr.DroppedQueue.Load())
+	}
+}
+
+// TestTCPReconnectAfterRespawn is the regression test for the respawn
+// race: a worker dies, its peers' writers park in dial backoff, and the
+// replacement rebinds the same address. Without the AddRoute kick the
+// sender sits out the rest of a (deliberately huge) backoff sleep; with
+// it, the re-announcement of the route wakes the dialer immediately.
+func TestTCPReconnectAfterRespawn(t *testing.T) {
+	clkA, clkB := runtime.NewWall(1000), runtime.NewWall(1000)
+	tB, err := Listen(clkB, Config{ListenAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := tB.Addr()
+	tA, err := Listen(clkA, Config{
+		ListenAddr: "127.0.0.1:0",
+		Routes:     map[string]string{"b": addr},
+		// A backoff far beyond the test deadline: only the kick can
+		// recover the connection in time.
+		DialBackoff: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tA.Close()
+	tA.Register("a", func(string, any) {})
+
+	var got1 int
+	tB.Register("b", func(string, any) { got1++ })
+	tA.Send("a", "b", node.AckMsg{Stream: "s", UpToID: 1})
+	driveUntil(t, clkB, 10*time.Second, func() bool { return got1 == 1 })
+
+	tB.Close() // the worker process is SIGKILLed
+
+	// Queue frames while the peer is dead until the writer hits the dial
+	// failure and parks in its hour-long backoff.
+	deadline := time.Now().Add(10 * time.Second)
+	for tA.DroppedWrite.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("writer never observed the dead peer")
+		}
+		tA.Send("a", "b", node.AckMsg{Stream: "s", UpToID: 2})
+		time.Sleep(time.Millisecond)
+	}
+
+	// Respawn on the same address, then re-announce the (unchanged)
+	// route — the boss does exactly this after a respawn.
+	tB2, err := Listen(clkB, Config{ListenAddr: addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tB2.Close()
+	var got2 int
+	tB2.Register("b", func(string, any) { got2++ })
+	tA.AddRoute("b", addr)
+
+	deadline = time.Now().Add(10 * time.Second)
+	for got2 == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no delivery after respawn: the route kick did not wake the dialer")
+		}
+		tA.Send("a", "b", node.AckMsg{Stream: "s", UpToID: 3})
+		clkB.RunFor(10 * vtime.Millisecond)
 	}
 }
 
