@@ -3,7 +3,9 @@ package fuzz
 import (
 	"math"
 
+	"borealis/internal/node"
 	"borealis/internal/scenario"
+	"borealis/internal/vtime"
 )
 
 // permCrashSettleS bounds how long a deployment needs to absorb a
@@ -213,6 +215,35 @@ func Check(s *scenario.Spec, rep *scenario.Report) []Finding {
 				fs = findf(fs, "stuck-state",
 					"replica %s ended in %s %gs after the last heal",
 					n.Replica, n.State, horizon-lastHealS(s, horizon))
+			}
+		}
+	}
+
+	// Grant starvation: progress-probed grants bound every want→grant
+	// wait by revocation cycles of the stall window (plus the peer's own
+	// stabilization time and retry pacing), so on a quiet run no replica
+	// may have waited anywhere near the 120s GrantTimeout — the wedge
+	// pinned by scenarios/corpus/crash-inside-partition.json. The report
+	// includes a wait still open at the horizon, so end-of-run starvation
+	// is caught too. The GrantTimeout backstop must never be what ends a
+	// hold; the progress probe fires orders of magnitude earlier.
+	if quiet {
+		windowS := float64(node.DefaultGrantStallWindow(
+			int64(s.Defaults.KeepAliveMS*float64(vtime.Millisecond)), 0)) / float64(vtime.Second)
+		boundS := 5*windowS + 5
+		for i := range rep.Nodes {
+			n := &rep.Nodes[i]
+			for _, w := range n.GrantWaitsS {
+				if w > boundS {
+					fs = findf(fs, "grant-starvation",
+						"replica %s waited %gs for a reconciliation grant; the stall-window bound is %gs",
+						n.Replica, w, boundS)
+				}
+			}
+			if n.GrantRevocations != nil && n.GrantRevocations.Timeout > 0 {
+				fs = findf(fs, "grant-starvation",
+					"replica %s released a grant via the GrantTimeout backstop %d times; the progress probe should have fired first",
+					n.Replica, n.GrantRevocations.Timeout)
 			}
 		}
 	}

@@ -17,8 +17,16 @@ type CMConfig struct {
 	// RetryInterval paces reconciliation-authorization retries (Fig. 9).
 	RetryInterval int64
 	// GrantTimeout releases a reconciliation promise if the peer never
-	// reports completion (crash safety).
+	// reports completion (crash safety). It is the backstop of last
+	// resort; the progress probe below bounds the common stalls long
+	// before it fires.
 	GrantTimeout int64
+	// GrantStallWindow bounds how long a granted peer may answer
+	// keep-alives without advancing its stabilization-progress token (or
+	// while reporting STABLE, i.e. done) before the grant is revoked. A
+	// partitioned-but-alive peer happily answers keep-alives forever, so
+	// liveness alone would hold the promise for the full GrantTimeout.
+	GrantStallWindow int64
 	// Stagger enables the inter-replica protocol; without it every
 	// authorization is self-granted immediately (the Suspend variant of
 	// §6.1, where no second version stays available).
@@ -38,6 +46,29 @@ func (c *CMConfig) normalize() {
 	if c.GrantTimeout <= 0 {
 		c.GrantTimeout = 120 * vtime.Second
 	}
+	if c.GrantStallWindow <= 0 {
+		c.GrantStallWindow = DefaultGrantStallWindow(c.KeepAlive, c.KeepAliveTimeout)
+	}
+}
+
+// DefaultGrantStallWindow derives the grant stall window from the probe
+// cadence: long enough that several keep-alive rounds (and the token
+// refreshes they carry) fit inside it, short enough that a stalled grant
+// never starves the granter for anything near the GrantTimeout. Exported
+// so the fuzzer's starvation oracle can assert the same bound the CM
+// enforces.
+func DefaultGrantStallWindow(keepAlive, keepAliveTimeout int64) int64 {
+	if keepAlive <= 0 {
+		keepAlive = 100 * vtime.Millisecond
+	}
+	if keepAliveTimeout <= 0 {
+		keepAliveTimeout = keepAlive*2 + keepAlive/2
+	}
+	w := 10 * keepAlive
+	if m := 2 * keepAliveTimeout; w < m {
+		w = m
+	}
+	return w
 }
 
 // upstreamView is what the CM knows about the replicas producing one input
@@ -78,11 +109,21 @@ type CM struct {
 
 	// Stagger protocol state.
 	wantReconcile bool
+	wantSince     int64  // instant the pending authorization was first wanted
 	awaiting      string // peer asked, awaiting response
 	grantedTo     string // peer we promised not to reconcile under
 	grantResp     int64  // last keep-alive answer from grantedTo
 	grantTimer    runtime.Timer
 	retryTimer    runtime.Timer
+	// Progress-probe state for the outstanding grant: the granted peer's
+	// last stabilization-progress token and reported node state, the last
+	// instant either advanced, and — when the peer reports STABLE — since
+	// when. A grant whose peer is alive but frozen past GrantStallWindow
+	// is revoked instead of waiting out GrantTimeout.
+	grantProgress    map[string]uint64
+	grantState       StreamState
+	grantMovedAt     int64
+	grantStableSince int64
 	// suspect marks peers that never answered a reconciliation request:
 	// they are skipped when choosing whom to ask, and probed with
 	// keep-alives until any sign of life clears them. When every peer is
@@ -97,6 +138,22 @@ type CM struct {
 
 	// Switches counts upstream replica switches (reported in §5.1).
 	Switches uint64
+
+	// GrantWaits records, for each authorization this node obtained, how
+	// long it waited from wanting the reconciliation to being granted —
+	// the starvation the stall window bounds. Reported per replica so the
+	// fuzzer's starvation oracle can assert the bound.
+	GrantWaits []int64
+	// Grant revocation counters, by cause: the granted peer went silent
+	// (crashed — the pre-existing liveness probe), froze its progress
+	// token while alive (partitioned data path or wedged replay), or kept
+	// reporting STABLE (its ReconcileDone was lost in transit). GrantTimeouts
+	// counts the 120s backstop firing — with progress probing it should
+	// stay zero.
+	GrantRevokedSilent  uint64
+	GrantRevokedStalled uint64
+	GrantRevokedDone    uint64
+	GrantTimeouts       uint64
 }
 
 func newCM(n *Node, cfg CMConfig) *CM {
@@ -174,6 +231,8 @@ func (cm *CM) reset() {
 	cm.wantReconcile = false
 	cm.awaiting = ""
 	cm.grantedTo = ""
+	cm.grantProgress = nil
+	cm.grantStableSince = 0
 }
 
 // tick sends keep-alive probes and times out silent replicas.
@@ -213,31 +272,90 @@ func (cm *CM) tick() {
 	}
 }
 
-// probeGrantedPeer keep-alives the peer this node promised to stay
-// available for. A reconciliation grant is normally released by the
-// peer's ReconcileDone; if the peer crashes mid-stabilization that
-// message never comes, and waiting out the long GrantTimeout would leave
-// this node wedged in UP_FAILURE — unable to reconcile its own diverged
-// state — for the whole window (a wedge the scenario fuzzer found: a
-// replica flap overlapping a source disconnect starved half the stream
-// for two simulated minutes). A crashed or still-recovering peer answers
-// no keep-alives, so silence past the keep-alive timeout revokes the
-// promise; its stabilization died with it.
+// probeGrantedPeer polices the peer this node promised to stay available
+// for. A reconciliation grant is normally released by the peer's
+// ReconcileDone; waiting out the long GrantTimeout when that message never
+// comes would leave this node wedged in UP_FAILURE — unable to reconcile
+// its own diverged state — for two simulated minutes. Three probes bound
+// the wait:
+//
+//   - silence: a crashed or still-recovering peer answers no keep-alives,
+//     so silence past the keep-alive timeout revokes the promise; its
+//     stabilization died with it (a wedge the scenario fuzzer found: a
+//     replica flap overlapping a source disconnect).
+//   - stall: a partitioned-but-alive peer happily answers keep-alives
+//     while making zero stabilization progress — its data path is blocked,
+//     so the progress token carried by its KeepAliveResp never advances.
+//     Liveness alone would hold the grant for the full GrantTimeout
+//     (pinned in scenarios/corpus/crash-inside-partition.json).
+//   - done: a peer that finished stabilizing but whose ReconcileDone was
+//     eaten by a partition keeps reporting STABLE — and keeps making data
+//     progress, so the stall probe never fires. Observing STABLE for a
+//     whole stall window means no stabilization is running under the
+//     promise.
+//
+// Revocation is safe in all three cases: the revoked peer never starts a
+// reconciliation without a fresh grant — it learns the promise is gone
+// from the next ReconcileResp{Granted: false} (or simply re-requests) —
+// so two replicas never enter STABILIZATION concurrently.
 func (cm *CM) probeGrantedPeer(now int64) {
 	if cm.grantedTo == "" {
 		return
 	}
-	if now-cm.grantResp > cm.cfg.KeepAliveTimeout {
-		cm.node.tracef("grant-revoked", "granted peer %s silent for %dµs", cm.grantedTo, now-cm.grantResp)
-		cm.grantedTo = ""
-		if cm.grantTimer != nil {
-			cm.grantTimer.Stop()
-			cm.grantTimer = nil
-		}
-		cm.tryRequest()
-		return
+	switch {
+	case now-cm.grantResp > cm.cfg.KeepAliveTimeout:
+		cm.GrantRevokedSilent++
+		cm.revokeGrant("granted peer %s silent for %dµs", cm.grantedTo, now-cm.grantResp)
+	case now-cm.grantMovedAt > cm.cfg.GrantStallWindow:
+		cm.GrantRevokedStalled++
+		cm.revokeGrant("granted peer %s alive but made no stabilization progress for %dµs", cm.grantedTo, now-cm.grantMovedAt)
+	case cm.grantStableSince != 0 && now-cm.grantStableSince > cm.cfg.GrantStallWindow:
+		cm.GrantRevokedDone++
+		cm.revokeGrant("granted peer %s reported STABLE for %dµs without ReconcileDone", cm.grantedTo, now-cm.grantStableSince)
+	default:
+		cm.node.send(cm.grantedTo, KeepAliveReq{})
 	}
-	cm.node.send(cm.grantedTo, KeepAliveReq{})
+}
+
+// revokeGrant withdraws the outstanding reconciliation promise and retries
+// this node's own pending authorization, if any.
+func (cm *CM) revokeGrant(format string, args ...any) {
+	cm.node.tracef("grant-revoked", format, args...)
+	cm.grantedTo = ""
+	cm.grantProgress = nil
+	if cm.grantTimer != nil {
+		cm.grantTimer.Stop()
+		cm.grantTimer = nil
+	}
+	cm.tryRequest()
+}
+
+// noteGrantProgress folds a keep-alive answer from the granted peer into
+// the progress-probe state.
+func (cm *CM) noteGrantProgress(resp KeepAliveResp, now int64) {
+	moved := false
+	if resp.Node != cm.grantState {
+		cm.grantState = resp.Node
+		moved = true
+	}
+	for stream, id := range resp.Progress {
+		if id > cm.grantProgress[stream] {
+			moved = true
+		}
+	}
+	if resp.Progress != nil {
+		cm.grantProgress = resp.Progress
+	}
+	if moved {
+		cm.grantMovedAt = now
+	}
+	if resp.Node == StateStable {
+		if cm.grantStableSince == 0 {
+			cm.grantStableSince = now
+		}
+	} else {
+		cm.grantStableSince = 0
+	}
 }
 
 // onKeepAlive records a keep-alive response and re-evaluates switching.
@@ -245,6 +363,7 @@ func (cm *CM) onKeepAlive(from string, resp KeepAliveResp) {
 	now := cm.node.clk.Now()
 	if from == cm.grantedTo {
 		cm.grantResp = now
+		cm.noteGrantProgress(resp, now)
 	}
 	if cm.suspect[from] {
 		cm.node.tracef("unsuspect", "%s answered a keep-alive", from)
@@ -481,8 +600,29 @@ func (cm *CM) consolidate(stream string) {
 // permission to enter STABILIZATION. Without staggering (or peers) the
 // request is self-granted.
 func (cm *CM) requestReconcileAuth() {
+	if !cm.wantReconcile {
+		cm.wantSince = cm.node.clk.Now()
+	}
 	cm.wantReconcile = true
 	cm.tryRequest()
+}
+
+// recordGrantWait closes the want→grant interval of the authorization that
+// was just obtained.
+func (cm *CM) recordGrantWait() {
+	cm.GrantWaits = append(cm.GrantWaits, cm.node.clk.Now()-cm.wantSince)
+}
+
+// GrantWaitsAt returns every completed want→grant wait plus, when an
+// authorization is still wanted at now, the in-flight wait — so a replica
+// starving for a grant at the end of a run reports the starvation instead
+// of hiding it.
+func (cm *CM) GrantWaitsAt(now int64) []int64 {
+	waits := cm.GrantWaits
+	if cm.wantReconcile {
+		waits = append(append([]int64(nil), waits...), now-cm.wantSince)
+	}
+	return waits
 }
 
 func (cm *CM) tryRequest() {
@@ -492,6 +632,7 @@ func (cm *CM) tryRequest() {
 	if !cm.cfg.Stagger || len(cm.node.cfg.Peers) == 0 {
 		cm.node.tracef("reconcile-self-grant", "no stagger or no peers")
 		cm.wantReconcile = false
+		cm.recordGrantWait()
 		cm.node.onReconcileGranted()
 		return
 	}
@@ -513,6 +654,7 @@ func (cm *CM) tryRequest() {
 		// time).
 		cm.node.tracef("reconcile-self-grant", "all %d peers suspect", len(cm.node.cfg.Peers))
 		cm.wantReconcile = false
+		cm.recordGrantWait()
 		cm.node.onReconcileGranted()
 		return
 	}
@@ -562,19 +704,38 @@ func (cm *CM) onReconcileReq(from string) {
 		return
 	}
 	cm.node.tracef("reconcile-grant", "%s", from)
+	now := cm.node.clk.Now()
 	cm.grantedTo = from
-	cm.grantResp = cm.node.clk.Now()
+	cm.grantResp = now
+	// Progress-probe baseline: the asker is in UP_FAILURE by definition;
+	// any state change or token advance from here counts as progress.
+	cm.grantProgress = nil
+	cm.grantState = StateUpFailure
+	cm.grantMovedAt = now
+	cm.grantStableSince = 0
 	if cm.grantTimer != nil {
 		cm.grantTimer.Stop()
 	}
-	cm.grantTimer = cm.node.clk.After(cm.cfg.GrantTimeout, func() {
+	// The callback compares timer identity, not just grantedTo: a stale
+	// GrantTimeout callback racing a re-grant to the same peer (possible
+	// on the WallClock, where a stopped timer's callback may already be
+	// in flight) must not clobber the fresh timer handle or tear down the
+	// fresh grant.
+	var timer runtime.Timer
+	timer = cm.node.clk.After(cm.cfg.GrantTimeout, func() {
+		if cm.grantTimer != timer {
+			return
+		}
 		cm.grantTimer = nil
 		if cm.grantedTo == from {
+			cm.GrantTimeouts++
 			cm.node.tracef("grant-timeout", "%s never sent ReconcileDone", from)
 			cm.grantedTo = ""
+			cm.grantProgress = nil
 			cm.tryRequest()
 		}
 	})
+	cm.grantTimer = timer
 	cm.node.send(from, ReconcileResp{Granted: true})
 }
 
@@ -595,6 +756,7 @@ func (cm *CM) onReconcileResp(from string, resp ReconcileResp) {
 	if resp.Granted {
 		cm.node.tracef("reconcile-granted", "by %s", from)
 		cm.wantReconcile = false
+		cm.recordGrantWait()
 		cm.node.onReconcileGranted()
 	} else {
 		cm.node.tracef("reconcile-rejected", "by %s", from)
@@ -607,6 +769,7 @@ func (cm *CM) onReconcileDone(from string) {
 	if cm.grantedTo == from {
 		cm.node.tracef("reconcile-released", "by %s", from)
 		cm.grantedTo = ""
+		cm.grantProgress = nil
 		if cm.grantTimer != nil {
 			cm.grantTimer.Stop()
 			cm.grantTimer = nil

@@ -261,6 +261,176 @@ func TestCrashedNodeIsSilent(t *testing.T) {
 	}
 }
 
+// scriptPeer registers a scripted replica peer on the netsim: it answers
+// every keep-alive probe with the KeepAliveResp built by resp, and counts
+// the ReconcileResp grants and rejects it receives.
+func scriptPeer(net *netsim.Net, id string, resp func() KeepAliveResp, grants, rejects *int) {
+	net.Register(id, func(from string, msg any) {
+		switch m := msg.(type) {
+		case KeepAliveReq:
+			net.Send(id, from, resp())
+		case ReconcileResp:
+			if m.Granted {
+				*grants++
+			} else {
+				*rejects++
+			}
+		}
+	})
+}
+
+// TestGrantRevokedWhenGrantedPeerStalls is the node-level pin of the
+// tentpole: a granted peer that answers every keep-alive but whose
+// stabilization-progress token never advances (its data path is blocked)
+// must lose the grant within the stall window — not the 120s GrantTimeout
+// — and a fresh request afterwards must be granted again.
+func TestGrantRevokedWhenGrantedPeerStalls(t *testing.T) {
+	sim := runtime.NewVirtual()
+	net := netsim.New(sim)
+	net.Register("up", func(string, any) {})
+	a := mkNode(t, sim, net, "a", []string{"b"})
+	var grants, rejects int
+	scriptPeer(net, "b", func() KeepAliveResp {
+		return KeepAliveResp{Node: StateUpFailure, Progress: map[string]uint64{"in": 5}}
+	}, &grants, &rejects)
+	a.Start()
+	net.Send("b", "a", ReconcileReq{})
+	// One stall window (1s by default) plus a few probe periods must
+	// suffice: revocation within 2s bounds the starvation far below the
+	// 120s backstop.
+	sim.RunFor(2 * sec)
+	if grants != 1 {
+		t.Fatalf("grants = %d, want 1", grants)
+	}
+	if a.cm.GrantRevokedStalled != 1 || a.cm.grantedTo != "" {
+		t.Fatalf("stalled peer must lose the grant within the stall window: stalled=%d grantedTo=%q",
+			a.cm.GrantRevokedStalled, a.cm.grantedTo)
+	}
+	if a.cm.GrantTimeouts != 0 || a.cm.GrantRevokedSilent != 0 || a.cm.GrantRevokedDone != 0 {
+		t.Fatalf("wrong revocation cause: %+v", a.cm)
+	}
+	// Revocation is not a ban: the peer re-requests and is granted again.
+	net.Send("b", "a", ReconcileReq{})
+	sim.RunFor(500 * ms)
+	if grants != 2 || a.cm.grantedTo != "b" {
+		t.Fatalf("re-request after revocation must be granted: grants=%d grantedTo=%q", grants, a.cm.grantedTo)
+	}
+}
+
+// TestGrantRevokedWhenReconcileDoneLost covers the third probe: a peer
+// that finished stabilizing but whose ReconcileDone was eaten by a
+// partition keeps reporting STABLE — and keeps making data progress, so
+// the stall probe never fires. Observing STABLE for a whole stall window
+// revokes the promise.
+func TestGrantRevokedWhenReconcileDoneLost(t *testing.T) {
+	sim := runtime.NewVirtual()
+	net := netsim.New(sim)
+	net.Register("up", func(string, any) {})
+	a := mkNode(t, sim, net, "a", []string{"b"})
+	var grants, rejects int
+	var id uint64
+	scriptPeer(net, "b", func() KeepAliveResp {
+		id++ // data progress continues after stabilization finished
+		return KeepAliveResp{Node: StateStable, Progress: map[string]uint64{"in": id}}
+	}, &grants, &rejects)
+	a.Start()
+	net.Send("b", "a", ReconcileReq{})
+	sim.RunFor(2 * sec)
+	if a.cm.GrantRevokedDone != 1 || a.cm.grantedTo != "" {
+		t.Fatalf("STABLE-without-done peer must lose the grant: done=%d grantedTo=%q",
+			a.cm.GrantRevokedDone, a.cm.grantedTo)
+	}
+	if a.cm.GrantRevokedStalled != 0 || a.cm.GrantTimeouts != 0 {
+		t.Fatalf("wrong revocation cause: stalled=%d timeouts=%d", a.cm.GrantRevokedStalled, a.cm.GrantTimeouts)
+	}
+}
+
+// TestGrantHeldWhileStabilizationProgresses is the negative control: a
+// granted peer advancing its progress token in STABILIZATION keeps the
+// promise well past the stall window, and only its ReconcileDone releases
+// it.
+func TestGrantHeldWhileStabilizationProgresses(t *testing.T) {
+	sim := runtime.NewVirtual()
+	net := netsim.New(sim)
+	net.Register("up", func(string, any) {})
+	a := mkNode(t, sim, net, "a", []string{"b"})
+	var grants, rejects int
+	var id uint64
+	scriptPeer(net, "b", func() KeepAliveResp {
+		id++
+		return KeepAliveResp{Node: StateStabilization, Progress: map[string]uint64{"in": id}}
+	}, &grants, &rejects)
+	a.Start()
+	net.Send("b", "a", ReconcileReq{})
+	sim.RunFor(3 * sec) // three stall windows
+	if a.cm.grantedTo != "b" {
+		t.Fatalf("progressing peer must keep the grant, grantedTo=%q", a.cm.grantedTo)
+	}
+	if n := a.cm.GrantRevokedStalled + a.cm.GrantRevokedDone + a.cm.GrantRevokedSilent + a.cm.GrantTimeouts; n != 0 {
+		t.Fatalf("progressing peer must not be revoked (%d revocations)", n)
+	}
+	net.Send("b", "a", ReconcileDone{})
+	sim.RunFor(sec)
+	if a.cm.grantedTo != "" {
+		t.Fatal("ReconcileDone must release the promise")
+	}
+}
+
+// stickyClock wraps a Clock so Timer.Stop never cancels: it models the
+// WallClock race where a stopped timer's callback is already in flight and
+// fires anyway (virtual time makes the race deterministic).
+type stickyClock struct{ runtime.Clock }
+
+type stickyTimer struct{ runtime.Timer }
+
+func (stickyTimer) Stop() bool { return false }
+
+func (c stickyClock) After(d int64, fn func()) runtime.Timer {
+	return stickyTimer{c.Clock.After(d, fn)}
+}
+
+// TestGrantTimeoutIgnoresStaleTimer is the regression test for the
+// grant-timer identity bug: a grant is released by ReconcileDone and
+// re-granted to the same peer, but the first grant's GrantTimeout callback
+// — whose Stop raced its firing — still runs. It must recognize it is
+// stale (timer identity, not just grantedTo, which matches) and leave the
+// fresh grant and its timer alone.
+func TestGrantTimeoutIgnoresStaleTimer(t *testing.T) {
+	sim := runtime.NewVirtual()
+	net := netsim.New(sim)
+	net.Register("up", func(string, any) {})
+	n, err := New(stickyClock{sim}, net, passDiagram(t, "in", "out.a"), Config{
+		ID:        "a",
+		Peers:     []string{"b"},
+		Upstreams: map[string][]string{"in": {"up"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Register("b", func(string, any) {})
+	net.Send("b", "a", ReconcileReq{})
+	sim.RunFor(1 * sec) // granted; stale timer armed for t≈120s
+	if n.cm.grantedTo != "b" {
+		t.Fatalf("grantedTo = %q", n.cm.grantedTo)
+	}
+	net.Send("b", "a", ReconcileDone{})
+	sim.RunFor(1 * sec) // released; the sticky Stop leaves the timer live
+	net.Send("b", "a", ReconcileReq{})
+	sim.RunFor(1 * sec) // re-granted; fresh timer armed for t≈122s
+	if n.cm.grantedTo != "b" {
+		t.Fatalf("re-grant failed, grantedTo = %q", n.cm.grantedTo)
+	}
+	sim.RunFor(119 * sec) // past the stale timer's deadline
+	if n.cm.grantedTo != "b" || n.cm.GrantTimeouts != 0 {
+		t.Fatalf("stale GrantTimeout callback clobbered the fresh grant: grantedTo=%q timeouts=%d",
+			n.cm.grantedTo, n.cm.GrantTimeouts)
+	}
+	sim.RunFor(3 * sec) // past the fresh timer's deadline: it must still work
+	if n.cm.grantedTo != "" || n.cm.GrantTimeouts != 1 {
+		t.Fatalf("fresh GrantTimeout must fire: grantedTo=%q timeouts=%d", n.cm.grantedTo, n.cm.GrantTimeouts)
+	}
+}
+
 func TestUnionTypesCompile(t *testing.T) {
 	// Compile-time sanity for message types used across packages.
 	var _ any = DataMsg{Stream: "s", Tuples: []tuple.Tuple{}}

@@ -90,6 +90,17 @@ type KeepAliveReq struct{}
 type KeepAliveResp struct {
 	Node    StreamState
 	Streams map[string]StreamState
+	// Progress is the responder's stabilization-progress token: the last
+	// stable tuple id it holds on each of its input streams. A replica
+	// that granted this responder a reconciliation promise (Fig. 9)
+	// polices the grant with it — a granted peer that answers keep-alives
+	// but whose token never advances is alive yet making zero
+	// stabilization progress (its data path is partitioned, or its replay
+	// wedged), and the grant is revoked after a bounded stall window
+	// instead of the full GrantTimeout. Nil when the responder has no
+	// inputs, and on frames from binaries predating the token (the codec
+	// accepts bodies without it).
+	Progress map[string]uint64
 }
 
 // ReconcileReq asks a replica of the same node for permission to enter

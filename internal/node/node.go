@@ -256,7 +256,7 @@ func (n *Node) handle(from string, msg any) {
 			ob.Ack(from, m.UpToID)
 		}
 	case KeepAliveReq:
-		n.send(from, KeepAliveResp{Node: n.state, Streams: n.streamStates()})
+		n.send(from, KeepAliveResp{Node: n.state, Streams: n.streamStates(), Progress: n.inputProgress()})
 	case KeepAliveResp:
 		n.cm.onKeepAlive(from, m)
 	case ReconcileReq:
@@ -266,6 +266,20 @@ func (n *Node) handle(from string, msg any) {
 	case ReconcileDone:
 		n.cm.onReconcileDone(from)
 	}
+}
+
+// inputProgress builds the stabilization-progress token of a KeepAliveResp:
+// the last stable tuple id accepted on each input stream. The map is built
+// fresh per response — receivers retain it across handler turns.
+func (n *Node) inputProgress() map[string]uint64 {
+	if len(n.inputOrder) == 0 {
+		return nil
+	}
+	p := make(map[string]uint64, len(n.inputOrder))
+	for _, stream := range n.inputOrder {
+		p[stream] = n.inputs[stream].LastStableID()
+	}
+	return p
 }
 
 // streamStates computes the advertised state of each output stream. In

@@ -316,6 +316,7 @@ func (p *PartitionRun) WorkerReport(worker string) *WorkerReport {
 					nr.ReconcileDurationsS[di] = secs(d)
 				}
 			}
+			fillGrantReport(&nr, n.CM(), rt.durationUS)
 			wr.Nodes = append(wr.Nodes, nr)
 			wr.Processed += n.Engine().Processed
 		}

@@ -286,6 +286,7 @@ func compile(exec rtpkg.Runtime, s *Spec, quick, withFaults, perTuple, noAudit b
 				rep.SetTrace(trace)
 			}
 		}
+		dep.Client.Proxy().SetTrace(trace)
 	}
 	rt.boundUS = rt.availabilityBound(idx)
 	rt.installWorkloads()

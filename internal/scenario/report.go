@@ -8,6 +8,7 @@ import (
 	"slices"
 
 	"borealis/internal/client"
+	"borealis/internal/node"
 	"borealis/internal/tuple"
 	"borealis/internal/vtime"
 )
@@ -123,6 +124,30 @@ type NodeReport struct {
 	// and everything downstream of it — will starve forever. The fuzzer's
 	// structural oracle keys off this field.
 	HoldsTentative bool `json:"holds_tentative,omitempty"`
+	// GrantWaitsS lists each reconciliation-authorization wait in seconds
+	// — want → grant, in grant order — plus a wait still open when the run
+	// ended (a replica starving for a grant reports the starvation instead
+	// of hiding it). Progress-probed grants bound every entry by the grant
+	// stall window plus the peer's own stabilization time, not the 120s
+	// GrantTimeout; the fuzzer's grant-starvation oracle asserts the bound.
+	GrantWaitsS []float64 `json:"grant_wait_s,omitempty"`
+	// GrantRevocations counts reconciliation promises this replica
+	// revoked, by cause; absent when no revocation happened and the
+	// GrantTimeout backstop never fired.
+	GrantRevocations *GrantRevocationReport `json:"grant_revocations,omitempty"`
+}
+
+// GrantRevocationReport partitions a replica's grant revocations by cause
+// (see CM.probeGrantedPeer): the granted peer went silent (crashed), froze
+// its stabilization-progress token while alive (partitioned data path or
+// wedged replay), kept reporting STABLE (its ReconcileDone was lost), or —
+// the backstop that progress probing should keep at zero — the full
+// GrantTimeout fired.
+type GrantRevocationReport struct {
+	Silent  uint64 `json:"silent,omitempty"`
+	Stalled uint64 `json:"stalled,omitempty"`
+	Done    uint64 `json:"done,omitempty"`
+	Timeout uint64 `json:"timeout,omitempty"`
 }
 
 // QueueDepthSample is one point of a replica's queue-depth time series.
@@ -243,6 +268,7 @@ func (rt *run) report() *Report {
 					nr.ReconcileDurationsS[di] = secs(d)
 				}
 			}
+			fillGrantReport(&nr, n.CM(), rt.durationUS)
 			if ri < len(rt.depthSeries) {
 				depths := rt.depthSeries[ri]
 				nr.QueueDepthSeries = make([]QueueDepthSample, len(depths))
@@ -258,6 +284,28 @@ func (rt *run) report() *Report {
 		}
 	}
 	return rep
+}
+
+// fillGrantReport copies a Consistency Manager's grant-wait samples and
+// revocation counters into the replica's report row. endUS lets a wait that
+// is still open when the run ends be reported as a wait of run-end minus
+// want-time — grant starvation must show up in the report, not vanish
+// because the grant never arrived.
+func fillGrantReport(nr *NodeReport, cm *node.CM, endUS int64) {
+	if waits := cm.GrantWaitsAt(endUS); len(waits) > 0 {
+		nr.GrantWaitsS = make([]float64, len(waits))
+		for i, w := range waits {
+			nr.GrantWaitsS[i] = secs(w)
+		}
+	}
+	if cm.GrantRevokedSilent|cm.GrantRevokedStalled|cm.GrantRevokedDone|cm.GrantTimeouts != 0 {
+		nr.GrantRevocations = &GrantRevocationReport{
+			Silent:  cm.GrantRevokedSilent,
+			Stalled: cm.GrantRevokedStalled,
+			Done:    cm.GrantRevokedDone,
+			Timeout: cm.GrantTimeouts,
+		}
+	}
 }
 
 // JSON renders the canonical (golden-file) form: two-space indented JSON

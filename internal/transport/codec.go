@@ -117,6 +117,23 @@ func AppendFrame(dst []byte, from, to string, msg any) ([]byte, error) {
 			dst = appendString(dst, k)
 			dst = append(dst, byte(m.Streams[k]))
 		}
+		// Stabilization-progress token, appended tag-compatibly after the
+		// stream states: a body that simply ends here (frames from
+		// binaries predating the token) decodes with a nil map, and a nil
+		// map encodes to the old bytes — so decode∘encode stays the
+		// identity in both directions across the format change.
+		if len(m.Progress) > 0 {
+			dst = binary.AppendUvarint(dst, uint64(len(m.Progress)))
+			pkeys := make([]string, 0, len(m.Progress))
+			for k := range m.Progress {
+				pkeys = append(pkeys, k)
+			}
+			sort.Strings(pkeys)
+			for _, k := range pkeys {
+				dst = appendString(dst, k)
+				dst = binary.AppendUvarint(dst, m.Progress[k])
+			}
+		}
 	case node.ReconcileReq:
 		dst = append(dst, tagReconcileReq)
 		dst = appendAddr(dst, from, to)
@@ -339,6 +356,34 @@ func DecodeFrame(body []byte) (from, to string, msg any, err error) {
 				return "", "", nil, errMalformed
 			}
 			m.Streams[k] = s
+		}
+		// The stabilization-progress token is optional on the wire: a
+		// body ending after the stream states is a pre-token frame and
+		// decodes with a nil map. When present, the section must be
+		// canonical — non-empty, strictly ascending keys — so that
+		// encoding stays a pure function of the value.
+		if r.pos < len(r.b) {
+			pn, ok := r.uvarint()
+			if !ok || pn == 0 || pn > uint64(len(r.b)-r.pos)/2+1 {
+				return "", "", nil, errMalformed
+			}
+			m.Progress = make(map[string]uint64, pn)
+			prev = ""
+			for i := uint64(0); i < pn; i++ {
+				k, ok := r.string()
+				if !ok {
+					return "", "", nil, errMalformed
+				}
+				if i > 0 && k <= prev {
+					return "", "", nil, errMalformed
+				}
+				prev = k
+				v, ok := r.uvarint()
+				if !ok {
+					return "", "", nil, errMalformed
+				}
+				m.Progress[k] = v
+			}
 		}
 		msg = m
 	case tagReconcileReq:

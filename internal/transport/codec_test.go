@@ -34,6 +34,9 @@ func allFrames() []struct {
 		{"n1", "n2", node.KeepAliveReq{}},
 		{"n2", "n1", node.KeepAliveResp{Node: node.StateUpFailure, Streams: map[string]node.StreamState{
 			"s_out": node.StateStabilization, "a_out": node.StateStable}}},
+		{"n2", "n1", node.KeepAliveResp{Node: node.StateStabilization, Streams: map[string]node.StreamState{
+			"s_out": node.StateStabilization},
+			Progress: map[string]uint64{"s1": 1172, "s2": 0}}},
 		{"n2", "n2b", node.ReconcileReq{}},
 		{"n2b", "n2", node.ReconcileResp{Granted: true}},
 		{"n2b", "n2", node.ReconcileResp{}},
@@ -142,6 +145,22 @@ func TestCodecGolden(t *testing.T) {
 			},
 		},
 		{
+			name: "keepaliveresp-progress",
+			from: "b", to: "a",
+			msg: node.KeepAliveResp{Node: node.StateStable,
+				Streams:  map[string]node.StreamState{"a": node.StateStable},
+				Progress: map[string]uint64{"p": 7, "q": 300}},
+			want: []byte{
+				0, 0, 0, 19, 1, 6, 1, 'b', 1, 'a',
+				0,         // node state STABLE
+				1,         // stream count
+				1, 'a', 0, // "a" STABLE
+				2,         // progress count (section present: non-empty map)
+				1, 'p', 7, // "p" last stable id 7
+				1, 'q', 0xac, 0x02, // "q" last stable id 300 (uvarint)
+			},
+		},
+		{
 			name: "keepalivereq",
 			from: "a", to: "b",
 			msg:  node.KeepAliveReq{},
@@ -171,6 +190,40 @@ func TestCodecGolden(t *testing.T) {
 	}
 }
 
+// TestCodecOldKeepAliveRespCompat proves the stabilization-progress token
+// was added tag-compatibly: a KeepAliveResp body from a binary predating
+// the token — ending right after the stream states — decodes cleanly with
+// a nil Progress map, and re-encoding that value reproduces the old bytes
+// exactly. Mixed-version clusters mid-rolling-upgrade depend on both
+// directions.
+func TestCodecOldKeepAliveRespCompat(t *testing.T) {
+	old := []byte{
+		1, 6, 1, 'b', 1, 'a',
+		1,         // node state UP_FAILURE
+		2,         // stream count
+		1, 'a', 0, // "a" STABLE
+		1, 'z', 2, // "z" STABILIZATION
+	}
+	from, to, msg, err := DecodeFrame(old)
+	if err != nil {
+		t.Fatalf("old-layout frame must decode: %v", err)
+	}
+	ka, ok := msg.(node.KeepAliveResp)
+	if !ok {
+		t.Fatalf("decoded %T, want KeepAliveResp", msg)
+	}
+	if ka.Progress != nil {
+		t.Fatalf("old-layout frame must decode with nil Progress, got %v", ka.Progress)
+	}
+	reenc, err := AppendFrame(nil, from, to, ka)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(reenc[4:], old) {
+		t.Fatalf("nil Progress must re-encode to the old bytes\n got % x\nwant % x", reenc[4:], old)
+	}
+}
+
 // TestCodecMalformed feeds systematically broken bodies to the decoder:
 // every one must return an error without panicking.
 func TestCodecMalformed(t *testing.T) {
@@ -188,6 +241,10 @@ func TestCodecMalformed(t *testing.T) {
 		{1, 6, 1, 'a', 1, 'b', 7, 0},          // KeepAliveResp state out of range
 		{1, 6, 1, 'a', 1, 'b', 0, 2, 1, 'z', 0, 1, 'a', 0},                 // map keys out of order
 		{1, 6, 1, 'a', 1, 'b', 0, 2, 1, 'a', 0, 1, 'a', 0},                 // duplicate map key
+		{1, 6, 1, 'a', 1, 'b', 0, 0, 0},                                    // progress section with count 0 (non-canonical)
+		{1, 6, 1, 'a', 1, 'b', 0, 0, 2, 1, 'b', 1, 1, 'a', 1},              // progress keys out of order
+		{1, 6, 1, 'a', 1, 'b', 0, 0, 2, 1, 'a', 1, 1, 'a', 1},              // duplicate progress key
+		{1, 6, 1, 'a', 1, 'b', 0, 0, 1, 1, 'a'},                            // truncated progress value
 		{1, 1, 1, 'a', 1, 'b', 1, 'x', 1, 200, 200, 200, 200},              // absurd tuple count
 		{1, 1, 1, 'a', 1, 'b', 1, 'x', 1, 1, 9, 0, 0, 0, 0},                // tuple type out of range
 		{1, 1, 1, 'a', 1, 'b', 1, 'x', 1, 1, 0, 1},                         // truncated tuple

@@ -331,10 +331,16 @@ func (a *I64Arena) Alloc(n int) []int64 {
 // ts unchanged here once left a revoked tentative aggregate in a
 // downstream node's arrival log; its reconciliation replayed the tuple
 // into a serialization bucket no policy could ever flush, starving the
-// stream (found by the scenario fuzzer).
+// stream (found by the scenario fuzzer). The anchor must be a stable
+// Insertion, never a Tentative that happens to reuse the id: tentative ids
+// are provisional, and an UNDO's last-good id names the stable prefix. An
+// earlier version anchored on any data tuple, so when a collision occurred
+// the revoked tentative suffix survived the patch, resurrected into
+// re-derived serialization buckets, and wedged the stable cursor for good
+// (corpus scenario crash-inside-partition).
 func ApplyUndo(ts []Tuple, lastGoodID uint64) []Tuple {
 	for i := len(ts) - 1; i >= 0; i-- {
-		if ts[i].ID == lastGoodID && ts[i].IsData() {
+		if ts[i].ID == lastGoodID && ts[i].Type == Insertion {
 			return ts[:i+1]
 		}
 	}

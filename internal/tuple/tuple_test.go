@@ -183,6 +183,25 @@ func TestApplyUndo(t *testing.T) {
 	if len(got) != 3 || got[2].Type != Insertion || got[2].ID != 2 {
 		t.Errorf("ApplyUndo should anchor on data tuples: %v", got)
 	}
+	// A Tentative whose provisional id collides with the undo id must NOT
+	// anchor the patch: the undo names a stable prefix, so the tentative
+	// run after the true anchor has to go. Anchoring on the collision kept
+	// revoked tentative tuples in the client proxy's arrival log and
+	// wedged its stable cursor (corpus scenario crash-inside-partition).
+	collide := []Tuple{
+		{Type: Insertion, ID: 1}, {Type: Insertion, ID: 2},
+		{Type: Tentative, ID: 3}, {Type: Tentative, ID: 4}, {Type: Tentative, ID: 2},
+	}
+	got = ApplyUndo(collide, 2)
+	if len(got) != 2 || got[1].Type != Insertion || got[1].ID != 2 {
+		t.Errorf("ApplyUndo must anchor on the stable Insertion, not a colliding Tentative: %v", got)
+	}
+	// Same collision with the anchor outside the window: the fallback
+	// must strip the tentative suffix rather than keep it.
+	tail := []Tuple{{Type: Tentative, ID: 9}, {Type: Tentative, ID: 5}}
+	if got := ApplyUndo(tail, 5); len(got) != 0 {
+		t.Errorf("fallback must drop colliding tentative tuples, got %v", got)
+	}
 }
 
 func TestStringFormat(t *testing.T) {
